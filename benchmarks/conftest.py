@@ -1,0 +1,76 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every figure of the paper's evaluation
+(Sec. VII).  Set ``FLOWTIME_BENCH_SCALE=full`` to run the paper-size
+workload (5 workflows x 18 jobs = 90 deadline jobs); the default "quick"
+scale uses the same generator and cluster shape at reduced size so the
+whole suite finishes in a few minutes.
+
+Every bench prints the same rows/series the corresponding figure reports;
+run with ``-s`` to see them inline (EXPERIMENTS.md records a full run).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import SyntheticTrace, generate_trace
+
+FULL_SCALE = os.environ.get("FLOWTIME_BENCH_SCALE", "quick") == "full"
+
+
+@dataclass(frozen=True)
+class MixedClusterSetup:
+    """The Fig. 4/5 experimental setup: cluster + trace + metadata."""
+
+    cluster: ClusterCapacity
+    trace: SyntheticTrace
+    n_deadline_jobs: int
+
+
+def build_mixed_cluster_setup(seed: int = 15) -> MixedClusterSetup:
+    """The paper's mixed workload: recurring workflows with loose deadlines
+    sharing the cluster with a Poisson ad-hoc stream (Sec. VII-A).
+
+    The parameters put the cluster in the paper's regime: deadline windows
+    4-8x the critical path (loose, like the 24 h deadline on a ~2 h
+    workflow the paper cites), enough overlap that deadline-oblivious
+    baselines miss job windows, and a steady ad-hoc stream that EDF-style
+    deadline-first scheduling visibly starves.
+    """
+    if FULL_SCALE:
+        cluster = ClusterCapacity.uniform(cpu=96, mem=192)
+        trace = generate_trace(
+            n_workflows=5,
+            jobs_per_workflow=18,
+            n_adhoc=40,
+            capacity=cluster,
+            looseness=(4.0, 8.0),
+            adhoc_rate_per_slot=0.7,
+            workflow_spread_slots=70,
+            seed=seed,
+        )
+    else:
+        cluster = ClusterCapacity.uniform(cpu=64, mem=128)
+        trace = generate_trace(
+            n_workflows=4,
+            jobs_per_workflow=12,
+            n_adhoc=30,
+            capacity=cluster,
+            looseness=(4.0, 8.0),
+            adhoc_rate_per_slot=0.7,
+            workflow_spread_slots=50,
+            seed=seed,
+        )
+    return MixedClusterSetup(
+        cluster=cluster, trace=trace, n_deadline_jobs=trace.n_deadline_jobs
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_setup() -> MixedClusterSetup:
+    return build_mixed_cluster_setup()

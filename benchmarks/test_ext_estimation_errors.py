@@ -1,0 +1,77 @@
+"""EXT-1 — robustness to estimation errors (Sec. III desired feature).
+
+The corresponding evaluation page is missing from the available scan, so
+this bench reconstructs the experiment from the paper's description: the
+estimates come from prior runs, "both underestimations or overestimations
+are possible", and the dynamic re-planning loop should absorb them.
+
+We sweep a deterministic multiplicative duration error (true = estimate x
+factor) on the Fig. 4 workload and report miss counts and ad-hoc turnaround
+for the full FlowTime configuration.  Expectation: overestimation
+(factor < 1) is harmless, and moderate underestimation is absorbed by
+re-planning — misses only appear once the extra (unplanned) work starts to
+genuinely exceed what the windows can hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_one
+from repro.analysis.reporting import format_series
+from repro.estimation.errors import ErrorModel, apply_workflow_estimation_errors
+from repro.workloads.traces import SyntheticTrace
+
+from benchmarks.conftest import build_mixed_cluster_setup
+
+FACTORS = (0.5, 0.8, 1.0, 1.1, 1.3, 1.5)
+
+
+def run_sweep():
+    setup = build_mixed_cluster_setup()
+    misses = []
+    turnarounds = []
+    for factor in FACTORS:
+        workflows = tuple(
+            apply_workflow_estimation_errors(
+                wf, ErrorModel(low=factor, high=factor), seed=i
+            )
+            for i, wf in enumerate(setup.trace.workflows)
+        )
+        trace = SyntheticTrace(
+            workflows=workflows, adhoc_jobs=setup.trace.adhoc_jobs
+        )
+        outcome = run_one("FlowTime", trace, setup.cluster)
+        assert outcome.result.finished
+        misses.append(outcome.n_missed_jobs)
+        turnarounds.append(outcome.adhoc_turnaround_s)
+    return misses, turnarounds
+
+
+@pytest.mark.benchmark(group="ext1")
+def test_ext1_estimation_error_sweep(benchmark):
+    misses, turnarounds = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_series(
+            "EXT-1: FlowTime vs estimation error (true = estimate x factor)",
+            FACTORS,
+            {"jobs_missed": misses, "adhoc_turnaround_s": turnarounds},
+            x_label="factor",
+            fmt="{:.1f}",
+        )
+    )
+    by_factor = dict(zip(FACTORS, misses))
+    # Overestimation and exact estimates never cause misses.
+    assert by_factor[0.5] == 0
+    assert by_factor[0.8] == 0
+    assert by_factor[1.0] == 0
+    # Moderate underestimation is absorbed by the dynamic re-plan loop.
+    assert by_factor[1.1] == 0
+    # Beyond that the extra (never planned for) work genuinely exceeds what
+    # the windows can hold; misses appear and grow monotonically with the
+    # error, but the system keeps running rather than collapsing.
+    assert all(a <= b for a, b in zip(misses, misses[1:]))
+    # Ad-hoc turnaround stays essentially flat across the whole sweep: the
+    # deadline-work skyline absorbs the error, not the ad-hoc jobs.
+    assert max(turnarounds) <= 2 * min(turnarounds) + 30.0

@@ -1,0 +1,86 @@
+"""EXT-9 — deadline looseness sweep (where the Fig. 4 trade-off lives).
+
+The paper's core narrative is parameterised by deadline looseness (their
+trace: a 24 h deadline on a ~2 h workflow).  Sweeping the deadline/critical-
+path ratio makes the trade-off visible as curves:
+
+* as deadlines loosen, every algorithm's miss count falls toward zero —
+  but deadline-oblivious baselines (FIFO) need far more slack to get there
+  than FlowTime, which is already at zero on tight-but-feasible deadlines;
+* EDF's ad-hoc turnaround penalty does *not* improve with looseness (it
+  front-loads deadline work regardless — exactly the Fig. 1 pathology),
+  while FlowTime's turnaround improves as the skyline flattens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series
+from repro.analysis.sweeps import sweep
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import generate_trace
+
+LOOSENESS = (2.0, 3.0, 5.0, 8.0)
+ALGORITHMS = ("FlowTime", "EDF", "FIFO")
+
+
+def factory(looseness: float):
+    cluster = ClusterCapacity.uniform(cpu=64, mem=128)
+    trace = generate_trace(
+        n_workflows=4,
+        jobs_per_workflow=10,
+        n_adhoc=25,
+        capacity=cluster,
+        looseness=(looseness, looseness + 1.0),
+        adhoc_rate_per_slot=0.6,
+        workflow_spread_slots=40,
+        seed=15,
+    )
+    return trace, cluster
+
+
+@pytest.mark.benchmark(group="ext9")
+def test_ext9_looseness_sweep(benchmark):
+    result = benchmark.pedantic(
+        sweep,
+        args=("looseness", LOOSENESS, factory, ALGORITHMS),
+        rounds=1,
+        iterations=1,
+    )
+    misses = result.series("jobs_missed")
+    turns = result.series("adhoc_turnaround_s")
+    print(
+        "\n"
+        + format_series(
+            "EXT-9: jobs missed vs deadline looseness (x = deadline/CP)",
+            LOOSENESS,
+            misses,
+            x_label="looseness",
+            fmt="{:.0f}",
+        )
+    )
+    print(
+        format_series(
+            "EXT-9: ad-hoc turnaround (s) vs deadline looseness",
+            LOOSENESS,
+            turns,
+            x_label="looseness",
+            fmt="{:.0f}",
+        )
+    )
+    # The crossover: at looseness 2-3 the joint workload is over-committed
+    # (several workflows' windows cannot all be honoured) and greedy EDF
+    # triage drops fewer deadlines than the LP pipeline — outside the
+    # paper's regime, and honestly reported.  Once the workload is feasible
+    # (looseness >= 5 here) FlowTime misses nothing.
+    assert misses["FlowTime"][-2] == 0 and misses["FlowTime"][-1] == 0
+    assert misses["FlowTime"][0] > 0  # the overload end of the sweep
+    # FIFO's misses shrink as deadlines loosen but remain the worst tail —
+    # deadline-obliviousness needs far more slack to be forgiven.
+    assert misses["FIFO"][0] >= misses["FIFO"][-1]
+    assert misses["FIFO"][-1] > 0
+    # EDF's ad-hoc turnaround stays several times FlowTime's across the
+    # whole sweep — looseness does not cure the Fig. 1 pathology.
+    for ft, edf in zip(turns["FlowTime"], turns["EDF"]):
+        assert edf > 3 * ft

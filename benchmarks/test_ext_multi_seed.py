@@ -1,0 +1,57 @@
+"""EXT-12 — the Fig. 4 shape replicated across seeds.
+
+One seed shows a shape; this bench replicates the mixed-cluster comparison
+over several workload seeds (same generator, same parameters) and checks
+the paper's ordering holds in the *mean*, not just in a lucky draw:
+
+* FlowTime's mean miss count stays at (or negligibly above) zero;
+* every baseline's mean ad-hoc turnaround exceeds FlowTime's;
+* EDF is the worst mean turnaround of the set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import replicate
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import generate_trace
+
+SEEDS = (1, 9, 15)
+ALGORITHMS = ("FlowTime", "EDF", "Fair", "FIFO")
+
+
+def factory(seed: int):
+    cluster = ClusterCapacity.uniform(cpu=64, mem=128)
+    trace = generate_trace(
+        n_workflows=4,
+        jobs_per_workflow=12,
+        n_adhoc=30,
+        capacity=cluster,
+        looseness=(4.0, 8.0),
+        adhoc_rate_per_slot=0.7,
+        workflow_spread_slots=50,
+        seed=seed,
+    )
+    return trace, cluster
+
+
+@pytest.mark.benchmark(group="ext12")
+def test_ext12_multi_seed_replication(benchmark):
+    result = benchmark.pedantic(
+        replicate, args=(factory, SEEDS, ALGORITHMS), rounds=1, iterations=1
+    )
+    print(f"\nEXT-12: {len(SEEDS)} seeds x {len(ALGORITHMS)} algorithms")
+    print(result.format_table("jobs_missed"))
+    print()
+    print(result.format_table("adhoc_turnaround_s"))
+
+    flowtime_missed = result.summary("FlowTime", "jobs_missed")
+    assert flowtime_missed.mean == 0.0  # every seed
+    flowtime_turn = result.summary("FlowTime", "adhoc_turnaround_s")
+    for name in ("EDF", "Fair", "FIFO"):
+        assert result.summary(name, "adhoc_turnaround_s").mean > flowtime_turn.mean
+    edf_turn = result.summary("EDF", "adhoc_turnaround_s").mean
+    assert edf_turn == max(
+        result.summary(n, "adhoc_turnaround_s").mean for n in ALGORITHMS
+    )

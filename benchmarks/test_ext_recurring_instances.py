@@ -1,0 +1,107 @@
+"""EXT-7 — recurring instances over time (the trace-driven regime).
+
+The paper's workflows are "typically recurring, running on a daily, weekly
+or monthly basis" (Sec. I); the trace-driven simulations replay many
+occurrences.  This bench runs several instances of a recurring workflow
+back to back with an ad-hoc background and measures, per instance:
+
+* FlowTime's per-instance deadline performance (stable — it uses the DAG,
+  so it never needed the history);
+* Morpheus's, with history that *accumulates from the actually executed
+  instances* (cold start on instance 0, observed windows afterwards) —
+  the learning loop the real system runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import canonical_windows
+from repro.estimation.history import RunHistory
+from repro.model.cluster import ClusterCapacity
+from repro.schedulers.flowtime_sched import FlowTimeScheduler
+from repro.schedulers.morpheus import MorpheusScheduler
+from repro.simulator.engine import Simulation
+from repro.simulator.metrics import missed_workflows
+from repro.workloads.arrivals import adhoc_stream
+from repro.workloads.dag_generators import fork_join_workflow
+from repro.workloads.recurring import RecurringWorkflow, record_run
+from repro.workloads.traces import SyntheticTrace
+
+N_INSTANCES = 4
+
+
+def make_recurring() -> RecurringWorkflow:
+    skeleton = fork_join_workflow("nightly", 4, 0, 140)
+    return RecurringWorkflow(
+        skeleton=skeleton, period_slots=160, template_name="nightly"
+    )
+
+
+def run_instances():
+    cluster = ClusterCapacity.uniform(cpu=48, mem=96)
+    recurring = make_recurring()
+    history = RunHistory()
+    per_instance = {"FlowTime": [], "Morpheus": []}
+    inferred_window_spans = []
+    for index in range(N_INSTANCES):
+        instance = recurring.instance(index)
+        adhoc = adhoc_stream(
+            8,
+            rate_per_slot=0.2,
+            horizon_slots=instance.window_slots,
+            seed=100 + index,
+            prefix=f"adhoc{index}",
+        )
+        # Shift arrivals into the instance's own window.
+        adhoc = [
+            type(j)(
+                job_id=j.job_id,
+                tasks=j.tasks,
+                kind=j.kind,
+                arrival_slot=j.arrival_slot + instance.start_slot,
+            )
+            for j in adhoc
+        ]
+        for name, scheduler in (
+            ("FlowTime", FlowTimeScheduler()),
+            ("Morpheus", MorpheusScheduler(history=history)),
+        ):
+            result = Simulation(
+                cluster, scheduler, workflows=[instance], adhoc_jobs=adhoc
+            ).run()
+            assert result.finished, (name, index)
+            per_instance[name].append(len(missed_workflows(result)))
+            if name == "Morpheus":
+                windows = scheduler.windows
+                # The tightest inferred deadline (relative to the instance
+                # start): the cold start pins every job at the whole window,
+                # real history pulls early jobs' deadlines forward.
+                earliest = min(
+                    w.deadline_slot for w in windows.values()
+                ) - instance.start_slot
+                inferred_window_spans.append(earliest)
+                record_run(history, recurring, index, result)
+    return per_instance, inferred_window_spans
+
+
+@pytest.mark.benchmark(group="ext7")
+def test_ext7_recurring_instances(benchmark):
+    per_instance, spans = benchmark.pedantic(run_instances, rounds=1, iterations=1)
+    print(f"\nEXT-7: workflow-deadline misses per instance over {N_INSTANCES} runs")
+    print(f"  FlowTime: {per_instance['FlowTime']}")
+    print(f"  Morpheus: {per_instance['Morpheus']} (history accumulates)")
+    print(f"  Morpheus earliest inferred job deadline per instance: {spans}")
+
+    # FlowTime is stable from day one (DAG-based, needs no history).
+    assert per_instance["FlowTime"] == [0] * N_INSTANCES
+    # Morpheus meets the (loose) workflow deadlines throughout...
+    assert per_instance["Morpheus"] == [0] * N_INSTANCES
+    # ...and once history exists its inferred per-job windows tighten from
+    # the cold-start whole-window spread: early jobs' deadlines move well
+    # before the workflow deadline.
+    recurring = make_recurring()
+    whole = recurring.skeleton.window_slots
+    assert spans[0] == whole  # cold start: everything gets the full window
+    assert all(span < whole for span in spans[1:])
+    assert spans[-1] <= whole // 2

@@ -1,0 +1,52 @@
+"""EXT-8 — simulator substrate throughput.
+
+Not a paper figure: this measures the *substrate's* own overhead so the
+latency numbers elsewhere can be interpreted (Fig. 7's LP latency matters
+because the rest of the scheduling stack is cheap).  One greedy scheduler
+over a large mixed workload; the metric is engine slots per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.cluster import ClusterCapacity
+from repro.schedulers.fifo import FifoScheduler
+from repro.simulator.engine import Simulation
+from repro.workloads.traces import generate_trace
+
+
+def run_big_simulation():
+    cluster = ClusterCapacity.uniform(cpu=256, mem=512)
+    trace = generate_trace(
+        n_workflows=8,
+        jobs_per_workflow=15,
+        n_adhoc=80,
+        capacity=cluster,
+        looseness=(4.0, 8.0),
+        adhoc_rate_per_slot=1.0,
+        workflow_spread_slots=80,
+        seed=3,
+    )
+    result = Simulation(
+        cluster,
+        FifoScheduler(),
+        workflows=trace.workflows,
+        adhoc_jobs=trace.adhoc_jobs,
+    ).run()
+    assert result.finished
+    return result
+
+
+@pytest.mark.benchmark(group="ext8")
+def test_ext8_engine_throughput(benchmark):
+    result = benchmark.pedantic(run_big_simulation, rounds=1, iterations=1)
+    n_jobs = len(result.jobs)
+    slots_per_second = result.n_slots / benchmark.stats["mean"]
+    print(
+        f"\nEXT-8: {result.n_slots} slots x {n_jobs} jobs in "
+        f"{benchmark.stats['mean']:.2f} s -> {slots_per_second:.0f} slots/s"
+    )
+    # The engine itself is never the bottleneck: hundreds of slots per
+    # second even with ~200 jobs live.
+    assert slots_per_second > 50

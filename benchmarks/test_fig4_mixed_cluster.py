@@ -1,0 +1,79 @@
+"""FIG4 — deadline-aware workflows sharing the cluster with ad-hoc jobs.
+
+Regenerates all three panels of Fig. 4 plus the workflow-level count from
+Sec. VII-B-1 as one table per algorithm:
+
+* (a) the distribution of (completion time - deadline) for deadline jobs —
+  FlowTime keeps every delta <= 0;
+* (b) the number of jobs missing their (decomposed) deadlines — paper:
+  FlowTime 0, CORA 10, EDF 5, Fair 8, FIFO 13;
+* (c) the average ad-hoc job turnaround — paper: FlowTime 522.5 s; Fair
+  1.36x, CORA 2x, FIFO 3x, EDF 10x that.
+
+Shape expectations asserted here: FlowTime misses nothing and EDF is the
+best baseline on misses; every baseline's ad-hoc turnaround exceeds
+FlowTime's, with EDF the worst.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_comparison
+from repro.analysis.reporting import format_comparison_table, turnaround_ratios
+
+ALGORITHMS = ("FlowTime", "CORA", "EDF", "Fair", "FIFO")
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_mixed_cluster(benchmark, mixed_setup):
+    comparison = benchmark.pedantic(
+        run_comparison,
+        args=(mixed_setup.trace, mixed_setup.cluster, ALGORITHMS),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFIG4 ({mixed_setup.n_deadline_jobs} deadline jobs)")
+    print(format_comparison_table(comparison))
+    ratios = turnaround_ratios(comparison)
+    print("turnaround vs FlowTime: " + ", ".join(
+        f"{name} {ratio:.2f}x" for name, ratio in ratios.items()
+    ))
+
+    for outcome in comparison.outcomes:
+        assert outcome.result.finished, f"{outcome.name} did not finish"
+
+    flowtime = comparison.outcome("FlowTime")
+    # Panel (a)/(b): FlowTime meets every decomposed job deadline...
+    assert flowtime.n_missed_jobs == 0
+    assert max(flowtime.deltas_seconds.values()) <= 0.0
+    # ...and every workflow deadline (Sec. VII-B-1).
+    assert flowtime.n_missed_workflows == 0
+    # EDF is the best baseline on misses.
+    edf_missed = comparison.outcome("EDF").n_missed_jobs
+    for name in ("CORA", "Fair", "FIFO"):
+        assert edf_missed <= comparison.outcome(name).n_missed_jobs
+    # Panel (c): everyone is slower than FlowTime for ad-hoc jobs, EDF worst.
+    for name in ("CORA", "EDF", "Fair", "FIFO"):
+        assert ratios[name] > 1.0, f"{name} should trail FlowTime"
+    assert ratios["EDF"] == max(ratios[n] for n in ("CORA", "EDF", "Fair", "FIFO"))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_extended_with_morpheus(benchmark, mixed_setup):
+    """The paper's baseline list also names Morpheus (Sec. VII-A); the
+    extended run adds it (history synthesised from prior-run replays)."""
+    comparison = benchmark.pedantic(
+        run_comparison,
+        args=(mixed_setup.trace, mixed_setup.cluster, ("FlowTime", "Morpheus")),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFIG4-extended (Morpheus)")
+    print(format_comparison_table(comparison))
+    morpheus = comparison.outcome("Morpheus")
+    flowtime = comparison.outcome("FlowTime")
+    assert morpheus.result.finished
+    # Morpheus infers windows without DAG knowledge: never better than
+    # FlowTime on misses on this workload.
+    assert flowtime.n_missed_jobs <= morpheus.n_missed_jobs

@@ -1,0 +1,99 @@
+"""FIG5 — the effectiveness of deadline slack.
+
+The paper compares FlowTime against FlowTime_no_ds (no deadline slack):
+(a/b) without slack some jobs are "allocated resources at the very last
+minute" and estimation noise turns that into deadline misses — 5 of 90 jobs
+in the paper — while the 60 s slack removes them all; (c) ad-hoc turnaround
+is barely affected (522.5 s vs 531.1 s).
+
+The scenario that exposes the effect: workflows whose job windows are
+moderately tight (1.8x the minimum runtime), pure *under*-estimation noise
+(true durations up to 1.15x the estimates — "the input data or the code may
+have changed", Sec. III), and the paper-faithful planner configuration
+(``front_load=False``, no work-conserving boost) where only the slack
+stands between a last-minute allocation and a miss.  Our library's default
+configuration adds front-loading and work conservation, which absorb this
+failure mode on their own — see the EXT-1 robustness bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_comparison
+from repro.analysis.reporting import format_comparison_table
+from repro.core.critical_path import critical_path_length
+from repro.estimation.errors import ErrorModel, apply_workflow_estimation_errors
+from repro.model.cluster import ClusterCapacity
+from repro.model.job import TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.workloads.arrivals import adhoc_stream
+from repro.workloads.dag_generators import chain_workflow
+from repro.workloads.traces import SyntheticTrace
+
+#: Paper-faithful planner: no front-loading tie-break, no work-conserving
+#: boost — the configurations Fig. 5 contrasts differ only in the slack.
+PAPER_FAITHFUL = {"planner": {"front_load": False}, "work_conserving": False}
+
+
+def slack_scenario():
+    """Four staggered 4-job chains with windows 1.8x their critical path and
+    up to 15% duration under-estimation, plus a light ad-hoc stream."""
+    cluster = ClusterCapacity.uniform(cpu=128, mem=256)
+    spec = TaskSpec(
+        count=16, duration_slots=10, demand=ResourceVector({CPU: 2, MEM: 4})
+    )
+    workflows = []
+    for i in range(4):
+        start = i * 20
+        skeleton = chain_workflow(f"wf{i}", 4, start, start + 10_000, spec_of=spec)
+        cp = critical_path_length(skeleton, cluster, cluster_aware=True)
+        workflow = chain_workflow(
+            f"wf{i}", 4, start, start + int(cp * 1.8), spec_of=spec
+        )
+        workflow = apply_workflow_estimation_errors(
+            workflow, ErrorModel(low=1.0, high=1.15), seed=i
+        )
+        workflows.append(workflow)
+    adhoc = adhoc_stream(
+        25,
+        rate_per_slot=0.3,
+        horizon_slots=max(w.deadline_slot for w in workflows),
+        seed=99,
+    )
+    return cluster, SyntheticTrace(workflows=tuple(workflows), adhoc_jobs=tuple(adhoc))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_deadline_slack(benchmark):
+    cluster, trace = slack_scenario()
+    comparison = benchmark.pedantic(
+        run_comparison,
+        args=(trace, cluster, ("FlowTime", "FlowTime_no_ds")),
+        kwargs={
+            "scheduler_kwargs": {
+                "FlowTime": dict(PAPER_FAITHFUL),
+                "FlowTime_no_ds": dict(PAPER_FAITHFUL),
+            }
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFIG5 (under-estimation noise up to 1.15x, paper-faithful planner)")
+    print(format_comparison_table(comparison))
+
+    with_ds = comparison.outcome("FlowTime")
+    without = comparison.outcome("FlowTime_no_ds")
+    assert with_ds.result.finished and without.result.finished
+    # (a)/(b): the slack removes every miss; without it, last-minute
+    # allocations plus under-estimation cause several (paper: 0 vs 5).
+    assert with_ds.n_missed_jobs == 0
+    assert without.n_missed_jobs >= 3
+    assert max(with_ds.deltas_seconds.values()) <= max(
+        without.deltas_seconds.values()
+    )
+    # (c): ad-hoc turnaround is essentially unchanged by the slack
+    # (paper: 522.5 s vs 531.1 s).
+    assert with_ds.adhoc_turnaround_s == pytest.approx(
+        without.adhoc_turnaround_s, rel=0.15
+    )

@@ -1,0 +1,94 @@
+"""FIG7 — latency of the LP-based scheduler.
+
+The paper times its CPLEX solve on a cluster of 500 CPU cores / 1 TB of
+memory with 100 time slots (10 s each), sweeping the number of
+deadline-aware jobs, and reports the latency staying low enough to re-solve
+on every task/job completion.  We regenerate the sweep on the same cluster
+shape with the HiGHS backend and the executable (coupled) formulation —
+plus one paper-formulation point for reference.
+
+Shape expectation: latency grows roughly linearly with the number of jobs
+(variables = jobs x window slots) and stays well under one slot (10 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lexmin import lexmin_schedule
+from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
+from repro.model.resources import CPU, MEM, ResourceVector
+
+N_SLOTS = 100
+RES = (CPU, MEM)
+
+
+def make_entries(n_jobs: int, seed: int) -> list[ScheduleEntry]:
+    """Random jobs whose aggregate demand targets ~60% of the cluster, so
+    every sweep point is feasible (the paper's latency sweep holds the
+    cluster fixed and scales only the job count)."""
+    rng = np.random.default_rng(seed)
+    total_cpu_budget = 0.6 * 500 * N_SLOTS
+    per_job_cpu = total_cpu_budget / n_jobs
+    entries = []
+    for i in range(n_jobs):
+        release = int(rng.integers(0, 50))
+        deadline = int(rng.integers(release + 10, N_SLOTS + 1))
+        parallel = int(rng.integers(4, 16))
+        cores = int(rng.integers(1, 4))
+        target_units = max(int(per_job_cpu * rng.uniform(0.5, 1.5) / cores), 1)
+        units = min(target_units, (deadline - release) * parallel)
+        entries.append(
+            ScheduleEntry(
+                job_id=f"j{i}",
+                release=release,
+                deadline=deadline,
+                units=units,
+                unit_demand=ResourceVector(
+                    {CPU: cores, MEM: int(rng.integers(2, 8))}
+                ),
+                max_parallel=parallel,
+            )
+        )
+    return entries
+
+
+def caps_500_cores() -> np.ndarray:
+    caps = np.zeros((N_SLOTS, 2))
+    caps[:, 0] = 500  # CPU cores
+    caps[:, 1] = 1024  # GB (1 TB)
+    return caps
+
+
+def solve(entries, mode: str):
+    problem = build_schedule_problem(entries, caps_500_cores(), RES, mode=mode)
+    result = lexmin_schedule(problem, max_rounds=1)
+    assert result.is_optimal
+    return result
+
+
+@pytest.mark.parametrize("n_jobs", [10, 50, 100, 200])
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_lp_latency(benchmark, n_jobs):
+    entries = make_entries(n_jobs, seed=n_jobs)
+    result = benchmark(solve, entries, "coupled")
+    assert 0.0 < result.minimax <= 1.0
+    mean_ms = benchmark.stats["mean"] * 1000
+    print(f"\nFIG7 jobs={n_jobs} mean={mean_ms:.1f} ms")
+    # Usable for event-driven re-planning: far below one 10 s slot.
+    assert benchmark.stats["mean"] < 10.0
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_paper_formulation_reference(benchmark):
+    """One point with the paper's exact per-resource formulation (more
+    variables: jobs x slots x resources) for comparison."""
+    entries = make_entries(50, seed=50)
+    result = benchmark(solve, entries, "paper")
+    assert 0.0 < result.minimax <= 1.0
+    print(
+        f"\nFIG7 (paper formulation) jobs=50 "
+        f"mean={benchmark.stats['mean'] * 1000:.1f} ms"
+    )
+    assert benchmark.stats["mean"] < 10.0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Robustness to estimation errors (Sec. III desired feature).
+
+Deadline-aware workflows recur, so their task runtimes are *estimated* from
+prior runs — and "the input data or the code may have changed".  This
+example injects multiplicative duration errors (under- and over-estimates)
+and shows how FlowTime's event-driven re-planning absorbs them: misses stay
+at zero through ~10% underestimation and ad-hoc turnaround barely moves.
+
+Run:  python examples/estimation_robustness.py
+"""
+
+from repro import ClusterCapacity, ErrorModel, generate_trace
+from repro.analysis.experiments import run_one
+from repro.estimation.errors import apply_workflow_estimation_errors
+from repro.workloads.traces import SyntheticTrace
+
+
+def main() -> None:
+    cluster = ClusterCapacity.uniform(cpu=64, mem=128)
+    base = generate_trace(
+        n_workflows=4,
+        jobs_per_workflow=12,
+        n_adhoc=30,
+        capacity=cluster,
+        looseness=(4.0, 8.0),
+        adhoc_rate_per_slot=0.7,
+        workflow_spread_slots=50,
+        seed=15,
+    )
+
+    print(f"{'error factor':>12}  {'jobs missed':>11}  {'workflows missed':>16}  "
+          f"{'ad-hoc turnaround (s)':>21}")
+    for factor in (0.5, 0.8, 1.0, 1.1, 1.3, 1.5):
+        workflows = tuple(
+            apply_workflow_estimation_errors(
+                wf, ErrorModel(low=factor, high=factor), seed=i
+            )
+            for i, wf in enumerate(base.workflows)
+        )
+        trace = SyntheticTrace(workflows=workflows, adhoc_jobs=base.adhoc_jobs)
+        outcome = run_one("FlowTime", trace, cluster)
+        print(
+            f"{factor:>12.2f}  {outcome.n_missed_jobs:>11d}  "
+            f"{outcome.n_missed_workflows:>16d}  "
+            f"{outcome.adhoc_turnaround_s:>21.1f}"
+        )
+    print("\n(true duration = estimated duration x factor; factor > 1 means "
+          "the scheduler underestimated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1 motivating example, reproduced exactly.
+
+Workflow W1 = J1 -> J2 with a loose deadline of 200; ad-hoc jobs A1
+(arrives at 0) and A2 (arrives at 100).  EDF runs the workflow first and
+averages 150 = (200 + 100) / 2 ad-hoc turnaround; FlowTime spreads the
+workflow thinly across its window and averages 100 = (100 + 100) / 2 —
+while both meet the workflow deadline.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro import (
+    CPU,
+    MEM,
+    ClusterCapacity,
+    EdfScheduler,
+    FlowTimeScheduler,
+    Job,
+    JobKind,
+    PlannerConfig,
+    ResourceVector,
+    Simulation,
+    SimulationConfig,
+    TaskSpec,
+    Workflow,
+)
+from repro.simulator.metrics import adhoc_turnaround_seconds, missed_workflows
+
+
+def build_scenario():
+    cluster = ClusterCapacity.uniform(cpu=4, mem=8)
+    w_spec = TaskSpec(
+        count=2, duration_slots=50, demand=ResourceVector({CPU: 2, MEM: 2})
+    )
+    jobs = [Job(job_id=f"W1-J{i}", tasks=w_spec, workflow_id="W1") for i in (1, 2)]
+    workflow = Workflow.from_jobs("W1", jobs, [("W1-J1", "W1-J2")], 0, 200)
+    a_spec = TaskSpec(
+        count=2, duration_slots=100, demand=ResourceVector({CPU: 1, MEM: 1})
+    )
+    adhoc = [
+        Job(job_id="A1", tasks=a_spec, kind=JobKind.ADHOC, arrival_slot=0),
+        Job(job_id="A2", tasks=a_spec, kind=JobKind.ADHOC, arrival_slot=100),
+    ]
+    return cluster, workflow, adhoc
+
+
+def run(scheduler):
+    cluster, workflow, adhoc = build_scenario()
+    result = Simulation(
+        cluster,
+        scheduler,
+        workflows=[workflow],
+        adhoc_jobs=adhoc,
+        config=SimulationConfig(slot_seconds=1.0),
+    ).run()
+    return result
+
+
+def main() -> None:
+    print("Fig. 1 motivating example (time units = slots):\n")
+    for label, scheduler, expected in (
+        ("EDF", EdfScheduler(), 150),
+        ("FlowTime", FlowTimeScheduler(PlannerConfig(slack_slots=0)), 100),
+    ):
+        result = run(scheduler)
+        turnaround = adhoc_turnaround_seconds(result)
+        deadline_ok = "met" if not missed_workflows(result) else "MISSED"
+        print(f"{label:<9}  W1 deadline {deadline_ok}")
+        for job_id in ("A1", "A2"):
+            record = result.jobs[job_id]
+            print(
+                f"           {job_id}: arrived {record.arrival_slot:>3}, "
+                f"finished {record.completion_slot + 1:>3}, "
+                f"turnaround {record.turnaround_slots():>3}"
+            )
+        print(
+            f"           avg ad-hoc turnaround = {turnaround:.0f} "
+            f"(paper: {expected})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

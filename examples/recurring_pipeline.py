@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""A recurring pipeline across days: history accumulates, Morpheus learns.
+
+Deadline workflows recur (daily ETL); FlowTime uses the DAG so it is right
+from day one, while Morpheus infers per-job deadlines from whatever history
+exists — cold-started on day 0, learning from each executed instance.
+
+Run:  python examples/recurring_pipeline.py
+"""
+
+from repro import ClusterCapacity, RecurringWorkflow, RunHistory, Simulation, record_run
+from repro.schedulers.flowtime_sched import FlowTimeScheduler
+from repro.schedulers.morpheus import MorpheusScheduler
+from repro.simulator.metrics import missed_workflows
+from repro.workloads.dag_generators import fork_join_workflow
+
+
+def main() -> None:
+    cluster = ClusterCapacity.uniform(cpu=48, mem=96)
+    recurring = RecurringWorkflow(
+        skeleton=fork_join_workflow("etl", 4, 0, 140),
+        period_slots=160,
+        template_name="daily-etl",
+    )
+    history = RunHistory()
+
+    print("day  scheduler  deadline  earliest inferred job deadline")
+    for day in range(4):
+        instance = recurring.instance(day)
+        for label, scheduler in (
+            ("FlowTime", FlowTimeScheduler()),
+            ("Morpheus", MorpheusScheduler(history=history)),
+        ):
+            result = Simulation(cluster, scheduler, workflows=[instance]).run()
+            met = "met " if not missed_workflows(result) else "MISS"
+            if label == "Morpheus":
+                earliest = min(
+                    w.deadline_slot for w in scheduler.windows.values()
+                ) - instance.start_slot
+                print(f"{day:>3}  {label:<9} {met:>8}  {earliest:>4} slots "
+                      f"({'cold start' if day == 0 else 'learned from history'})")
+                record_run(history, recurring, day, result)
+            else:
+                print(f"{day:>3}  {label:<9} {met:>8}     - (DAG-based)")
+    print("\nMorpheus's inferred windows tighten after the first observed run;")
+    print("FlowTime never needed the history — it decomposes the DAG directly.")
+
+
+if __name__ == "__main__":
+    main()

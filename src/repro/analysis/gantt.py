@@ -1,0 +1,99 @@
+"""ASCII Gantt charts and utilisation skylines.
+
+Purely textual (the library has no plotting dependency): render what a
+schedule *did* — which jobs executed when, and how full the cluster was —
+the way the paper's Fig. 1 panels sketch it.  Requires a simulation run
+with ``SimulationConfig(record_execution=True)`` for the per-job chart; the
+skyline only needs the usage matrix every run records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.cluster import ClusterCapacity
+from repro.simulator.metrics import utilization_timeline
+from repro.simulator.result import SimulationResult
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _bucketize(values: np.ndarray, width: int) -> np.ndarray:
+    """Compress a per-slot series to *width* buckets by taking means."""
+    n = len(values)
+    if n == 0:
+        return np.zeros(width)
+    edges = np.linspace(0, n, width + 1).astype(int)
+    out = np.zeros(width)
+    for b in range(width):
+        lo, hi = edges[b], max(edges[b + 1], edges[b] + 1)
+        out[b] = float(np.mean(values[lo:hi])) if lo < n else 0.0
+    return out
+
+
+def render_utilization(
+    result: SimulationResult, cluster: ClusterCapacity, *, width: int = 72
+) -> str:
+    """One-line sparkline of max-over-resources cluster utilisation."""
+    timeline = utilization_timeline(result, cluster)
+    buckets = np.clip(_bucketize(timeline, min(width, max(result.n_slots, 1))), 0, 1)
+    chars = "".join(_BLOCKS[int(round(v * (len(_BLOCKS) - 1)))] for v in buckets)
+    return f"util |{chars}| 0..{result.n_slots} slots (peak {timeline.max():.0%})"
+
+
+def render_gantt(
+    result: SimulationResult,
+    *,
+    width: int = 72,
+    jobs: list[str] | None = None,
+    max_rows: int = 40,
+) -> str:
+    """Per-job execution chart.
+
+    One row per job: ``.`` = submitted but idle, ``#`` = executing in (part
+    of) the bucket, blank = not yet submitted / already done.  Rows are
+    ordered by first execution.  Raises ValueError when the run did not
+    record execution.
+    """
+    if not result.execution:
+        raise ValueError(
+            "no execution record: run with SimulationConfig(record_execution=True)"
+        )
+    n_slots = result.n_slots
+    width = min(width, max(n_slots, 1))
+    selected = jobs if jobs is not None else list(result.jobs)
+
+    # Per-job executed-units series.
+    series: dict[str, np.ndarray] = {
+        job_id: np.zeros(n_slots) for job_id in selected
+    }
+    for slot, executed in enumerate(result.execution):
+        for job_id, units in executed.items():
+            if job_id in series:
+                series[job_id][slot] = units
+
+    def first_active(job_id: str) -> int:
+        nz = np.flatnonzero(series[job_id])
+        return int(nz[0]) if nz.size else n_slots
+
+    ordered = sorted(selected, key=lambda j: (first_active(j), j))[:max_rows]
+    label_width = max((len(j) for j in ordered), default=4)
+    lines = []
+    for job_id in ordered:
+        record = result.jobs[job_id]
+        active = _bucketize(series[job_id], width) > 0
+        row = []
+        edges = np.linspace(0, n_slots, width + 1).astype(int)
+        for b in range(width):
+            slot = edges[b]
+            if active[b]:
+                row.append("#")
+            elif record.arrival_slot <= slot and (
+                record.completion_slot is None or slot <= record.completion_slot
+            ):
+                row.append(".")
+            else:
+                row.append(" ")
+        lines.append(f"{job_id:<{label_width}} |{''.join(row)}|")
+    header = f"{'job':<{label_width}} |{'time -> (' + str(n_slots) + ' slots)':<{width}}|"
+    return "\n".join([header] + lines)

@@ -1,0 +1,92 @@
+"""Paper-style textual reports.
+
+The benchmarks print the same rows/series the paper's figures report; these
+helpers keep the formatting consistent and dependency-free (no plotting —
+the artefacts are tables, which is also what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import ComparisonResult
+
+
+def format_comparison_table(
+    comparison: ComparisonResult, *, planning: bool = False
+) -> str:
+    """The Fig. 4 triple as one table: delta stats, misses, turnaround.
+
+    With ``planning=True`` a scheduling-latency column is appended (mean
+    wall-clock milliseconds the scheduler spent per engine call — the
+    quantity Fig. 7 studies for the LP).
+    """
+    header = (
+        f"{'algorithm':<16}{'jobs missed':>12}{'wf missed':>11}"
+        f"{'max Δ (s)':>12}{'mean Δ (s)':>12}{'ad-hoc turnaround (s)':>24}"
+    )
+    if planning:
+        header += f"{'plan (ms/call)':>16}"
+    lines = [header, "-" * len(header)]
+    for outcome in comparison.outcomes:
+        deltas = list(outcome.deltas_seconds.values())
+        max_delta = max(deltas) if deltas else 0.0
+        mean_delta = float(np.mean(deltas)) if deltas else 0.0
+        row = (
+            f"{outcome.name:<16}{outcome.n_missed_jobs:>12d}"
+            f"{outcome.n_missed_workflows:>11d}"
+            f"{max_delta:>12.1f}{mean_delta:>12.1f}"
+            f"{outcome.adhoc_turnaround_s:>24.1f}"
+        )
+        if planning:
+            result = outcome.result
+            per_call = (
+                result.planning_seconds / result.planning_calls * 1000.0
+                if result.planning_calls
+                else 0.0
+            )
+            row += f"{per_call:>16.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    fmt: str = "{:.3f}",
+) -> str:
+    """A figure as a table: one x column, one column per series."""
+    names = list(series)
+    widths = [max(len(x_label), 10)] + [max(len(n), 12) for n in names]
+    lines = [title]
+    header = f"{x_label:>{widths[0]}}" + "".join(
+        f"{name:>{width}}" for name, width in zip(names, widths[1:])
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{x:>{widths[0]}.6g}"
+        for name, width in zip(names, widths[1:]):
+            row += f"{fmt.format(series[name][i]):>{width}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def turnaround_ratios(comparison: ComparisonResult, baseline: str = "FlowTime") -> dict[str, float]:
+    """Each algorithm's ad-hoc turnaround as a multiple of *baseline*'s.
+
+    The paper reports these as "2-10 times shorter average job turnaround
+    time" (1/2 of CORA, 1/3 of FIFO, 1/10 of EDF, Fair 1.36x).
+    """
+    base = comparison.outcome(baseline).adhoc_turnaround_s
+    if base <= 0:
+        raise ValueError(f"baseline {baseline!r} has non-positive turnaround")
+    return {
+        outcome.name: outcome.adhoc_turnaround_s / base
+        for outcome in comparison.outcomes
+    }

@@ -1,0 +1,112 @@
+"""Multi-seed replication of experiments.
+
+A single seed shows a shape; replication shows it is not a seed artefact.
+:func:`replicate` runs the same comparison over several seeds and reports
+mean / standard deviation / extrema per (algorithm, metric) — the numbers a
+careful evaluation section would print next to every bar.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.experiments import run_comparison
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import SyntheticTrace
+
+#: Builds the (trace, cluster) for one seed.
+SeedFactory = Callable[[int], tuple[SyntheticTrace, ClusterCapacity]]
+
+METRICS = ("jobs_missed", "workflows_missed", "adhoc_turnaround_s")
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric for one algorithm across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError("cannot summarise an empty sample")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return MetricSummary(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            n=n,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.std:.1f} [{self.minimum:.1f}, {self.maximum:.1f}]"
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Per-algorithm metric summaries across the replicated seeds."""
+
+    seeds: tuple[int, ...]
+    algorithms: tuple[str, ...]
+    summaries: Mapping[str, Mapping[str, MetricSummary]]
+
+    def summary(self, algorithm: str, metric: str) -> MetricSummary:
+        return self.summaries[algorithm][metric]
+
+    def format_table(self, metric: str) -> str:
+        header = f"{'algorithm':<16}{metric + ' (mean ± std [min, max])':>42}"
+        lines = [header, "-" * len(header)]
+        for name in self.algorithms:
+            lines.append(f"{name:<16}{str(self.summaries[name][metric]):>42}")
+        return "\n".join(lines)
+
+
+def replicate(
+    factory: SeedFactory,
+    seeds: Sequence[int],
+    algorithms: Sequence[str],
+    **comparison_kwargs,
+) -> ReplicationResult:
+    """Run the comparison once per seed and summarise each metric.
+
+    Args:
+        factory: maps a seed to a fresh (trace, cluster) pair.
+        seeds: the replication seeds (>= 1).
+        algorithms: scheduler names compared at every seed.
+        comparison_kwargs: forwarded to
+            :func:`repro.analysis.experiments.run_comparison`.
+    """
+    if not seeds:
+        raise ValueError("replication needs at least one seed")
+    per_algorithm: dict[str, dict[str, list[float]]] = {
+        name: {metric: [] for metric in METRICS} for name in algorithms
+    }
+    for seed in seeds:
+        trace, cluster = factory(seed)
+        comparison = run_comparison(trace, cluster, algorithms, **comparison_kwargs)
+        for outcome in comparison.outcomes:
+            values = per_algorithm[outcome.name]
+            values["jobs_missed"].append(float(outcome.n_missed_jobs))
+            values["workflows_missed"].append(float(outcome.n_missed_workflows))
+            values["adhoc_turnaround_s"].append(outcome.adhoc_turnaround_s)
+    summaries = {
+        name: {
+            metric: MetricSummary.of(values)
+            for metric, values in metrics.items()
+        }
+        for name, metrics in per_algorithm.items()
+    }
+    return ReplicationResult(
+        seeds=tuple(seeds),
+        algorithms=tuple(algorithms),
+        summaries=summaries,
+    )

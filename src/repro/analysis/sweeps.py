@@ -1,0 +1,80 @@
+"""Parameter sweeps over the comparison harness.
+
+The evaluation-style questions ("how does the miss rate move with deadline
+looseness / ad-hoc load / cluster size?") are all one-dimensional sweeps of
+:func:`repro.analysis.experiments.run_comparison` over regenerated traces.
+:func:`sweep` runs them with a consistent result shape that the reporting
+helpers can print directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.experiments import ComparisonResult, run_comparison
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import SyntheticTrace
+
+#: Builds (trace, cluster) for one sweep point.
+PointFactory = Callable[[float], tuple[SyntheticTrace, ClusterCapacity]]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One metric series per algorithm over the swept parameter."""
+
+    parameter: str
+    xs: tuple[float, ...]
+    comparisons: tuple[ComparisonResult, ...]
+
+    def series(self, metric: str) -> Mapping[str, list[float]]:
+        """Extract ``algorithm -> [value per x]`` for a metric.
+
+        Metrics: "jobs_missed", "workflows_missed", "adhoc_turnaround_s".
+        """
+        extractors = {
+            "jobs_missed": lambda o: float(o.n_missed_jobs),
+            "workflows_missed": lambda o: float(o.n_missed_workflows),
+            "adhoc_turnaround_s": lambda o: o.adhoc_turnaround_s,
+        }
+        try:
+            extract = extractors[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; available: {sorted(extractors)}"
+            ) from None
+        names = self.comparisons[0].names if self.comparisons else ()
+        return {
+            name: [extract(cmp.outcome(name)) for cmp in self.comparisons]
+            for name in names
+        }
+
+
+def sweep(
+    parameter: str,
+    xs: Sequence[float],
+    factory: PointFactory,
+    algorithms: Sequence[str],
+    **comparison_kwargs,
+) -> SweepResult:
+    """Run the comparison at every point of a one-dimensional sweep.
+
+    Args:
+        parameter: name of the swept quantity (for reports).
+        xs: the sweep points.
+        factory: maps a sweep point to a fresh (trace, cluster) pair.
+        algorithms: scheduler names to compare at every point.
+        comparison_kwargs: forwarded to :func:`run_comparison`.
+    """
+    if not xs:
+        raise ValueError("sweep needs at least one point")
+    comparisons = []
+    for x in xs:
+        trace, cluster = factory(x)
+        comparisons.append(
+            run_comparison(trace, cluster, algorithms, **comparison_kwargs)
+        )
+    return SweepResult(
+        parameter=parameter, xs=tuple(xs), comparisons=tuple(comparisons)
+    )

@@ -1,0 +1,57 @@
+"""ASCII rendering of decomposed deadline windows.
+
+Shows what Stage 1 actually decided: one bar per job spanning its
+``[release, deadline)`` window inside the workflow's own window — the
+visual counterpart of the paper's Fig. 2/Fig. 3 discussion.  Used by the
+CLI's ``decompose --chart``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.decomposition_types import JobWindow
+from repro.model.workflow import Workflow
+
+
+def render_windows(
+    workflow: Workflow,
+    windows: Mapping[str, JobWindow],
+    *,
+    width: int = 60,
+) -> str:
+    """One row per job: ``=`` spans the job's window, ``|`` marks the
+    workflow deadline column.  Jobs are ordered by (release, deadline)."""
+    span = max(workflow.deadline_slot, max(w.deadline_slot for w in windows.values()))
+    span = max(span - workflow.start_slot, 1)
+    width = min(width, max(span, 8))
+
+    def column(slot: int) -> int:
+        rel = (slot - workflow.start_slot) / span
+        return min(int(rel * width), width - 1)
+
+    ordered = sorted(
+        (windows[job_id] for job_id in workflow.job_ids),
+        key=lambda w: (w.release_slot, w.deadline_slot, w.job_id),
+    )
+    label_width = max(len(w.job_id) for w in ordered)
+    deadline_col = column(workflow.deadline_slot - 1)
+
+    header = (
+        f"{'job':<{label_width}}  "
+        f"[slots {workflow.start_slot}..{workflow.deadline_slot})"
+    )
+    lines = [header]
+    for window in ordered:
+        start = column(window.release_slot)
+        end = max(column(window.deadline_slot - 1), start)
+        row = [" "] * width
+        for k in range(start, end + 1):
+            row[k] = "="
+        if deadline_col < width:
+            row[deadline_col] = "|" if row[deadline_col] == " " else "#"
+        lines.append(
+            f"{window.job_id:<{label_width}}  {''.join(row)} "
+            f"[{window.release_slot},{window.deadline_slot})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflow end to end::
+
+    python -m repro generate-trace --out trace.json --seed 15
+    python -m repro decompose --trace trace.json --workflow wf0
+    python -m repro run --trace trace.json --scheduler FlowTime --gantt
+    python -m repro compare --trace trace.json
+
+Cluster size is given with ``--cpu/--mem`` (every command defaults to the
+64-core / 128-GB mixed-cluster setup the examples use).  Traces are the
+replayable JSON files of :mod:`repro.workloads.traces`, so a comparison run
+on another machine sees byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import run_comparison, run_one
+from repro.analysis.gantt import render_gantt, render_utilization
+from repro.analysis.reporting import format_comparison_table, turnaround_ratios
+from repro.core.decomposition import decompose_deadline
+from repro.model.cluster import ClusterCapacity
+from repro.schedulers.registry import SCHEDULER_NAMES
+from repro.simulator.engine import SimulationConfig
+from repro.workloads.traces import generate_trace, load_trace, save_trace
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cpu", type=int, default=64, help="cluster CPU cores")
+    parser.add_argument("--mem", type=int, default=128, help="cluster memory (GB)")
+
+
+def _cluster(args: argparse.Namespace) -> ClusterCapacity:
+    return ClusterCapacity.uniform(cpu=args.cpu, mem=args.mem)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlowTime (ICDCS 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate-trace", help="generate a replayable workload trace (JSON)"
+    )
+    gen.add_argument("--out", required=True, help="output JSON path")
+    gen.add_argument("--workflows", type=int, default=4)
+    gen.add_argument("--jobs", type=int, default=12, help="jobs per workflow")
+    gen.add_argument("--adhoc", type=int, default=30, help="number of ad-hoc jobs")
+    gen.add_argument(
+        "--looseness",
+        type=float,
+        nargs=2,
+        default=(4.0, 8.0),
+        metavar=("MIN", "MAX"),
+        help="deadline as a multiple of the critical path",
+    )
+    gen.add_argument("--rate", type=float, default=0.7, help="ad-hoc arrivals/slot")
+    gen.add_argument("--spread", type=int, default=50, help="workflow start spread")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--scientific",
+        action="store_true",
+        help="use Bharathi scientific shapes instead of layered random DAGs",
+    )
+    _add_cluster_args(gen)
+
+    dec = sub.add_parser(
+        "decompose", help="show the decomposed per-job deadline windows"
+    )
+    dec.add_argument("--trace", required=True)
+    dec.add_argument("--workflow", help="workflow id (default: all)")
+    dec.add_argument(
+        "--chart", action="store_true", help="render windows as ASCII bars"
+    )
+    _add_cluster_args(dec)
+
+    run = sub.add_parser("run", help="simulate one scheduler over a trace")
+    run.add_argument("--trace", required=True)
+    run.add_argument(
+        "--scheduler", default="FlowTime", choices=sorted(SCHEDULER_NAMES)
+    )
+    run.add_argument("--slot-seconds", type=float, default=10.0)
+    run.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    _add_cluster_args(run)
+
+    report = sub.add_parser(
+        "report", help="regenerate the core paper figures as one Markdown file"
+    )
+    report.add_argument("--out", help="write to this path (default: stdout)")
+    report.add_argument("--scale", choices=["quick", "full"], default="quick")
+    report.add_argument("--seed", type=int, default=15)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="run several schedulers over the same trace"
+    )
+    cmp_parser.add_argument("--trace", required=True)
+    cmp_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["FlowTime", "CORA", "EDF", "Fair", "FIFO"],
+        choices=sorted(SCHEDULER_NAMES),
+    )
+    _add_cluster_args(cmp_parser)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    trace = generate_trace(
+        n_workflows=args.workflows,
+        jobs_per_workflow=args.jobs,
+        n_adhoc=args.adhoc,
+        capacity=cluster,
+        looseness=tuple(args.looseness),
+        adhoc_rate_per_slot=args.rate,
+        workflow_spread_slots=args.spread,
+        scientific=args.scientific,
+        seed=args.seed,
+    )
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {trace.n_deadline_jobs} deadline jobs in "
+        f"{len(trace.workflows)} workflows + {len(trace.adhoc_jobs)} ad-hoc jobs"
+    )
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    trace = load_trace(args.trace)
+    workflows = [
+        wf
+        for wf in trace.workflows
+        if args.workflow is None or wf.workflow_id == args.workflow
+    ]
+    if not workflows:
+        print(f"error: no workflow {args.workflow!r} in {args.trace}", file=sys.stderr)
+        return 2
+    for workflow in workflows:
+        result = decompose_deadline(workflow, cluster)
+        method = "critical-path fallback" if result.used_fallback else "resource-demand"
+        print(
+            f"{workflow.workflow_id}: window [{workflow.start_slot}, "
+            f"{workflow.deadline_slot}), {method}, "
+            f"{len(result.node_sets)} levels"
+        )
+        if args.chart:
+            from repro.analysis.windows_chart import render_windows
+
+            print(render_windows(workflow, result.windows))
+        else:
+            for job_id in sorted(result.windows):
+                window = result.windows[job_id]
+                print(
+                    f"  {job_id:<24} [{window.release_slot:>5}, "
+                    f"{window.deadline_slot:>5})"
+                )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    trace = load_trace(args.trace)
+    outcome = run_one(
+        args.scheduler,
+        trace,
+        cluster,
+        config=SimulationConfig(
+            slot_seconds=args.slot_seconds, record_execution=args.gantt
+        ),
+    )
+    result = outcome.result
+    print(f"scheduler:            {args.scheduler}")
+    print(f"finished:             {result.finished} ({result.n_slots} slots)")
+    print(f"jobs missed:          {outcome.n_missed_jobs}")
+    print(f"workflows missed:     {outcome.n_missed_workflows}")
+    print(f"ad-hoc turnaround:    {outcome.adhoc_turnaround_s:.1f} s")
+    print(render_utilization(result, cluster))
+    if args.gantt:
+        print()
+        print(render_gantt(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cluster = _cluster(args)
+    trace = load_trace(args.trace)
+    comparison = run_comparison(trace, cluster, args.algorithms)
+    print(format_comparison_table(comparison))
+    if "FlowTime" in comparison.names:
+        print("\nad-hoc turnaround relative to FlowTime:")
+        for name, ratio in turnaround_ratios(comparison).items():
+            print(f"  {name:<14} {ratio:5.2f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale, seed=args.seed)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "generate-trace": _cmd_generate,
+    "decompose": _cmd_decompose,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError, KeyError) as error:
+        # Bad paths, malformed trace files, workload validation failures:
+        # report cleanly instead of tracebacking at the user.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""FlowTime's core algorithms.
+
+Stage 1 (Sec. IV): decompose each workflow deadline into per-job windows —
+:mod:`repro.core.toposort` (grouped Kahn), :mod:`repro.core.decomposition`
+(resource-demand-based split), :mod:`repro.core.critical_path` (the classic
+fallback used when the window is tighter than the sum of minimum runtimes).
+
+Stage 2 (Sec. V): schedule deadline jobs by lexicographically minimising the
+normalised per-slot resource usage — :mod:`repro.core.lp_formulation` builds
+the LP, :mod:`repro.core.lexmin` runs the iterative minimax,
+:mod:`repro.core.allocation` re-quantises to integers, and
+:mod:`repro.core.flowtime` packages it all as a re-plannable planner.
+"""
+
+from repro.core.admission import AdmissionDecision, check_admission
+from repro.core.allocation import AllocationPlan, IntegralizationError
+from repro.core.critical_path import critical_path_length, critical_path_windows
+from repro.core.decomposition import (
+    DecompositionResult,
+    JobWindow,
+    decompose_deadline,
+)
+from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
+from repro.core.lexmin import LexminResult, lexmin_schedule
+from repro.core.lp_formulation import ScheduleProblem, build_schedule_problem
+from repro.core.scalarization import g_scalarization, lex_leq, scalarized_schedule
+from repro.core.toposort import grouped_topological_sets
+
+__all__ = [
+    "AdmissionDecision",
+    "AllocationPlan",
+    "DecompositionResult",
+    "FlowTimePlanner",
+    "IntegralizationError",
+    "JobDemand",
+    "JobWindow",
+    "LexminResult",
+    "PlannerConfig",
+    "ScheduleProblem",
+    "build_schedule_problem",
+    "check_admission",
+    "critical_path_length",
+    "critical_path_windows",
+    "decompose_deadline",
+    "g_scalarization",
+    "grouped_topological_sets",
+    "lex_leq",
+    "lexmin_schedule",
+    "scalarized_schedule",
+]

@@ -1,0 +1,97 @@
+"""Critical-path deadline decomposition (the fallback of Sec. IV-B).
+
+This is the classic scheme of Yu et al. [7] that FlowTime compares against in
+Fig. 3 and falls back to "in some cases [when] the remaining time is
+negative": each job's deadline is placed proportionally to the cumulative
+minimum runtime along the longest path that ends at the job, scaled so the
+whole critical path fits the workflow window.  It ignores resource demands —
+that is exactly the weakness the resource-demand-based decomposition fixes.
+"""
+
+from __future__ import annotations
+
+from repro.core.decomposition_types import JobWindow
+from repro.model.cluster import ClusterCapacity
+from repro.model.workflow import Workflow
+
+
+def _min_runtimes(
+    workflow: Workflow, capacity: ClusterCapacity | None, cluster_aware: bool
+) -> dict[str, int]:
+    cap = capacity.base if (cluster_aware and capacity is not None) else None
+    return {
+        job.job_id: job.min_runtime_slots(cap) for job in workflow.jobs
+    }
+
+
+def critical_path_length(
+    workflow: Workflow,
+    capacity: ClusterCapacity | None = None,
+    cluster_aware: bool = False,
+) -> int:
+    """Length (in slots) of the workflow's critical path of minimum runtimes."""
+    runtime = _min_runtimes(workflow, capacity, cluster_aware)
+    finish = _earliest_finish(workflow, runtime)
+    return max(finish.values())
+
+
+def _earliest_finish(workflow: Workflow, runtime: dict[str, int]) -> dict[str, int]:
+    """Longest-path-to-and-including each job, in topological order."""
+    finish: dict[str, int] = {}
+    pending = {job_id: len(workflow.parents_of(job_id)) for job_id in workflow.job_ids}
+    frontier = [job_id for job_id, deg in pending.items() if deg == 0]
+    while frontier:
+        job_id = frontier.pop()
+        start = max(
+            (finish[parent] for parent in workflow.parents_of(job_id)), default=0
+        )
+        finish[job_id] = start + runtime[job_id]
+        for child in workflow.dependents_of(job_id):
+            pending[child] -= 1
+            if pending[child] == 0:
+                frontier.append(child)
+    return finish
+
+
+def critical_path_windows(
+    workflow: Workflow,
+    capacity: ClusterCapacity | None = None,
+    cluster_aware: bool = False,
+) -> dict[str, JobWindow]:
+    """Per-job (release, deadline) windows by critical-path proportions.
+
+    The workflow window ``[ws, wd)`` is stretched (or squeezed, when the
+    window is tighter than the critical path) so that a job finishing at
+    longest-path position ``f`` gets deadline ``ws + window * f / CP``.  A
+    job's release is the latest deadline among its parents, so precedence is
+    respected by construction.  Windows are clamped to at least one slot;
+    when the workflow is infeasible (window < number of levels) deadlines
+    may exceed ``wd`` — callers treat those jobs as best-effort.
+    """
+    runtime = _min_runtimes(workflow, capacity, cluster_aware)
+    finish = _earliest_finish(workflow, runtime)
+    cp = max(finish.values())
+    window = workflow.window_slots
+    scale = window / cp if cp > 0 else 1.0
+
+    windows: dict[str, JobWindow] = {}
+    # Process in topological order so parents are done first.
+    pending = {job_id: len(workflow.parents_of(job_id)) for job_id in workflow.job_ids}
+    frontier = sorted(job_id for job_id, deg in pending.items() if deg == 0)
+    while frontier:
+        job_id = frontier.pop(0)
+        release = max(
+            (windows[parent].deadline_slot for parent in workflow.parents_of(job_id)),
+            default=workflow.start_slot,
+        )
+        deadline = workflow.start_slot + round(finish[job_id] * scale)
+        deadline = max(deadline, release + 1)
+        windows[job_id] = JobWindow(
+            job_id=job_id, release_slot=release, deadline_slot=deadline
+        )
+        for child in workflow.dependents_of(job_id):
+            pending[child] -= 1
+            if pending[child] == 0:
+                frontier.append(child)
+        frontier.sort()
+    return windows

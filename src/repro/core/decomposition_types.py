@@ -1,0 +1,29 @@
+"""Shared dataclasses for deadline decomposition (avoids import cycles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobWindow:
+    """The scheduling window a decomposition assigns to one job.
+
+    The job may receive resources in slots ``release_slot <= t <
+    deadline_slot`` and should be finished before ``deadline_slot``.
+    """
+
+    job_id: str
+    release_slot: int
+    deadline_slot: int
+
+    def __post_init__(self) -> None:
+        if self.deadline_slot <= self.release_slot:
+            raise ValueError(
+                f"window for {self.job_id} is empty: "
+                f"[{self.release_slot}, {self.deadline_slot})"
+            )
+
+    @property
+    def length_slots(self) -> int:
+        return self.deadline_slot - self.release_slot

@@ -1,0 +1,363 @@
+"""The FlowTime planner: decomposed windows in, executable plan out.
+
+This is the paper's Sec. V/VI engine.  Every time the job mix changes (a job
+arrives, becomes ready, or completes) the scheduler calls :meth:`plan` with
+the *remaining* demands of all live deadline-aware jobs.  The planner:
+
+1. applies the **deadline slack** (Sec. VII-2): demands are required
+   ``slack_slots`` before the decomposed deadline whenever the tightened
+   window can still hold the job;
+2. repairs per-job infeasibility (overdue jobs, windows too small for the
+   remaining work) by extending windows just enough — the dynamic-replanning
+   answer to estimation errors;
+3. solves the lexicographic minimax LP (Sec. V-B) to get the flattest
+   possible deadline-work skyline, so ad-hoc jobs get the most leftover
+   capacity as early as possible;
+4. re-quantises to an integral plan; if the LP is infeasible even after
+   relaxing all windows (the cluster is over-committed) it degrades to EDF
+   water-filling rather than failing.
+
+The planner is pure: no simulator state, no clocks — it maps (now, demands,
+capacity) to an :class:`~repro.core.allocation.AllocationPlan`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.allocation import (
+    AllocationPlan,
+    IntegralizationError,
+    greedy_fill,
+    quantize_coupled,
+)
+from repro.core.lexmin import lexmin_schedule
+from repro.core.lp_formulation import Mode, ScheduleEntry, build_schedule_problem
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Tunables of the FlowTime planner.
+
+    Attributes:
+        slack_slots: deadline slack in slots (the paper's default is 60 s =
+            6 slots of 10 s).  0 disables slack (the Fig. 5 ablation).
+        formulation: "coupled" (default; task-slot variables, executable) or
+            "paper" (per-resource variables, Lemma-2-faithful).
+        per_slot_caps: bound per-slot grants by the job's parallelism.
+        backend: LP backend ("highs" or "simplex").
+        max_lexmin_rounds: minimax refinement rounds (None = exact lexmin;
+            small values keep re-planning fast with near-identical plans).
+        horizon_slots: hard cap on the planning horizon (None = plan until
+            the latest adjusted deadline).
+        front_load: tie-break balanced optima toward earlier slots (see
+            :func:`repro.core.lexmin.lexmin_schedule`); False is the
+            paper-faithful behaviour where only the deadline slack guards
+            against last-minute allocations.
+    """
+
+    slack_slots: int = 6
+    formulation: Mode = "coupled"
+    per_slot_caps: bool = True
+    backend: str = "highs"
+    max_lexmin_rounds: int | None = 4
+    horizon_slots: int | None = None
+    front_load: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slack_slots < 0:
+            raise ValueError("slack_slots must be >= 0")
+        if self.horizon_slots is not None and self.horizon_slots < 1:
+            raise ValueError("horizon_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """Remaining demand of one live deadline-aware job (absolute slots)."""
+
+    job_id: str
+    release_slot: int
+    deadline_slot: int
+    units: int
+    unit_demand: ResourceVector
+    max_parallel: int
+
+    def min_slots_needed(self) -> int:
+        return math.ceil(self.units / self.max_parallel)
+
+
+class FlowTimePlanner:
+    """Stateless planner mapping live demands to an allocation plan."""
+
+    def __init__(self, config: PlannerConfig | None = None):
+        self.config = config or PlannerConfig()
+
+    # -- window preparation ---------------------------------------------------
+
+    def _entry_for(
+        self, demand: JobDemand, now: int, *, slack: int
+    ) -> ScheduleEntry:
+        """Relative-slot entry with slack applied and feasibility repaired."""
+        release = max(demand.release_slot - now, 0)
+        deadline = demand.deadline_slot - now
+        need = demand.min_slots_needed()
+
+        if slack and deadline - slack - release >= need:
+            deadline -= slack
+        # Overdue or too-tight windows are extended just enough: the paper's
+        # robustness story is that re-planning absorbs estimation drift
+        # instead of dropping jobs.
+        deadline = max(deadline, release + need, release + 1)
+        return ScheduleEntry(
+            job_id=demand.job_id,
+            release=release,
+            deadline=deadline,
+            units=demand.units,
+            unit_demand=demand.unit_demand,
+            max_parallel=demand.max_parallel,
+        )
+
+    def _caps_array(
+        self, capacity: ClusterCapacity, now: int, horizon: int
+    ) -> np.ndarray:
+        resources = capacity.resources
+        caps = np.zeros((horizon, len(resources)))
+        for k in range(horizon):
+            cap_vec = capacity.at(now + k)
+            for r, name in enumerate(resources):
+                caps[k, r] = cap_vec[name]
+        return caps
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(
+        self,
+        now_slot: int,
+        demands: list[JobDemand],
+        capacity: ClusterCapacity,
+    ) -> AllocationPlan:
+        """Compute an integral allocation plan for the live deadline jobs.
+
+        Returns an :class:`AllocationPlan` anchored at ``now_slot``.  When
+        there are no demands the plan is empty (everything goes to ad-hoc
+        jobs).  ``plan.degraded`` is True when the LP was infeasible even
+        with relaxed windows and EDF water-filling was used.
+        """
+        resources = capacity.resources
+        if not demands:
+            return AllocationPlan.empty(now_slot, 1, resources)
+
+        def clamp(entries: list[ScheduleEntry], horizon: int) -> list[ScheduleEntry]:
+            return [
+                replace(
+                    e,
+                    release=min(e.release, horizon - 1),
+                    deadline=min(max(e.deadline, e.release + 1), horizon),
+                )
+                for e in entries
+            ]
+
+        slacked = [
+            self._entry_for(d, now_slot, slack=self.config.slack_slots)
+            for d in demands
+        ]
+        plain = [self._entry_for(d, now_slot, slack=0) for d in demands]
+        horizon = max(entry.deadline for entry in plain)
+        if self.config.horizon_slots is not None:
+            horizon = min(horizon, self.config.horizon_slots)
+        # An incremental relaxation ladder: drop the slack first, then — if
+        # the cluster is jointly over-committed — extend *only* the windows
+        # that a max-placement LP proves cannot hold their work (optimal
+        # triage: feasible jobs keep their urgency, like EDF sacrificing the
+        # least-urgent work, but chosen by an LP), and finally stretch
+        # everything.  A relax-everything jump would schedule like there
+        # were no deadlines at all.
+        stretched = int(horizon * 3 / 2) + 1
+        ladder: list[tuple[list[ScheduleEntry], int]] = []
+        if self.config.slack_slots:
+            ladder.append((clamp(slacked, horizon), horizon))
+        ladder.append((clamp(plain, horizon), horizon))
+        relaxed, relaxed_horizon = self._shortfall_relax(
+            clamp(plain, horizon), now_slot, capacity, horizon
+        )
+        ladder.append((relaxed, relaxed_horizon))
+        relaxed2, relaxed2_horizon = self._shortfall_relax(
+            relaxed, now_slot, capacity, relaxed_horizon
+        )
+        ladder.append((relaxed2, relaxed2_horizon))
+        ladder.append(
+            ([replace(e, deadline=stretched) for e in clamp(plain, stretched)], stretched)
+        )
+
+        for attempt_entries, attempt_horizon in ladder:
+            caps = self._caps_array(capacity, now_slot, attempt_horizon)
+            problem = build_schedule_problem(
+                attempt_entries,
+                caps,
+                resources,
+                mode=self.config.formulation,
+                per_slot_caps=self.config.per_slot_caps,
+            )
+            result = lexmin_schedule(
+                problem,
+                backend=self.config.backend,
+                max_rounds=self.config.max_lexmin_rounds,
+                front_load=self.config.front_load,
+            )
+            if result.is_optimal:
+                grants = self._quantize(problem, result.x)
+                if grants is not None:
+                    return AllocationPlan(
+                        origin_slot=now_slot,
+                        horizon=attempt_horizon,
+                        resources=resources,
+                        grants=grants,
+                        unit_demands={
+                            e.job_id: e.unit_demand for e in attempt_entries
+                        },
+                        degraded=False,
+                        minimax=result.minimax,
+                    )
+
+        # The cluster is over-committed beyond what window relaxation can
+        # absorb: EDF water-filling over the *original* windows keeps the
+        # most urgent work first and always makes progress.
+        caps = self._caps_array(capacity, now_slot, stretched)
+        grants = greedy_fill(clamp(plain, stretched), caps, resources)
+        return AllocationPlan(
+            origin_slot=now_slot,
+            horizon=stretched,
+            resources=resources,
+            grants=grants,
+            unit_demands={e.job_id: e.unit_demand for e in plain},
+            degraded=True,
+        )
+
+    def _shortfall_relax(
+        self,
+        entries: list[ScheduleEntry],
+        now_slot: int,
+        capacity: ClusterCapacity,
+        horizon: int,
+    ) -> tuple[list[ScheduleEntry], int]:
+        """Extend only the windows that provably cannot hold their work.
+
+        Solves a *max-placement* LP (demands relaxed to ``<=``, maximise the
+        total placed) under the current windows and caps; each job's
+        shortfall is the work the optimum could not place.  Jobs with a
+        shortfall get their deadline pushed out just far enough to absorb it
+        at full parallelism; everyone else keeps their window.  Returns the
+        relaxed entries and the (possibly grown) horizon.
+        """
+        from repro.lp.problem import LinearProgram
+        from repro.lp.solver import solve_lp
+
+        caps = self._caps_array(capacity, now_slot, horizon)
+        problem = build_schedule_problem(
+            entries,
+            caps,
+            capacity.resources,
+            mode="coupled",
+            per_slot_caps=True,
+        )
+        cap_rows = np.array(
+            [problem.cap_of_cell(k) for k in range(len(problem.util_cells))]
+        )
+        from scipy import sparse
+
+        lp = LinearProgram(
+            c=-np.ones(problem.n_vars),
+            a_ub=sparse.vstack([problem.a_util, problem.a_eq]).tocsr(),
+            b_ub=np.concatenate([cap_rows, problem.b_eq]),
+            lb=np.zeros(problem.n_vars),
+            ub=problem.var_ub,
+        )
+        sol = solve_lp(lp, backend=self.config.backend)
+        if not sol.is_optimal:  # defensive: max-placement is always feasible
+            return entries, horizon
+        placed = np.asarray(problem.a_eq @ sol.x).ravel()
+        relaxed: list[ScheduleEntry] = []
+        new_horizon = horizon
+        for entry, got, want in zip(problem.entries, placed, problem.b_eq):
+            shortfall = want - got
+            if shortfall > 0.5:
+                extra = math.ceil(shortfall / entry.max_parallel) + 1
+                deadline = entry.deadline + extra
+                new_horizon = max(new_horizon, deadline)
+                relaxed.append(replace(entry, deadline=deadline))
+            else:
+                relaxed.append(entry)
+        return relaxed, new_horizon
+
+    def _quantize(self, problem, x) -> dict[str, np.ndarray] | None:
+        """Integral grants from the fractional solution, or None on failure."""
+        if self.config.formulation == "coupled":
+            try:
+                return quantize_coupled(problem, x)
+            except IntegralizationError:
+                return None
+        return self._units_from_paper(problem, x)
+
+    @staticmethod
+    def _paper_fractional_units(problem, x) -> dict[tuple[int, int], float]:
+        """Fractional task-slot units implied by paper-mode variables.
+
+        A task-slot needs all its resources in the same slot, so the
+        fractional unit count at (entry, slot) is the minimum across
+        resources of ``x_it^r / demand_r`` — the conversion a
+        container-based executor applies.
+        """
+        per_cell: dict[tuple[int, int], float] = {}
+        r_names = problem.resources
+        for var, (e_index, slot, r) in enumerate(problem.var_meta):
+            demand = problem.entries[e_index].unit_demand[r_names[r]]
+            if not demand:
+                continue
+            value = max(float(x[var]), 0.0) / demand
+            key = (e_index, slot)
+            per_cell[key] = min(per_cell.get(key, math.inf), value)
+        return per_cell
+
+    def _units_from_paper(self, problem, x) -> dict[str, np.ndarray]:
+        """Integral task-slot grants from a paper-mode solution.
+
+        The per-resource LP can decouple resources (cpu skewed to one slot,
+        memory to another), which would lose units under a pure min-floor
+        conversion.  We therefore rebuild the *coupled* problem over the
+        same entries and run the shared quantiser on the fractional unit
+        counts, which re-places the lost remainders within capacity.  If
+        even that fails (pathological decoupling) we fall back to the plain
+        floor conversion — the event-driven re-plan picks up the shortfall.
+        """
+        per_cell = self._paper_fractional_units(problem, x)
+        coupled = build_schedule_problem(
+            problem.entries,
+            problem.caps,
+            problem.resources,
+            mode="coupled",
+            per_slot_caps=True,
+        )
+        y = np.zeros(coupled.n_vars)
+        for var, (e_index, slot, _r) in enumerate(coupled.var_meta):
+            y[var] = per_cell.get((e_index, slot), 0.0)
+        try:
+            return quantize_coupled(coupled, y)
+        except IntegralizationError:
+            horizon = problem.horizon
+            grants = {
+                entry.job_id: np.zeros(horizon, dtype=int)
+                for entry in problem.entries
+            }
+            for (e_index, slot), value in per_cell.items():
+                entry = problem.entries[e_index]
+                units = int(math.floor(value + 1e-9))
+                if units:
+                    grants[entry.job_id][slot] = min(
+                        units, entry.max_parallel, entry.units
+                    )
+            return grants

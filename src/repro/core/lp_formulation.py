@@ -1,0 +1,236 @@
+"""Builds the scheduling LP of Sec. V.
+
+Two variable layouts are supported:
+
+* ``mode="paper"`` — the paper's formulation verbatim: one variable
+  ``x_it^r`` per (job, slot, resource), demand equalities per (job,
+  resource), and per-(slot, resource) utilisation rows.  The constraint
+  matrix has the interval structure of Lemma 2 (totally unimodular), which
+  the tests verify with :mod:`repro.lp.unimodular`.
+
+* ``mode="coupled"`` — one variable ``y_it`` per (job, slot) counting
+  *task-slots* granted; the per-resource allocation is ``y_it *
+  unit_demand_r``.  This couples resource types the way containers do in a
+  real cluster (a task needs its cores *and* its memory in the same slot),
+  produces a much smaller LP, and is what the executable planner uses.  It
+  gives up the TU guarantee, so the integral repair in
+  :mod:`repro.core.allocation` does the final quantisation.
+
+Both layouts share :class:`ScheduleProblem`, which pre-assembles the sparse
+utilisation matrix so the lexicographic minimax solver can slice rows
+cheaply on every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.model.resources import ResourceVector
+
+Mode = Literal["paper", "coupled"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One deadline-aware job as the LP sees it.
+
+    Slots are *relative* to the plan origin: the job may receive resources in
+    ``release <= t < deadline`` (both within ``[0, horizon)``), needs
+    ``units`` more task-slots of work, each task-slot consuming
+    ``unit_demand``, and can run at most ``max_parallel`` tasks at once.
+    """
+
+    job_id: str
+    release: int
+    deadline: int
+    units: int
+    unit_demand: ResourceVector
+    max_parallel: int
+
+    def __post_init__(self) -> None:
+        if self.release < 0:
+            raise ValueError(f"{self.job_id}: release must be >= 0")
+        if self.deadline <= self.release:
+            raise ValueError(
+                f"{self.job_id}: empty window [{self.release}, {self.deadline})"
+            )
+        if self.units < 1:
+            raise ValueError(f"{self.job_id}: units must be >= 1")
+        if self.max_parallel < 1:
+            raise ValueError(f"{self.job_id}: max_parallel must be >= 1")
+        if self.unit_demand.is_zero():
+            raise ValueError(f"{self.job_id}: unit demand must not be zero")
+
+    def total_demand(self, resource: str) -> int:
+        """The paper's ``s_i^r``."""
+        return self.units * self.unit_demand[resource]
+
+
+@dataclass
+class ScheduleProblem:
+    """Pre-assembled sparse pieces of the scheduling LP.
+
+    Attributes:
+        entries: the jobs, in variable-block order.
+        resources: resource-type names, fixing the r index.
+        caps: dense ``[horizon, n_resources]`` capacity array (``C_t^r``).
+        n_vars: number of allocation variables (excludes the minimax theta,
+            which the lexmin solver appends).
+        a_eq / b_eq: demand equalities (constraint (2)).
+        a_util: sparse ``[n_util_rows, n_vars]``; row k sums the allocation
+            feeding utilisation cell ``util_cells[k] = (t, r)``.
+        util_cells: the (slot, resource-index) of each utilisation row.
+        var_ub: per-variable upper bound (per-slot parallelism caps).
+        var_meta: per variable ``(entry_index, slot)`` (paper mode adds the
+            resource index as a third element, else -1).
+        mode: "paper" or "coupled".
+    """
+
+    entries: tuple[ScheduleEntry, ...]
+    resources: tuple[str, ...]
+    caps: np.ndarray
+    n_vars: int
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    a_util: sparse.csr_matrix
+    util_cells: tuple[tuple[int, int], ...]
+    var_ub: np.ndarray
+    var_meta: tuple[tuple[int, int, int], ...]
+    mode: Mode
+
+    @property
+    def horizon(self) -> int:
+        return self.caps.shape[0]
+
+    def cap_of_cell(self, cell_index: int) -> float:
+        slot, r_index = self.util_cells[cell_index]
+        return float(self.caps[slot, r_index])
+
+    def utilisation(self, x: np.ndarray) -> np.ndarray:
+        """Normalised usage ``z_t^r / C_t^r`` per utilisation cell."""
+        loads = np.asarray(self.a_util @ x).ravel()
+        caps = np.array([self.cap_of_cell(k) for k in range(len(self.util_cells))])
+        return loads / np.maximum(caps, 1e-12)
+
+
+def build_schedule_problem(
+    entries: Sequence[ScheduleEntry],
+    caps: np.ndarray,
+    resources: Sequence[str],
+    *,
+    mode: Mode = "coupled",
+    per_slot_caps: bool = True,
+) -> ScheduleProblem:
+    """Assemble the LP structure for the given jobs and capacity skyline.
+
+    Args:
+        entries: deadline jobs with relative windows inside ``[0, horizon)``.
+        caps: ``[horizon, len(resources)]`` array of ``C_t^r``.
+        resources: resource names fixing the column order of *caps*.
+        mode: variable layout (see module docstring).
+        per_slot_caps: bound each variable by the job's per-slot parallelism
+            (True, executable) or leave it unbounded above like the paper's
+            formulation (False; capacity rows still apply).
+
+    Raises:
+        ValueError on malformed windows or a window falling outside caps.
+    """
+    caps = np.asarray(caps, dtype=float)
+    if caps.ndim != 2 or caps.shape[1] != len(resources):
+        raise ValueError(
+            f"caps must be [horizon, {len(resources)}], got {caps.shape}"
+        )
+    horizon = caps.shape[0]
+    entries = tuple(entries)
+    for entry in entries:
+        if entry.deadline > horizon:
+            raise ValueError(
+                f"{entry.job_id}: deadline {entry.deadline} beyond horizon {horizon}"
+            )
+
+    resources = tuple(resources)
+    r_index = {name: k for k, name in enumerate(resources)}
+
+    var_meta: list[tuple[int, int, int]] = []
+    var_ub: list[float] = []
+    eq_rows: list[tuple[list[int], float]] = []  # (variable indices, rhs)
+
+    # util_accumulator[(t, r)] -> list[(var, coeff)]
+    util_acc: dict[tuple[int, int], list[tuple[int, float]]] = {}
+
+    if mode == "coupled":
+        for e_index, entry in enumerate(entries):
+            var_ids = []
+            for slot in range(entry.release, entry.deadline):
+                var = len(var_meta)
+                var_meta.append((e_index, slot, -1))
+                cap = min(entry.max_parallel, entry.units)
+                var_ub.append(float(cap) if per_slot_caps else np.inf)
+                var_ids.append(var)
+                for resource, amount in entry.unit_demand.items():
+                    cell = (slot, r_index[resource])
+                    util_acc.setdefault(cell, []).append((var, float(amount)))
+            eq_rows.append((var_ids, float(entry.units)))
+    elif mode == "paper":
+        for e_index, entry in enumerate(entries):
+            for resource in resources:
+                amount = entry.unit_demand[resource]
+                if amount == 0:
+                    continue
+                var_ids = []
+                for slot in range(entry.release, entry.deadline):
+                    var = len(var_meta)
+                    var_meta.append((e_index, slot, r_index[resource]))
+                    cap = min(entry.max_parallel, entry.units) * amount
+                    var_ub.append(float(cap) if per_slot_caps else np.inf)
+                    var_ids.append(var)
+                    cell = (slot, r_index[resource])
+                    util_acc.setdefault(cell, []).append((var, 1.0))
+                eq_rows.append((var_ids, float(entry.total_demand(resource))))
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    n_vars = len(var_meta)
+    if n_vars == 0:
+        raise ValueError("no variables: entries list is empty")
+
+    eq_data, eq_rows_idx, eq_cols = [], [], []
+    b_eq = np.zeros(len(eq_rows))
+    for row, (var_ids, rhs) in enumerate(eq_rows):
+        b_eq[row] = rhs
+        for var in var_ids:
+            eq_rows_idx.append(row)
+            eq_cols.append(var)
+            eq_data.append(1.0)
+    a_eq = sparse.csr_matrix(
+        (eq_data, (eq_rows_idx, eq_cols)), shape=(len(eq_rows), n_vars)
+    )
+
+    cells = sorted(util_acc)
+    util_data, util_rows_idx, util_cols = [], [], []
+    for row, cell in enumerate(cells):
+        for var, coeff in util_acc[cell]:
+            util_rows_idx.append(row)
+            util_cols.append(var)
+            util_data.append(coeff)
+    a_util = sparse.csr_matrix(
+        (util_data, (util_rows_idx, util_cols)), shape=(len(cells), n_vars)
+    )
+
+    return ScheduleProblem(
+        entries=entries,
+        resources=resources,
+        caps=caps,
+        n_vars=n_vars,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        a_util=a_util,
+        util_cells=tuple(cells),
+        var_ub=np.asarray(var_ub, dtype=float),
+        var_meta=tuple(var_meta),
+        mode=mode,
+    )

@@ -1,0 +1,50 @@
+"""Grouped topological ordering (Sec. IV-A).
+
+FlowTime's twist on Kahn's algorithm [8]: instead of emitting one node at a
+time, each round emits the whole set of nodes whose dependencies are already
+satisfied.  Jobs inside one *node set* have no dependencies among them and can
+run in parallel, so the deadline decomposition hands each set a single
+sub-window.  For the paper's Fig. 3 fork-join DAG the output is
+``[{1}, {2, ..., n}, {n+1}]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model.workflow import Workflow
+
+
+def grouped_topological_sets(workflow: Workflow) -> tuple[tuple[str, ...], ...]:
+    """Partition the workflow's jobs into dependency levels.
+
+    Returns a tuple of node sets in topological order; each set is a tuple of
+    job ids sorted for determinism.  Every job appears exactly once, and every
+    edge goes from an earlier set to a strictly later one.
+    """
+    indegree = {job_id: len(workflow.parents_of(job_id)) for job_id in workflow.job_ids}
+    current = sorted(job_id for job_id, deg in indegree.items() if deg == 0)
+    levels: list[tuple[str, ...]] = []
+    emitted = 0
+    while current:
+        levels.append(tuple(current))
+        emitted += len(current)
+        next_level: set[str] = set()
+        for job_id in current:
+            for child in workflow.dependents_of(job_id):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    next_level.add(child)
+        current = sorted(next_level)
+    if emitted != len(workflow):
+        # Workflow.__post_init__ already rejects cycles; defensive only.
+        raise ValueError(f"workflow {workflow.workflow_id} contains a cycle")
+    return tuple(levels)
+
+
+def level_of(levels: Sequence[Sequence[str]], job_id: str) -> int:
+    """Index of the node set containing *job_id* (KeyError if absent)."""
+    for index, level in enumerate(levels):
+        if job_id in level:
+            return index
+    raise KeyError(job_id)

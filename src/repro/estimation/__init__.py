@@ -1,0 +1,29 @@
+"""Estimates from prior runs, and the errors they carry.
+
+Deadline-aware workflows recur (Sec. II-A), so task running times and
+resource demands are estimated from history.  This package provides:
+
+* :mod:`repro.estimation.history` — a store of per-run job timings plus a
+  synthesiser that fabricates plausible prior-run observations for a
+  workflow (used by the Morpheus baseline, which infers job deadlines from
+  history instead of using DAG structure);
+* :mod:`repro.estimation.estimator` — quantile/mean estimators over history;
+* :mod:`repro.estimation.errors` — estimation-error injection: give the
+  scheduler a *believed* task structure while the simulator executes the
+  truth (Sec. III "robustness to estimation errors").
+"""
+
+from repro.estimation.errors import ErrorModel, apply_estimation_errors
+from repro.estimation.estimator import estimate_job_offsets, quantile_estimate
+from repro.estimation.history import JobObservation, RunHistory, WorkflowRun, synthesize_history
+
+__all__ = [
+    "ErrorModel",
+    "JobObservation",
+    "RunHistory",
+    "WorkflowRun",
+    "apply_estimation_errors",
+    "estimate_job_offsets",
+    "quantile_estimate",
+    "synthesize_history",
+]

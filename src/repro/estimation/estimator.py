@@ -1,0 +1,58 @@
+"""Estimators over prior-run history."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.estimation.history import RunHistory
+
+
+def quantile_estimate(samples: np.ndarray, quantile: float = 0.95) -> float:
+    """Robust quantile estimate (Morpheus-style SLO inference uses high
+    quantiles so that the inferred deadline covers most historical runs)."""
+    if samples.size == 0:
+        raise ValueError("cannot estimate from an empty sample")
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    return float(np.quantile(samples, quantile))
+
+
+def estimate_job_offsets(
+    history: RunHistory,
+    template: str,
+    job_ids: list[str],
+    *,
+    quantile: float = 0.95,
+) -> Mapping[str, tuple[float, float]]:
+    """Per-job (start, completion) offset estimates, in slots.
+
+    Offsets are relative to the workflow start, normalised by nothing —
+    callers scale by the current deadline window over the historical
+    makespan estimate.  Raises KeyError when the template has no history.
+    """
+    if not history.has(template):
+        raise KeyError(f"no history for template {template!r}")
+    estimates: dict[str, tuple[float, float]] = {}
+    for job_id in job_ids:
+        starts = history.start_offsets(template, job_id)
+        completions = history.completion_offsets(template, job_id)
+        if starts.size == 0 or completions.size == 0:
+            raise KeyError(f"no observations for job {job_id!r} in {template!r}")
+        # Starts use a *low* quantile (earliest the job historically could
+        # begin), completions a high one (latest it historically finished).
+        estimates[job_id] = (
+            float(np.quantile(starts, 1.0 - quantile)),
+            quantile_estimate(completions, quantile),
+        )
+    return estimates
+
+
+def estimated_makespan(
+    history: RunHistory, template: str, *, quantile: float = 0.95
+) -> float:
+    makespans = history.makespans(template)
+    if makespans.size == 0:
+        raise KeyError(f"no history for template {template!r}")
+    return quantile_estimate(makespans, quantile)

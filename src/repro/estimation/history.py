@@ -1,0 +1,149 @@
+"""Prior-run observations of recurring workflows.
+
+Morpheus [5] infers per-job deadlines from the completion times observed in
+prior runs of the same recurring workflow — without consulting the DAG.
+:class:`RunHistory` is that observation store; :func:`synthesize_history`
+fabricates plausible prior runs for a workflow (level-by-level execution
+with multiplicative noise), standing in for the production logs we do not
+have (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.decomposition import _set_min_runtime  # shared level timing
+from repro.core.toposort import grouped_topological_sets
+from repro.model.cluster import ClusterCapacity
+from repro.model.workflow import Workflow
+
+
+def local_job_id(workflow_id: str, job_id: str) -> str:
+    """Instance-independent job key.
+
+    Recurring instances prefix job ids with the instance workflow id
+    (``wf@3-extract``); history must be keyed by the part that is stable
+    across runs.  Strips a leading ``"{workflow_id}-"`` when present.
+    """
+    prefix = f"{workflow_id}-"
+    return job_id[len(prefix):] if job_id.startswith(prefix) else job_id
+
+
+@dataclass(frozen=True)
+class JobObservation:
+    """One job's timing within one historical workflow run (slot offsets)."""
+
+    job_id: str
+    start_offset: int
+    completion_offset: int
+
+    def __post_init__(self) -> None:
+        if self.start_offset < 0 or self.completion_offset <= self.start_offset:
+            raise ValueError(
+                f"bad observation for {self.job_id}: "
+                f"[{self.start_offset}, {self.completion_offset}]"
+            )
+
+
+@dataclass(frozen=True)
+class WorkflowRun:
+    """One full historical run: per-job observations plus the makespan."""
+
+    observations: Mapping[str, JobObservation]
+    makespan: int
+
+    def __post_init__(self) -> None:
+        if self.makespan < 1:
+            raise ValueError("makespan must be >= 1 slot")
+
+
+@dataclass
+class RunHistory:
+    """Observed prior runs, keyed by recurring-workflow template name."""
+
+    runs: dict[str, list[WorkflowRun]] = field(default_factory=dict)
+
+    def add(self, template: str, run: WorkflowRun) -> None:
+        self.runs.setdefault(template, []).append(run)
+
+    def runs_for(self, template: str) -> list[WorkflowRun]:
+        return list(self.runs.get(template, []))
+
+    def has(self, template: str) -> bool:
+        return bool(self.runs.get(template))
+
+    def completion_offsets(self, template: str, job_id: str) -> np.ndarray:
+        values = [
+            run.observations[job_id].completion_offset
+            for run in self.runs.get(template, [])
+            if job_id in run.observations
+        ]
+        return np.asarray(values, dtype=float)
+
+    def start_offsets(self, template: str, job_id: str) -> np.ndarray:
+        values = [
+            run.observations[job_id].start_offset
+            for run in self.runs.get(template, [])
+            if job_id in run.observations
+        ]
+        return np.asarray(values, dtype=float)
+
+    def makespans(self, template: str) -> np.ndarray:
+        return np.asarray(
+            [run.makespan for run in self.runs.get(template, [])], dtype=float
+        )
+
+
+def synthesize_history(
+    workflow: Workflow,
+    capacity: ClusterCapacity,
+    *,
+    template: str | None = None,
+    runs: int = 5,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> RunHistory:
+    """Fabricate prior-run observations by replaying the workflow's levels.
+
+    Each synthetic run executes the grouped topological levels back to back,
+    each level taking its cluster-aware minimum runtime scaled by a
+    log-normal-ish multiplicative noise factor — the signature a solo run of
+    the workflow on the cluster would leave in the logs.
+
+    Args:
+        workflow: the recurring workflow.
+        capacity: cluster it historically ran on.
+        template: history key (default: the workflow's name or id).
+        runs: number of synthetic prior runs.
+        noise: relative noise on each level's duration (0 = deterministic).
+        seed: RNG seed for reproducibility.
+    """
+    if runs < 1:
+        raise ValueError("need at least one synthetic run")
+    rng = np.random.default_rng(seed)
+    key = template or workflow.name or workflow.workflow_id
+    levels = grouped_topological_sets(workflow)
+    base_durations = [
+        _set_min_runtime(workflow, level, capacity, cluster_aware=True)
+        for level in levels
+    ]
+    history = RunHistory()
+    for _ in range(runs):
+        offset = 0
+        observations: dict[str, JobObservation] = {}
+        for level, base in zip(levels, base_durations):
+            factor = max(1.0 + rng.normal(0.0, noise), 0.25)
+            duration = max(int(round(base * factor)), 1)
+            for job_id in level:
+                local = local_job_id(workflow.workflow_id, job_id)
+                observations[local] = JobObservation(
+                    job_id=local,
+                    start_offset=offset,
+                    completion_offset=offset + duration,
+                )
+            offset += duration
+        history.add(key, WorkflowRun(observations=observations, makespan=offset))
+    return history

@@ -1,0 +1,34 @@
+"""Linear-programming substrate.
+
+The paper solves its scheduling LP with CPLEX (Sec. VII).  We provide two
+interchangeable backends behind one interface:
+
+* :mod:`repro.lp.scipy_backend` — scipy's HiGHS (the default; fast, sparse);
+* :mod:`repro.lp.simplex` — a from-scratch dense two-phase simplex, so the
+  reproduction does not depend on any external solver for correctness (it is
+  also what makes the "LP vertex solutions are integral on TU matrices"
+  argument directly observable in tests).
+
+:mod:`repro.lp.unimodular` checks Lemma 2's total-unimodularity claim on
+generated instances.
+"""
+
+from repro.lp.presolve import presolve, solve_with_presolve
+from repro.lp.problem import LinearProgram, LPSolution, LPStatus
+from repro.lp.solver import available_backends, solve_lp
+from repro.lp.unimodular import (
+    is_interval_matrix,
+    is_totally_unimodular,
+)
+
+__all__ = [
+    "LPSolution",
+    "LPStatus",
+    "LinearProgram",
+    "available_backends",
+    "is_interval_matrix",
+    "is_totally_unimodular",
+    "presolve",
+    "solve_lp",
+    "solve_with_presolve",
+]

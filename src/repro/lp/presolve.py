@@ -1,0 +1,165 @@
+"""LP presolve: cheap reductions before handing a problem to a backend.
+
+Production solvers (the CPLEX the paper used, the HiGHS we substitute) run
+dozens of presolve rules; this module implements the three that matter for
+our scheduling LPs and is careful to be *exactly* reversible:
+
+1. **fixed variables** (``lb == ub``) are substituted out;
+2. **empty rows** (all-zero coefficients) are checked for consistency and
+   dropped;
+3. **singleton inequality rows** (one non-zero) become bound tightenings.
+
+``presolve`` returns the reduced program plus a :class:`Restorer` that maps
+a reduced solution back to the original variable space.  The scheduling
+LPs benefit mostly from rule 1 (per-slot parallelism caps fix many
+variables at re-plan time when jobs are nearly done) — and the module
+doubles as substrate documentation for how such reductions stay sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.lp.problem import LinearProgram, LPSolution, LPStatus
+from repro.lp.solver import solve_lp
+
+__all__ = ["PresolveError", "Restorer", "presolve", "solve_with_presolve"]
+
+_TOL = 1e-9
+
+
+class PresolveError(ValueError):
+    """Raised when presolve proves the problem infeasible."""
+
+
+@dataclass(frozen=True)
+class Restorer:
+    """Maps a reduced-space solution back to the original variables."""
+
+    n_original: int
+    kept_columns: np.ndarray
+    fixed_values: np.ndarray  # full-length; NaN where the variable was kept
+    constant_objective: float
+
+    def restore(self, x_reduced: np.ndarray) -> np.ndarray:
+        x = self.fixed_values.copy()
+        x[self.kept_columns] = x_reduced
+        return x
+
+    def restore_solution(self, solution: LPSolution) -> LPSolution:
+        if solution.status is not LPStatus.OPTIMAL or solution.x is None:
+            return solution
+        return LPSolution(
+            status=solution.status,
+            x=self.restore(solution.x),
+            objective=(
+                None
+                if solution.objective is None
+                else solution.objective + self.constant_objective
+            ),
+            message=solution.message,
+        )
+
+
+def presolve(problem: LinearProgram) -> tuple[LinearProgram, Restorer]:
+    """Apply the reductions; raises :class:`PresolveError` on proven
+    infeasibility (crossed bounds, unsatisfiable empty rows)."""
+    n = problem.n_variables
+    lb = problem.lb.copy()
+    ub = problem.ub.copy()
+    a_ub = problem.a_ub.tocsc(copy=True)
+    b_ub = problem.b_ub.copy()
+    a_eq = problem.a_eq.tocsc(copy=True)
+    b_eq = problem.b_eq.copy()
+
+    # Rule 3 first: singleton <= rows tighten bounds (then may fix vars).
+    keep_rows = np.ones(a_ub.shape[0], dtype=bool)
+    a_ub_csr = a_ub.tocsr()
+    for row in range(a_ub.shape[0]):
+        start, end = a_ub_csr.indptr[row], a_ub_csr.indptr[row + 1]
+        if end - start != 1:
+            continue
+        col = int(a_ub_csr.indices[start])
+        coeff = float(a_ub_csr.data[start])
+        if abs(coeff) < _TOL:
+            continue
+        bound = b_ub[row] / coeff
+        if coeff > 0:
+            ub[col] = min(ub[col], bound)
+        else:
+            lb[col] = max(lb[col], bound)
+        keep_rows[row] = False
+    if np.any(lb > ub + _TOL):
+        raise PresolveError("singleton rows prove crossed bounds")
+    ub = np.maximum(ub, lb)  # absorb harmless numerical crossings
+    a_ub_csr = a_ub_csr[keep_rows]
+    b_ub = b_ub[keep_rows]
+
+    # Rule 1: fixed variables.
+    fixed_mask = np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= _TOL)
+    fixed_values = np.full(n, np.nan)
+    fixed_values[fixed_mask] = lb[fixed_mask]
+    kept = np.flatnonzero(~fixed_mask)
+    if kept.size == 0:
+        raise PresolveError(
+            "presolve fixed every variable; solve trivially instead"
+        )
+    fixed_contrib = np.where(fixed_mask, lb, 0.0)
+    b_ub = b_ub - np.asarray(a_ub_csr @ fixed_contrib).ravel()
+    b_eq2 = b_eq - np.asarray(a_eq.tocsr() @ fixed_contrib).ravel()
+    constant_obj = float(problem.c @ fixed_contrib)
+
+    a_ub_red = a_ub_csr[:, kept]
+    a_eq_red = a_eq.tocsr()[:, kept]
+
+    # Rule 2: empty rows (possibly created by fixing variables).
+    def drop_empty(matrix, rhs, is_eq):
+        matrix = matrix.tocsr()
+        counts = np.diff(matrix.indptr)
+        nonempty = counts > 0
+        empty_rhs = rhs[~nonempty]
+        if is_eq:
+            if np.any(np.abs(empty_rhs) > 1e-7):
+                raise PresolveError("empty equality row with non-zero rhs")
+        else:
+            if np.any(empty_rhs < -1e-7):
+                raise PresolveError("empty <= row with negative rhs")
+        return matrix[nonempty], rhs[nonempty]
+
+    a_ub_red, b_ub = drop_empty(a_ub_red, b_ub, is_eq=False)
+    a_eq_red, b_eq2 = drop_empty(a_eq_red, b_eq2, is_eq=True)
+
+    reduced = LinearProgram(
+        c=problem.c[kept],
+        a_ub=a_ub_red,
+        b_ub=b_ub,
+        a_eq=a_eq_red,
+        b_eq=b_eq2,
+        lb=lb[kept],
+        ub=ub[kept],
+    )
+    restorer = Restorer(
+        n_original=n,
+        kept_columns=kept,
+        fixed_values=fixed_values,
+        constant_objective=constant_obj,
+    )
+    return reduced, restorer
+
+
+def solve_with_presolve(
+    problem: LinearProgram, backend: str = "highs"
+) -> LPSolution:
+    """Presolve, solve, and restore; falls back to a direct solve when the
+    presolve degenerates (e.g. every variable fixed)."""
+    try:
+        reduced, restorer = presolve(problem)
+    except PresolveError as error:
+        if "fixed every variable" in str(error):
+            return solve_lp(problem, backend=backend)
+        return LPSolution(status=LPStatus.INFEASIBLE, message=str(error))
+    solution = solve_lp(reduced, backend=backend)
+    return restorer.restore_solution(solution)

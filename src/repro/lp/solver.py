@@ -1,0 +1,30 @@
+"""Backend registry: one entry point for solving LPs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lp import scipy_backend, simplex
+from repro.lp.problem import LinearProgram, LPSolution
+
+_BACKENDS: dict[str, Callable[[LinearProgram], LPSolution]] = {
+    "highs": scipy_backend.solve,
+    "simplex": simplex.solve,
+}
+
+DEFAULT_BACKEND = "highs"
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def solve_lp(problem: LinearProgram, backend: str = DEFAULT_BACKEND) -> LPSolution:
+    """Solve *problem* with the named backend ("highs" or "simplex")."""
+    try:
+        solver = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return solver(problem)

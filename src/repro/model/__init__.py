@@ -1,0 +1,42 @@
+"""Workload and cluster model shared by every scheduler in the library.
+
+This package defines the vocabulary of the FlowTime paper's system model
+(Sec. II): multi-resource vectors, tasks, jobs, workflows (DAGs of jobs with a
+start time and a deadline), time-varying cluster capacity, and the event types
+the simulator emits.
+"""
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.events import (
+    Event,
+    EventKind,
+    JobArrived,
+    JobCompleted,
+    JobReady,
+    JobSetback,
+    WorkflowArrived,
+    WorkflowCompleted,
+)
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow, WorkflowValidationError
+
+__all__ = [
+    "CPU",
+    "MEM",
+    "ClusterCapacity",
+    "Event",
+    "EventKind",
+    "Job",
+    "JobArrived",
+    "JobCompleted",
+    "JobKind",
+    "JobReady",
+    "JobSetback",
+    "ResourceVector",
+    "TaskSpec",
+    "Workflow",
+    "WorkflowArrived",
+    "WorkflowCompleted",
+    "WorkflowValidationError",
+]

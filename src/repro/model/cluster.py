@@ -1,0 +1,64 @@
+"""Cluster capacity, possibly varying over time.
+
+The paper's constraint (4) uses a per-slot resource cap ``C_t^r`` ("the
+resource cap could vary with time to provide more flexibility"): a slice of
+the cluster may be carved out for other tenants in some slots.
+:class:`ClusterCapacity` models a base capacity plus sparse per-slot
+overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.model.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class ClusterCapacity:
+    """Time-varying multi-resource capacity.
+
+    Attributes:
+        base: capacity in every slot without an override.
+        overrides: sparse map ``slot -> capacity`` for slots whose cap
+            differs from :attr:`base` (e.g. a maintenance window).
+    """
+
+    base: ResourceVector
+    overrides: Mapping[int, ResourceVector] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base.is_zero():
+            raise ValueError("cluster base capacity must not be zero")
+        for slot, cap in self.overrides.items():
+            if slot < 0:
+                raise ValueError(f"override slot must be >= 0, got {slot}")
+            for resource in cap:
+                if resource not in self.base:
+                    raise ValueError(
+                        f"override at slot {slot} introduces unknown resource "
+                        f"{resource!r}"
+                    )
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        """The resource types this cluster offers, in sorted order."""
+        return tuple(sorted(self.base))
+
+    def at(self, slot: int) -> ResourceVector:
+        """Capacity ``C_t`` in the given slot."""
+        return self.overrides.get(slot, self.base)
+
+    def amount(self, slot: int, resource: str) -> int:
+        """The paper's ``C_t^r``."""
+        return self.at(slot)[resource]
+
+    @staticmethod
+    def uniform(**amounts: int) -> "ClusterCapacity":
+        """Convenience: a cluster whose capacity never changes.
+
+        >>> ClusterCapacity.uniform(cpu=500, mem=1024).amount(7, "cpu")
+        500
+        """
+        return ClusterCapacity(base=ResourceVector(amounts))

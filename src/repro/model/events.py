@@ -1,0 +1,97 @@
+"""Events the simulator emits and schedulers react to.
+
+FlowTime re-plans "whenever a task/job completes" (Sec. VII-4); arrivals and
+dependency releases also change the active job set, so the simulator raises
+one of these events for each and passes them to the scheduler's
+``on_events`` hook before asking for the next slot's allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    WORKFLOW_ARRIVED = "workflow_arrived"
+    JOB_ARRIVED = "job_arrived"
+    JOB_READY = "job_ready"
+    JOB_COMPLETED = "job_completed"
+    JOB_SETBACK = "job_setback"
+    WORKFLOW_COMPLETED = "workflow_completed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something happened at the start of ``slot``."""
+
+    slot: int
+
+    @property
+    def kind(self) -> EventKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WorkflowArrived(Event):
+    workflow_id: str
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.WORKFLOW_ARRIVED
+
+
+@dataclass(frozen=True)
+class JobArrived(Event):
+    """An ad-hoc job was submitted (its size is unknown to schedulers)."""
+
+    job_id: str
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.JOB_ARRIVED
+
+
+@dataclass(frozen=True)
+class JobReady(Event):
+    """All of a workflow job's parents completed; it may now run."""
+
+    job_id: str
+    workflow_id: Optional[str] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.JOB_READY
+
+
+@dataclass(frozen=True)
+class JobCompleted(Event):
+    job_id: str
+    workflow_id: Optional[str] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.JOB_COMPLETED
+
+
+@dataclass(frozen=True)
+class JobSetback(Event):
+    """A failure destroyed part of a job's progress (lost task-slots)."""
+
+    job_id: str
+    lost_units: int = 0
+    workflow_id: Optional[str] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.JOB_SETBACK
+
+
+@dataclass(frozen=True)
+class WorkflowCompleted(Event):
+    workflow_id: str
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.WORKFLOW_COMPLETED

@@ -1,0 +1,150 @@
+"""Jobs and their task structure.
+
+A job is a bag of identical tasks (the paper's model: each node of a workflow
+DAG is a Hadoop/Spark job whose resource demand is ``#tasks x task running
+time x per-task requirement``, Sec. IV-B).  Two job kinds exist:
+
+* ``DEADLINE`` jobs belong to a recurring workflow; their task structure and
+  estimated running times are known a priori, and deadline decomposition
+  assigns them a per-job deadline.
+* ``ADHOC`` jobs are best-effort; their size is *unknown to the scheduler* at
+  submission time (the simulator knows it, schedulers must not peek at
+  anything except what :class:`~repro.schedulers.base.Scheduler` exposes).
+
+Time is measured in integral *slots* everywhere (the LP of Sec. V is
+slot-indexed; the paper's deployment used 10-second slots).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.resources import ResourceVector
+
+
+class JobKind(enum.Enum):
+    """Which of the paper's two workload classes a job belongs to."""
+
+    DEADLINE = "deadline"
+    ADHOC = "adhoc"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """The homogeneous task structure of one job.
+
+    Attributes:
+        count: number of tasks in the job (>= 1).
+        duration_slots: estimated running time of one task, in slots (>= 1).
+        demand: per-task resource requirement while the task runs.
+    """
+
+    count: int
+    duration_slots: int
+    demand: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"task count must be >= 1, got {self.count}")
+        if self.duration_slots < 1:
+            raise ValueError(
+                f"task duration must be >= 1 slot, got {self.duration_slots}"
+            )
+        if self.demand.is_zero():
+            raise ValueError("per-task demand must not be zero")
+
+    @property
+    def total_task_slots(self) -> int:
+        """Total work of the job in task-slot units."""
+        return self.count * self.duration_slots
+
+    def total_demand(self, resource: str) -> int:
+        """The paper's ``s_i^r``: total amount of *resource* the job needs."""
+        return self.total_task_slots * self.demand[resource]
+
+    def per_slot_cap(self, resource: str) -> int:
+        """Most of *resource* the job can use in one slot (all tasks running)."""
+        return self.count * self.demand[resource]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable job.
+
+    ``arrival_slot`` is the submission slot for ad-hoc jobs and the workflow
+    start for workflow jobs before decomposition (decomposition produces
+    per-job release times and deadlines; those live in
+    :class:`~repro.core.decomposition.JobWindow`, not here — the model object
+    is immutable ground truth).
+
+    ``true_tasks`` lets the estimation-error experiments give the scheduler a
+    *believed* :attr:`tasks` while the simulator executes the true structure;
+    when ``None`` the estimate is exact.
+    """
+
+    job_id: str
+    tasks: TaskSpec
+    kind: JobKind = JobKind.DEADLINE
+    arrival_slot: int = 0
+    workflow_id: Optional[str] = None
+    name: str = ""
+    true_tasks: Optional[TaskSpec] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be a non-empty string")
+        if self.arrival_slot < 0:
+            raise ValueError(f"arrival_slot must be >= 0, got {self.arrival_slot}")
+        if self.kind is JobKind.ADHOC and self.workflow_id is not None:
+            raise ValueError("ad-hoc jobs cannot belong to a workflow")
+
+    @property
+    def execution_tasks(self) -> TaskSpec:
+        """The task structure the simulator actually runs."""
+        return self.true_tasks if self.true_tasks is not None else self.tasks
+
+    @property
+    def is_adhoc(self) -> bool:
+        return self.kind is JobKind.ADHOC
+
+    def min_runtime_slots(self, capacity: ResourceVector | None = None) -> int:
+        """Shortest possible makespan of this job, in slots.
+
+        With unlimited resources every task runs in parallel, so the minimum
+        is one task duration.  Given a cluster *capacity*, parallelism is
+        capped by how many task demand vectors fit, and the job needs at least
+        ``ceil(count / parallelism)`` waves.
+        """
+        spec = self.tasks
+        if capacity is None:
+            return spec.duration_slots
+        parallel = min(spec.demand.units_fitting(capacity), spec.count)
+        if parallel < 1:
+            raise ValueError(
+                f"job {self.job_id} has a task that does not fit in the cluster"
+            )
+        waves = math.ceil(spec.count / parallel)
+        return waves * spec.duration_slots
+
+    def demand_vector(self) -> ResourceVector:
+        """Total demand ``s_i`` over all resources (estimated structure)."""
+        return self.tasks.demand * self.tasks.total_task_slots
+
+    def normalized_demand(self, capacity: ResourceVector) -> float:
+        """Capacity-normalised total demand, summed over resource types.
+
+        This is the weight Sec. IV-B's decomposition uses to split the
+        remaining time across node sets: demands of different resource types
+        are made comparable by dividing by cluster capacity (the same
+        normalisation the LP objective applies to ``z_t^r``).
+        """
+        total = 0.0
+        for resource, amount in self.tasks.demand.items():
+            cap = capacity[resource]
+            if cap <= 0:
+                raise ValueError(f"capacity for {resource!r} must be positive")
+            total += self.tasks.total_task_slots * amount / cap
+        return total

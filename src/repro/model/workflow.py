@@ -1,0 +1,176 @@
+"""Workflows: DAGs of inter-dependent jobs with a start time and a deadline.
+
+The paper (Sec. II-A) writes a workflow as ``W_i = {Q_i, ws_i, wd_i, P_i}``
+where ``Q_i`` is the job set, ``ws_i``/``wd_i`` the start and deadline, and
+``P_i`` the dependency sets (``P_i^j`` = jobs that depend on job ``j``).  Here
+dependencies are stored as explicit parent->child edges; :meth:`dependents_of`
+recovers the ``P_i^j`` view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.model.job import Job, JobKind
+
+
+class WorkflowValidationError(ValueError):
+    """Raised when a workflow's jobs or edges are inconsistent."""
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """An immutable workflow DAG.
+
+    Attributes:
+        workflow_id: unique identifier.
+        jobs: the constituent jobs (all ``JobKind.DEADLINE``, all tagged with
+            this workflow's id).
+        edges: ``(parent_id, child_id)`` dependency pairs; the child may only
+            start after the parent completes.
+        start_slot: the workflow's submission/start slot (``ws_i``).
+        deadline_slot: the workflow's deadline (``wd_i``), exclusive — all
+            work must be done in slots ``< deadline_slot``.
+    """
+
+    workflow_id: str
+    jobs: tuple[Job, ...]
+    edges: tuple[tuple[str, str], ...]
+    start_slot: int
+    deadline_slot: int
+    name: str = ""
+    _children: Mapping[str, tuple[str, ...]] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _parents: Mapping[str, tuple[str, ...]] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not self.workflow_id:
+            raise WorkflowValidationError("workflow_id must be non-empty")
+        if self.start_slot < 0:
+            raise WorkflowValidationError("start_slot must be >= 0")
+        if self.deadline_slot <= self.start_slot:
+            raise WorkflowValidationError(
+                f"deadline_slot ({self.deadline_slot}) must be after "
+                f"start_slot ({self.start_slot})"
+            )
+        if not self.jobs:
+            raise WorkflowValidationError("a workflow needs at least one job")
+
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise WorkflowValidationError("duplicate job ids in workflow")
+        id_set = set(ids)
+        for job in self.jobs:
+            if job.kind is not JobKind.DEADLINE:
+                raise WorkflowValidationError(
+                    f"job {job.job_id} is not a DEADLINE job"
+                )
+            if job.workflow_id != self.workflow_id:
+                raise WorkflowValidationError(
+                    f"job {job.job_id} is tagged workflow_id={job.workflow_id!r}, "
+                    f"expected {self.workflow_id!r}"
+                )
+
+        children: dict[str, list[str]] = {job_id: [] for job_id in ids}
+        parents: dict[str, list[str]] = {job_id: [] for job_id in ids}
+        seen_edges: set[tuple[str, str]] = set()
+        for parent, child in self.edges:
+            if parent not in id_set or child not in id_set:
+                raise WorkflowValidationError(
+                    f"edge ({parent!r}, {child!r}) references unknown jobs"
+                )
+            if parent == child:
+                raise WorkflowValidationError(f"self-loop on job {parent!r}")
+            if (parent, child) in seen_edges:
+                raise WorkflowValidationError(
+                    f"duplicate edge ({parent!r}, {child!r})"
+                )
+            seen_edges.add((parent, child))
+            children[parent].append(child)
+            parents[child].append(parent)
+
+        object.__setattr__(
+            self, "_children", {k: tuple(v) for k, v in children.items()}
+        )
+        object.__setattr__(
+            self, "_parents", {k: tuple(v) for k, v in parents.items()}
+        )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        indegree = {job_id: len(self._parents[job_id]) for job_id in self._parents}
+        frontier = [job_id for job_id, deg in indegree.items() if deg == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for child in self._children[node]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if visited != len(self.jobs):
+            raise WorkflowValidationError(
+                f"workflow {self.workflow_id} contains a dependency cycle"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def job(self, job_id: str) -> Job:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(job_id)
+
+    @property
+    def job_ids(self) -> tuple[str, ...]:
+        return tuple(job.job_id for job in self.jobs)
+
+    @property
+    def window_slots(self) -> int:
+        """Length of the scheduling window (``wd_i - ws_i``)."""
+        return self.deadline_slot - self.start_slot
+
+    def parents_of(self, job_id: str) -> tuple[str, ...]:
+        """Jobs that must complete before *job_id* may start."""
+        return self._parents[job_id]
+
+    def dependents_of(self, job_id: str) -> tuple[str, ...]:
+        """The paper's ``P_i^j``: jobs that depend on *job_id*."""
+        return self._children[job_id]
+
+    def roots(self) -> tuple[str, ...]:
+        return tuple(j for j in self.job_ids if not self._parents[j])
+
+    def sinks(self) -> tuple[str, ...]:
+        return tuple(j for j in self.job_ids if not self._children[j])
+
+    # -- construction helpers --------------------------------------------------
+
+    @staticmethod
+    def from_jobs(
+        workflow_id: str,
+        jobs: Iterable[Job],
+        edges: Iterable[Sequence[str]],
+        start_slot: int,
+        deadline_slot: int,
+        name: str = "",
+    ) -> "Workflow":
+        """Build a workflow from any iterables (normalises to tuples)."""
+        return Workflow(
+            workflow_id=workflow_id,
+            jobs=tuple(jobs),
+            edges=tuple((str(p), str(c)) for p, c in edges),
+            start_slot=start_slot,
+            deadline_slot=deadline_slot,
+            name=name,
+        )

@@ -1,0 +1,113 @@
+"""Scheduler interface and shared helpers.
+
+A scheduler is driven by the simulator: ``on_events`` delivers what changed
+at the start of a slot, ``assign`` returns the slot's resource grants.
+Grants are expressed in *task units* per job (a unit is one task running for
+one slot, consuming the job's per-task demand vector); the engine converts
+them to resources, validates capacity, and executes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from repro.model.events import Event
+from repro.model.resources import ResourceVector
+from repro.simulator.view import (
+    AdhocJobView,
+    ClusterView,
+    DeadlineJobView,
+    fit_units,
+)
+
+#: job_id -> number of task units granted this slot.
+Assignment = Mapping[str, int]
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name (used in reports; Fig. 4 legend names).
+    name: str = "scheduler"
+
+    def on_events(self, events: Sequence[Event], view: ClusterView) -> None:
+        """React to the slot's events (default: stateless, ignore them)."""
+
+    @abc.abstractmethod
+    def assign(self, view: ClusterView) -> Assignment:
+        """Return this slot's task-unit grants.
+
+        The engine validates that the implied resource usage fits capacity
+        and that only ready, unfinished jobs are granted units.
+        """
+
+    # -- shared helpers for subclasses --------------------------------------------
+
+    @staticmethod
+    def grant_deadline_job(
+        job: DeadlineJobView, leftover: ResourceVector, cap_units: int | None = None
+    ) -> int:
+        """Max units grantable to a deadline job within *leftover*."""
+        wanted = min(job.believed_remaining_units, job.max_parallel)
+        if cap_units is not None:
+            wanted = min(wanted, cap_units)
+        return fit_units(leftover, job.unit_demand, wanted)
+
+    @staticmethod
+    def grant_adhoc_job(
+        job: AdhocJobView, leftover: ResourceVector, cap_units: int | None = None
+    ) -> int:
+        wanted = job.pending_units
+        if cap_units is not None:
+            wanted = min(wanted, cap_units)
+        return fit_units(leftover, job.unit_demand, wanted)
+
+    @staticmethod
+    def serve_adhoc_fifo(
+        view: ClusterView, leftover: ResourceVector, grants: dict[str, int]
+    ) -> ResourceVector:
+        """Grant leftover capacity to waiting ad-hoc jobs in FIFO order."""
+        for job in view.waiting_adhoc_jobs():
+            units = Scheduler.grant_adhoc_job(job, leftover)
+            if units:
+                grants[job.job_id] = grants.get(job.job_id, 0) + units
+                leftover = leftover.saturating_sub(job.unit_demand * units)
+        return leftover
+
+    @staticmethod
+    def serve_adhoc_fair(
+        view: ClusterView, leftover: ResourceVector, grants: dict[str, int]
+    ) -> ResourceVector:
+        """Split leftover capacity across waiting ad-hoc jobs max-min
+        fairly (progressive filling, one task unit per round)."""
+        active = [
+            [job.job_id, job.unit_demand, job.pending_units - grants.get(job.job_id, 0)]
+            for job in view.waiting_adhoc_jobs()
+        ]
+        progress = True
+        while progress:
+            progress = False
+            for item in active:
+                job_id, demand, room = item
+                if room <= 0:
+                    continue
+                if fit_units(leftover, demand, 1):
+                    grants[job_id] = grants.get(job_id, 0) + 1
+                    item[2] -= 1
+                    leftover = leftover.saturating_sub(demand)
+                    progress = True
+        return leftover
+
+    @staticmethod
+    def serve_adhoc(
+        policy: str,
+        view: ClusterView,
+        leftover: ResourceVector,
+        grants: dict[str, int],
+    ) -> ResourceVector:
+        if policy == "fifo":
+            return Scheduler.serve_adhoc_fifo(view, leftover, grants)
+        if policy == "fair":
+            return Scheduler.serve_adhoc_fair(view, leftover, grants)
+        raise ValueError(f"unknown ad-hoc policy {policy!r} (use 'fifo' or 'fair')")

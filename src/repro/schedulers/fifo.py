@@ -1,0 +1,44 @@
+"""FIFO baseline: one queue ordered by submission time, deadline-oblivious.
+
+This is the paper's worst performer on deadline metrics (Fig. 4b shows 13
+missed jobs): workflow jobs and ad-hoc jobs compete in pure submission
+order, and a long-running early job starves everything behind it.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Assignment, Scheduler
+from repro.simulator.view import ClusterView
+
+
+class FifoScheduler(Scheduler):
+    """Greedy first-in-first-out over all runnable jobs."""
+
+    name = "FIFO"
+
+    def assign(self, view: ClusterView) -> Assignment:
+        leftover = view.capacity_now()
+        grants: dict[str, int] = {}
+        queue: list[tuple[int, int, str]] = []
+        # (submission slot, tie-break class, job id); deadline jobs enqueue at
+        # their workflow's submission, ad-hoc jobs at their own arrival.
+        for job in view.runnable_deadline_jobs():
+            queue.append((job.arrival_slot, 0, job.job_id))
+        for job in view.waiting_adhoc_jobs():
+            queue.append((job.arrival_slot, 1, job.job_id))
+        queue.sort()
+        for _, klass, job_id in queue:
+            if klass == 0:
+                job = view.deadline_job(job_id)
+                units = self.grant_deadline_job(job, leftover)
+                demand = job.unit_demand
+            else:
+                job = next(
+                    j for j in view.adhoc_jobs if j.job_id == job_id
+                )
+                units = self.grant_adhoc_job(job, leftover)
+                demand = job.unit_demand
+            if units:
+                grants[job_id] = units
+                leftover = leftover.saturating_sub(demand * units)
+        return grants

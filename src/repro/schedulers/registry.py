@@ -1,0 +1,60 @@
+"""Scheduler factory keyed by the paper's algorithm names."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.flowtime import PlannerConfig
+from repro.estimation.history import RunHistory
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cora import CoraScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.flowtime_sched import FlowTimeScheduler
+from repro.schedulers.morpheus import MorpheusScheduler
+from repro.schedulers.tetrisched import TetriSchedScheduler
+
+
+def _flowtime(**kwargs) -> Scheduler:
+    return FlowTimeScheduler(PlannerConfig(**kwargs.pop("planner", {})), **kwargs)
+
+
+def _flowtime_no_ds(**kwargs) -> Scheduler:
+    planner = dict(kwargs.pop("planner", {}))
+    planner["slack_slots"] = 0
+    scheduler = FlowTimeScheduler(PlannerConfig(**planner), **kwargs)
+    scheduler.name = "FlowTime_no_ds"
+    return scheduler
+
+
+_FACTORIES: dict[str, Callable[..., Scheduler]] = {
+    "FlowTime": _flowtime,
+    "FlowTime_no_ds": _flowtime_no_ds,
+    "CORA": lambda **kw: CoraScheduler(**kw),
+    "EDF": lambda **kw: EdfScheduler(**kw),
+    "Fair": lambda **kw: FairScheduler(**kw),
+    "FIFO": lambda **kw: FifoScheduler(**kw),
+    "Morpheus": lambda **kw: MorpheusScheduler(**kw),
+    "TetriSched": lambda **kw: TetriSchedScheduler(**kw),
+}
+
+#: The Fig. 4 legend, in the paper's order, plus the extras.
+SCHEDULER_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make_scheduler(name: str, *, history: RunHistory | None = None, **kwargs) -> Scheduler:
+    """Build a fresh scheduler by name ("FlowTime", "CORA", "EDF", ...).
+
+    ``history`` is forwarded to schedulers that learn from prior runs
+    (Morpheus); other schedulers ignore it.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    if name == "Morpheus":
+        kwargs.setdefault("history", history)
+    return factory(**kwargs)

@@ -1,0 +1,498 @@
+"""The slot-based simulation engine.
+
+One engine run drives one scheduler over one workload (workflows plus an
+ad-hoc stream) on one cluster.  Per slot:
+
+1. deliver the slot's events (workflow/job arrivals, readiness transitions,
+   completions from the previous slot) to the scheduler;
+2. ask the scheduler for task-unit grants and validate them — grants to
+   unknown, unready, or finished jobs and grants exceeding capacity are
+   engine errors (they would be scheduler bugs, not workload conditions);
+3. execute: each granted unit runs one *true* task-slot; a job whose
+   estimate was wrong simply finishes earlier or later than the scheduler
+   believed (the scheduler only ever sees believed progress);
+4. process completions, releasing dependent jobs for the next slot.
+
+Tasks are preemptible at slot boundaries with retained progress, the
+executable reading of the paper's formulation (its demand constraint (2)
+treats a job as a divisible amount of work placed freely in its window).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.events import (
+    Event,
+    JobArrived,
+    JobCompleted,
+    JobReady,
+    JobSetback,
+    WorkflowArrived,
+    WorkflowCompleted,
+)
+from repro.model.job import Job, JobKind
+from repro.model.resources import ResourceVector
+from repro.model.workflow import Workflow
+from repro.simulator.failures import FailureModel
+from repro.simulator.nodes import NodeCluster
+from repro.simulator.result import JobRecord, SimulationResult, WorkflowRecord
+from repro.simulator.view import AdhocJobView, ClusterView, DeadlineJobView
+
+if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
+    from repro.schedulers.base import Scheduler
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine knobs.
+
+    Attributes:
+        slot_seconds: wall-clock duration of one slot (paper: 10 s).
+        max_slots: hard stop; a run not finished by then returns
+            ``finished=False`` with whatever completed.
+        strict: validate scheduler assignments (grants to unready jobs,
+            over-capacity grants) by raising instead of clamping.
+        record_execution: keep a per-slot record of executed task units per
+            job (enables Gantt rendering; costs memory on long runs).
+        failures: optional failure model injecting progress setbacks.
+        node_cluster: optional node-level topology; when set, granted task
+            units must also *pack* onto individual nodes, and units lost to
+            fragmentation are recorded (schedulers keep the aggregate view).
+    """
+
+    slot_seconds: float = 10.0
+    max_slots: int = 50_000
+    strict: bool = True
+    record_execution: bool = False
+    failures: FailureModel | None = None
+    node_cluster: NodeCluster | None = None
+
+
+class _JobRun:
+    """Mutable runtime state of one job."""
+
+    __slots__ = (
+        "job",
+        "arrival_slot",
+        "ready_slot",
+        "completion_slot",
+        "executed_units",
+        "unmet_parents",
+    )
+
+    def __init__(self, job: Job, arrival_slot: int, unmet_parents: int):
+        self.job = job
+        self.arrival_slot = arrival_slot
+        self.ready_slot: Optional[int] = None
+        self.completion_slot: Optional[int] = None
+        self.executed_units = 0
+        self.unmet_parents = unmet_parents
+
+    @property
+    def true_total_units(self) -> int:
+        return self.job.execution_tasks.total_task_slots
+
+    @property
+    def true_remaining_units(self) -> int:
+        return self.true_total_units - self.executed_units
+
+    @property
+    def done(self) -> bool:
+        return self.completion_slot is not None
+
+    def ready_at(self, slot: int) -> bool:
+        return self.ready_slot is not None and self.ready_slot <= slot
+
+    def believed_remaining_units(self) -> int:
+        """What the scheduler thinks is left, from the estimated structure.
+
+        When a job overruns its estimate the scheduler cannot know the
+        remaining tail, but it *can* see the job's outstanding container
+        requests (every real resource manager does), so the belief floors
+        at the currently visible requests instead of a 1-unit trickle.
+        """
+        if self.done:
+            return 0
+        est_remaining = self.job.tasks.total_task_slots - self.executed_units
+        if est_remaining > 0:
+            return est_remaining
+        return min(self.job.execution_tasks.count, self.true_remaining_units)
+
+
+class Simulation:
+    """One simulation run binding a cluster, a scheduler, and a workload."""
+
+    def __init__(
+        self,
+        cluster: ClusterCapacity,
+        scheduler: "Scheduler",
+        workflows: Iterable[Workflow] = (),
+        adhoc_jobs: Iterable[Job] = (),
+        config: SimulationConfig | None = None,
+    ):
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self.workflows: dict[str, Workflow] = {}
+        self._runs: dict[str, _JobRun] = {}
+        self._workflow_completion: dict[str, Optional[int]] = {}
+        self._workflow_remaining: dict[str, int] = {}
+        self._fragmentation_waste = 0
+
+        for workflow in workflows:
+            if workflow.workflow_id in self.workflows:
+                raise ValueError(f"duplicate workflow {workflow.workflow_id}")
+            self.workflows[workflow.workflow_id] = workflow
+            self._workflow_completion[workflow.workflow_id] = None
+            self._workflow_remaining[workflow.workflow_id] = len(workflow)
+            for job in workflow.jobs:
+                if job.job_id in self._runs:
+                    raise ValueError(f"duplicate job id {job.job_id}")
+                self._runs[job.job_id] = _JobRun(
+                    job,
+                    arrival_slot=workflow.start_slot,
+                    unmet_parents=len(workflow.parents_of(job.job_id)),
+                )
+        for job in adhoc_jobs:
+            if job.kind is not JobKind.ADHOC:
+                raise ValueError(f"job {job.job_id} in adhoc_jobs is not ADHOC")
+            if job.job_id in self._runs:
+                raise ValueError(f"duplicate job id {job.job_id}")
+            self._runs[job.job_id] = _JobRun(
+                job, arrival_slot=job.arrival_slot, unmet_parents=0
+            )
+
+        self._validate_workload()
+
+    def _validate_workload(self) -> None:
+        base = self.cluster.base
+        nodes = self.config.node_cluster
+        if nodes is not None and not base.fits_in(nodes.aggregate()):
+            raise ValueError(
+                "aggregate cluster capacity exceeds the node cluster's total"
+            )
+        for run in self._runs.values():
+            for spec in (run.job.tasks, run.job.execution_tasks):
+                if not spec.demand.fits_in(base):
+                    raise ValueError(
+                        f"job {run.job.job_id}: one task does not fit the cluster"
+                    )
+                if nodes is not None and not any(
+                    spec.demand.fits_in(node) for node in nodes.nodes
+                ):
+                    raise ValueError(
+                        f"job {run.job.job_id}: one task does not fit any node"
+                    )
+
+    # -- views -------------------------------------------------------------------
+
+    def _view(self, slot: int) -> ClusterView:
+        deadline_views = []
+        adhoc_views = []
+        for run in self._runs.values():
+            job = run.job
+            if job.kind is JobKind.DEADLINE:
+                if run.arrival_slot > slot:
+                    continue  # workflow not submitted yet
+                deadline_views.append(
+                    DeadlineJobView(
+                        job_id=job.job_id,
+                        workflow_id=job.workflow_id or "",
+                        arrival_slot=run.arrival_slot,
+                        ready=run.ready_at(slot),
+                        completed=run.done,
+                        est_spec=job.tasks,
+                        executed_units=run.executed_units,
+                        believed_remaining_units=run.believed_remaining_units(),
+                    )
+                )
+            else:
+                if run.arrival_slot > slot:
+                    continue
+                # Ad-hoc jobs expose only their *outstanding container
+                # requests* (at most one per task), never total size.
+                pending = min(
+                    job.execution_tasks.count, run.true_remaining_units
+                )
+                adhoc_views.append(
+                    AdhocJobView(
+                        job_id=job.job_id,
+                        arrival_slot=run.arrival_slot,
+                        unit_demand=job.execution_tasks.demand,
+                        pending_units=pending,
+                        completed=run.done,
+                    )
+                )
+        visible_workflows = {
+            wid: wf
+            for wid, wf in self.workflows.items()
+            if wf.start_slot <= slot
+        }
+        return ClusterView(
+            slot=slot,
+            capacity=self.cluster,
+            deadline_jobs=tuple(deadline_views),
+            adhoc_jobs=tuple(adhoc_views),
+            workflows=visible_workflows,
+        )
+
+    # -- run loop --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        config = self.config
+        resources = self.cluster.resources
+        usage_rows: list[list[float]] = []
+        granted_rows: list[list[float]] = []
+        execution_rows: list[dict[str, int]] = []
+        pending_events: list[Event] = []
+        planning_calls = 0
+        planning_seconds = 0.0
+
+        failure_rng = config.failures.rng() if config.failures else None
+        remaining_jobs = sum(1 for run in self._runs.values() if not run.done)
+        slot = 0
+        finished = remaining_jobs == 0
+        while not finished and slot < config.max_slots:
+            events = pending_events
+            pending_events = []
+
+            # Arrivals at this slot.
+            for workflow in self.workflows.values():
+                if workflow.start_slot == slot:
+                    events.append(
+                        WorkflowArrived(slot=slot, workflow_id=workflow.workflow_id)
+                    )
+                    for job_id in workflow.roots():
+                        run = self._runs[job_id]
+                        run.ready_slot = slot
+                        events.append(
+                            JobReady(
+                                slot=slot,
+                                job_id=job_id,
+                                workflow_id=workflow.workflow_id,
+                            )
+                        )
+            for run in self._runs.values():
+                if (
+                    run.job.kind is JobKind.ADHOC
+                    and run.arrival_slot == slot
+                ):
+                    run.ready_slot = slot
+                    events.append(JobArrived(slot=slot, job_id=run.job.job_id))
+
+            view = self._view(slot)
+            start = time.perf_counter()
+            if events:
+                self.scheduler.on_events(events, view)
+            assignment = self.scheduler.assign(view)
+            planning_seconds += time.perf_counter() - start
+            planning_calls += 1
+
+            usage, granted, completions, executed = self._execute(
+                slot, assignment, view
+            )
+            usage_rows.append([usage[r] for r in resources])
+            granted_rows.append([granted[r] for r in resources])
+            if config.record_execution:
+                execution_rows.append(executed)
+
+            # Failure injection: jobs that ran but did not complete may lose
+            # progress (a crashed container redoes work).  Completed jobs
+            # are safe — their outputs are materialised.
+            if failure_rng is not None:
+                done = set(completions)
+                for job_id in executed:
+                    if job_id in done:
+                        continue
+                    run = self._runs[job_id]
+                    lost = config.failures.roll(failure_rng, run.executed_units)
+                    if lost > 0:
+                        run.executed_units -= lost
+                        pending_events.append(
+                            JobSetback(
+                                slot=slot + 1,
+                                job_id=job_id,
+                                lost_units=lost,
+                                workflow_id=run.job.workflow_id,
+                            )
+                        )
+
+            # Completions propagate readiness and workflow completion events
+            # delivered at the start of the next slot.
+            for job_id in completions:
+                run = self._runs[job_id]
+                workflow_id = run.job.workflow_id
+                pending_events.append(
+                    JobCompleted(slot=slot + 1, job_id=job_id, workflow_id=workflow_id)
+                )
+                if workflow_id is not None:
+                    workflow = self.workflows[workflow_id]
+                    self._workflow_remaining[workflow_id] -= 1
+                    if self._workflow_remaining[workflow_id] == 0:
+                        self._workflow_completion[workflow_id] = slot
+                        pending_events.append(
+                            WorkflowCompleted(slot=slot + 1, workflow_id=workflow_id)
+                        )
+                    for child in workflow.dependents_of(job_id):
+                        child_run = self._runs[child]
+                        child_run.unmet_parents -= 1
+                        if child_run.unmet_parents == 0:
+                            child_run.ready_slot = slot + 1
+                            pending_events.append(
+                                JobReady(
+                                    slot=slot + 1,
+                                    job_id=child,
+                                    workflow_id=workflow_id,
+                                )
+                            )
+            remaining_jobs -= len(completions)
+            finished = remaining_jobs == 0
+            slot += 1
+
+        if pending_events:
+            # Deliver the final completion events (observability: schedulers
+            # and tests can see the run close out) without asking for work.
+            self.scheduler.on_events(pending_events, self._view(slot))
+
+        return self._result(slot, finished, usage_rows, granted_rows,
+                            execution_rows, planning_calls, planning_seconds)
+
+    def _execute(
+        self, slot: int, assignment, view: ClusterView
+    ) -> tuple[ResourceVector, ResourceVector, list[str], dict[str, int]]:
+        """Run one slot of granted work.
+
+        Returns (used, granted, completions, executed-units-per-job).
+        """
+        capacity = self.cluster.at(slot)
+        granted_total = ResourceVector()
+        used_total = ResourceVector()
+        completions: list[str] = []
+        executed: dict[str, int] = {}
+
+        # Pass 1: validate grants and derive how many *true* tasks the
+        # granted resources can host per job.
+        runnable: list[tuple[str, int]] = []  # (job_id, desired true tasks)
+        for job_id, units in assignment.items():
+            if units <= 0:
+                continue
+            run = self._runs.get(job_id)
+            if run is None:
+                raise ValueError(f"scheduler granted unknown job {job_id!r}")
+            if run.done or not run.ready_at(slot):
+                if self.config.strict:
+                    raise ValueError(
+                        f"scheduler granted units to job {job_id!r} which is "
+                        f"{'done' if run.done else 'not ready'} at slot {slot}"
+                    )
+                continue
+            believed_demand = run.job.tasks.demand
+            grant_vec = believed_demand * int(units)
+            granted_total = granted_total + grant_vec
+
+            # Execution uses the *true* structure: the engine runs as many
+            # true task-slots as the granted resources can host.
+            true_spec = run.job.execution_tasks
+            tasks_run = min(
+                true_spec.demand.units_fitting(grant_vec),
+                true_spec.count,
+                run.true_remaining_units,
+            )
+            if tasks_run > 0:
+                runnable.append((job_id, tasks_run))
+
+        # Node-level placement: tasks must also pack onto machines; units
+        # lost to fragmentation simply do not run this slot.
+        if self.config.node_cluster is not None and runnable:
+            pack = self.config.node_cluster.pack(
+                [
+                    (job_id, self._runs[job_id].job.execution_tasks.demand, tasks)
+                    for job_id, tasks in runnable
+                ]
+            )
+            self._fragmentation_waste += pack.total_unplaced
+            runnable = [
+                (job_id, pack.placed.get(job_id, 0)) for job_id, _ in runnable
+            ]
+
+        # Pass 2: execute.
+        for job_id, tasks_run in runnable:
+            if tasks_run <= 0:
+                continue
+            run = self._runs[job_id]
+            true_spec = run.job.execution_tasks
+            run.executed_units += tasks_run
+            executed[job_id] = tasks_run
+            used_total = used_total + true_spec.demand * tasks_run
+            if run.true_remaining_units == 0:
+                run.completion_slot = slot
+                completions.append(job_id)
+
+        if not granted_total.fits_in(capacity):
+            if self.config.strict:
+                raise ValueError(
+                    f"slot {slot}: scheduler granted {dict(granted_total)} "
+                    f"exceeding capacity {dict(capacity)}"
+                )
+        return used_total, granted_total, completions, executed
+
+    def _result(
+        self,
+        n_slots: int,
+        finished: bool,
+        usage_rows: list[list[float]],
+        granted_rows: list[list[float]],
+        execution_rows: list[dict[str, int]],
+        planning_calls: int,
+        planning_seconds: float,
+    ) -> SimulationResult:
+        resources = self.cluster.resources
+        jobs = {
+            job_id: JobRecord(
+                job_id=job_id,
+                kind=run.job.kind,
+                workflow_id=run.job.workflow_id,
+                arrival_slot=run.arrival_slot,
+                ready_slot=run.ready_slot,
+                completion_slot=run.completion_slot,
+                true_units=run.true_total_units,
+                est_units=run.job.tasks.total_task_slots,
+            )
+            for job_id, run in self._runs.items()
+        }
+        workflow_records = {
+            wid: WorkflowRecord(
+                workflow_id=wid,
+                start_slot=wf.start_slot,
+                deadline_slot=wf.deadline_slot,
+                completion_slot=self._workflow_completion[wid],
+            )
+            for wid, wf in self.workflows.items()
+        }
+        shape = (max(len(usage_rows), 1), len(resources))
+        usage = np.zeros(shape)
+        granted = np.zeros(shape)
+        if usage_rows:
+            usage[: len(usage_rows)] = np.asarray(usage_rows)
+            granted[: len(granted_rows)] = np.asarray(granted_rows)
+        return SimulationResult(
+            slot_seconds=self.config.slot_seconds,
+            n_slots=n_slots,
+            finished=finished,
+            jobs=jobs,
+            workflows=workflow_records,
+            usage=usage,
+            granted=granted,
+            resources=resources,
+            scheduler_name=getattr(self.scheduler, "name", ""),
+            planning_calls=planning_calls,
+            planning_seconds=planning_seconds,
+            execution=tuple(execution_rows),
+            fragmentation_waste_units=self._fragmentation_waste,
+        )

@@ -1,0 +1,131 @@
+"""Node-level cluster modelling and task placement.
+
+The paper's formulation — like our default engine — treats the cluster as
+one aggregate resource pool (``C_t^r``).  Real clusters are machines: a
+grant of 40 cores is only usable if the individual tasks *pack* onto nodes,
+and multi-core tasks fragment.  This module adds that layer:
+
+* :class:`NodeCluster` — a bag of (possibly heterogeneous) nodes;
+* :meth:`NodeCluster.pack` — best-fit-decreasing placement of one slot's
+  granted task units onto nodes, reporting what could not be placed.
+
+Wire it into a simulation with ``SimulationConfig(node_cluster=...)``: the
+engine then executes only the units that actually place, and records the
+*fragmentation waste* (granted but unplaceable units) per slot.  Schedulers
+keep seeing the aggregate view — which is exactly how the mismatch between
+the paper's model and a real deployment shows up, and what EXT-10 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class PackResult:
+    """Outcome of packing one slot's grants onto nodes.
+
+    Attributes:
+        placed: per job, how many task units found a node.
+        unplaced: per job, granted units that did not fit anywhere
+            (fragmentation waste; empty when everything placed).
+        node_loads: resulting per-node load vectors (diagnostics).
+    """
+
+    placed: Mapping[str, int]
+    unplaced: Mapping[str, int]
+    node_loads: tuple[ResourceVector, ...] = field(repr=False, default=())
+
+    @property
+    def total_unplaced(self) -> int:
+        return sum(self.unplaced.values())
+
+
+class NodeCluster:
+    """A cluster as individual machines.
+
+    Nodes may be heterogeneous; :meth:`aggregate` is what the slot-based
+    scheduler model sees, :meth:`pack` is what physics allows.
+    """
+
+    def __init__(self, nodes: Sequence[ResourceVector]):
+        if not nodes:
+            raise ValueError("a node cluster needs at least one node")
+        for node in nodes:
+            if node.is_zero():
+                raise ValueError("nodes must have non-zero capacity")
+        self._nodes = tuple(nodes)
+
+    @staticmethod
+    def uniform(n_nodes: int, **amounts: int) -> "NodeCluster":
+        """``n_nodes`` identical machines (e.g. ``uniform(8, cpu=8, mem=16)``)."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return NodeCluster([ResourceVector(amounts)] * n_nodes)
+
+    @property
+    def nodes(self) -> tuple[ResourceVector, ...]:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def aggregate(self) -> ResourceVector:
+        return ResourceVector.sum(self._nodes)
+
+    def as_capacity(self) -> ClusterCapacity:
+        """The aggregate :class:`ClusterCapacity` schedulers should be given."""
+        return ClusterCapacity(base=self.aggregate())
+
+    def pack(
+        self, requests: Sequence[tuple[str, ResourceVector, int]]
+    ) -> PackResult:
+        """Place one slot's granted task units onto nodes.
+
+        Args:
+            requests: ``(job_id, per-task demand, units)`` triples.
+
+        Best-fit decreasing: jobs' units are placed largest-demand first
+        (by dominant share against a node), each unit onto the node with
+        the least residual capacity that still fits — the classic
+        fragmentation-minimising heuristic YARN-style packers use.
+        """
+        residual = list(self._nodes)
+        reference = self._nodes[0]
+
+        def size(demand: ResourceVector) -> float:
+            return demand.dominant_share(reference)
+
+        placed: dict[str, int] = {}
+        unplaced: dict[str, int] = {}
+        ordered = sorted(requests, key=lambda r: size(r[1]), reverse=True)
+        for job_id, demand, units in ordered:
+            if units <= 0:
+                continue
+            done = 0
+            for _ in range(units):
+                best_node = -1
+                best_headroom = None
+                for idx, free in enumerate(residual):
+                    if not demand.fits_in(free):
+                        continue
+                    headroom = (free.saturating_sub(demand)).dominant_share(
+                        reference
+                    )
+                    if best_headroom is None or headroom < best_headroom:
+                        best_node, best_headroom = idx, headroom
+                if best_node < 0:
+                    break
+                residual[best_node] = residual[best_node].saturating_sub(demand)
+                done += 1
+            placed[job_id] = placed.get(job_id, 0) + done
+            if done < units:
+                unplaced[job_id] = unplaced.get(job_id, 0) + (units - done)
+        loads = tuple(
+            node.saturating_sub(free) for node, free in zip(self._nodes, residual)
+        )
+        return PackResult(placed=placed, unplaced=unplaced, node_loads=loads)

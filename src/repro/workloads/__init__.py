@@ -1,0 +1,52 @@
+"""Workload generation.
+
+The paper evaluates with (a) scientific-workflow DAG shapes from the
+Bharathi et al. characterisation [16] filled with PUMA MapReduce benchmark
+jobs [17] (WordCount, InvertedIndex, Sequence-Count, SelfJoin) and (b)
+trace-driven simulations from production traces with loose deadlines.  This
+package generates all of it synthetically: DAG topologies, PUMA-shaped job
+templates, ad-hoc arrival processes, and full serialisable traces.
+"""
+
+from repro.workloads.arrivals import adhoc_stream, poisson_arrival_slots
+from repro.workloads.dag_generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    layered_random_workflow,
+    random_dag_edges,
+)
+from repro.workloads.puma import (
+    PUMA_TEMPLATES,
+    make_mapreduce_jobs,
+    make_puma_job,
+    puma_task_spec,
+)
+from repro.workloads.recurring import RecurringWorkflow, record_run
+from repro.workloads.scientific import (
+    SCIENTIFIC_SHAPES,
+    make_scientific_workflow,
+)
+from repro.workloads.traces import SyntheticTrace, generate_trace, load_trace, save_trace
+
+__all__ = [
+    "PUMA_TEMPLATES",
+    "RecurringWorkflow",
+    "SCIENTIFIC_SHAPES",
+    "SyntheticTrace",
+    "adhoc_stream",
+    "chain_workflow",
+    "diamond_workflow",
+    "fork_join_workflow",
+    "generate_trace",
+    "layered_random_workflow",
+    "load_trace",
+    "make_mapreduce_jobs",
+    "make_puma_job",
+    "make_scientific_workflow",
+    "poisson_arrival_slots",
+    "puma_task_spec",
+    "random_dag_edges",
+    "record_run",
+    "save_trace",
+]

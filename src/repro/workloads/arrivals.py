@@ -1,0 +1,101 @@
+"""Ad-hoc job arrival processes.
+
+Ad-hoc jobs "can be submitted to the system at any time" (Sec. II-A); the
+standard model for independent submissions is a Poisson process.  A bursty
+variant (Poisson bursts of geometric size) is provided for stress tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+
+
+def poisson_arrival_slots(
+    rate_per_slot: float,
+    horizon_slots: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Arrival slots of a Poisson process with the given rate, within
+    ``[0, horizon_slots)``, sorted ascending."""
+    if rate_per_slot < 0:
+        raise ValueError("rate_per_slot must be >= 0")
+    if horizon_slots < 0:
+        raise ValueError("horizon_slots must be >= 0")
+    arrivals: list[int] = []
+    time = 0.0
+    while rate_per_slot > 0:
+        time += rng.exponential(1.0 / rate_per_slot)
+        if time >= horizon_slots:
+            break
+        arrivals.append(int(time))
+    return arrivals
+
+
+def bursty_arrival_slots(
+    burst_rate_per_slot: float,
+    mean_burst_size: float,
+    horizon_slots: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Bursts arrive Poisson; each burst contributes a geometric number of
+    simultaneous submissions."""
+    if mean_burst_size < 1:
+        raise ValueError("mean_burst_size must be >= 1")
+    slots: list[int] = []
+    for slot in poisson_arrival_slots(burst_rate_per_slot, horizon_slots, rng):
+        size = 1 + rng.geometric(1.0 / mean_burst_size) - 1
+        slots.extend([slot] * int(size))
+    return slots
+
+
+def _default_adhoc_spec(rng: np.random.Generator) -> TaskSpec:
+    """Small, short, latency-sensitive jobs (interactive queries, dev runs)."""
+    count = int(rng.integers(2, 12))
+    duration = int(rng.integers(1, 4))
+    cores = int(rng.choice([1, 1, 2]))
+    mem = cores * int(rng.choice([2, 4]))
+    return TaskSpec(
+        count=count,
+        duration_slots=duration,
+        demand=ResourceVector({CPU: cores, MEM: mem}),
+    )
+
+
+def adhoc_stream(
+    n_jobs: int | None = None,
+    *,
+    rate_per_slot: float = 0.2,
+    horizon_slots: int = 200,
+    seed: int = 0,
+    spec_factory=None,
+    prefix: str = "adhoc",
+) -> list[Job]:
+    """A stream of ad-hoc jobs with Poisson arrivals.
+
+    Args:
+        n_jobs: truncate to this many jobs (None = whatever the process
+            yields over the horizon).
+        rate_per_slot: Poisson arrival rate.
+        horizon_slots: arrival window.
+        seed: RNG seed.
+        spec_factory: ``rng -> TaskSpec`` for job sizes (default: small
+            latency-sensitive jobs).
+        prefix: job-id prefix.
+    """
+    rng = np.random.default_rng(seed)
+    factory = spec_factory or _default_adhoc_spec
+    slots = poisson_arrival_slots(rate_per_slot, horizon_slots, rng)
+    if n_jobs is not None:
+        slots = slots[:n_jobs]
+    return [
+        Job(
+            job_id=f"{prefix}-{i}",
+            tasks=factory(rng),
+            kind=JobKind.ADHOC,
+            arrival_slot=slot,
+        )
+        for i, slot in enumerate(slots)
+    ]

@@ -1,0 +1,160 @@
+"""DAG topology generators.
+
+The structures the paper exercises: the Fig. 1/Fig. 3 motivating shapes
+(chains and fork-joins), layered random DAGs for the Fig. 6 decomposition
+scalability sweep (10-200 nodes, up to ~6000 edges), and generic random
+DAGs for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow
+
+#: Callable producing the TaskSpec of node ``i`` (or a constant spec).
+SpecFactory = Callable[[int], TaskSpec]
+
+
+def _default_spec(_index: int) -> TaskSpec:
+    return TaskSpec(
+        count=8, duration_slots=3, demand=ResourceVector({CPU: 2, MEM: 4})
+    )
+
+
+def _jobs(
+    workflow_id: str, n: int, spec_of: SpecFactory | TaskSpec | None
+) -> list[Job]:
+    if spec_of is None:
+        factory: SpecFactory = _default_spec
+    elif isinstance(spec_of, TaskSpec):
+        factory = lambda _i, _s=spec_of: _s  # noqa: E731 - tiny closure
+    else:
+        factory = spec_of
+    return [
+        Job(
+            job_id=f"{workflow_id}-j{i}",
+            tasks=factory(i),
+            kind=JobKind.DEADLINE,
+            workflow_id=workflow_id,
+        )
+        for i in range(n)
+    ]
+
+
+def chain_workflow(
+    workflow_id: str,
+    length: int,
+    start_slot: int,
+    deadline_slot: int,
+    spec_of: SpecFactory | TaskSpec | None = None,
+) -> Workflow:
+    """A linear chain j0 -> j1 -> ... (the Fig. 1 workflow is a 2-chain)."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    jobs = _jobs(workflow_id, length, spec_of)
+    edges = [
+        (jobs[i].job_id, jobs[i + 1].job_id) for i in range(length - 1)
+    ]
+    return Workflow.from_jobs(workflow_id, jobs, edges, start_slot, deadline_slot)
+
+
+def fork_join_workflow(
+    workflow_id: str,
+    fan_out: int,
+    start_slot: int,
+    deadline_slot: int,
+    spec_of: SpecFactory | TaskSpec | None = None,
+) -> Workflow:
+    """The Fig. 3 shape: 1 -> {2..n} -> n+1 with *fan_out* parallel middles."""
+    if fan_out < 1:
+        raise ValueError("fan_out must be >= 1")
+    jobs = _jobs(workflow_id, fan_out + 2, spec_of)
+    source, sink = jobs[0], jobs[-1]
+    edges = []
+    for middle in jobs[1:-1]:
+        edges.append((source.job_id, middle.job_id))
+        edges.append((middle.job_id, sink.job_id))
+    if fan_out == 0:
+        edges.append((source.job_id, sink.job_id))
+    return Workflow.from_jobs(workflow_id, jobs, edges, start_slot, deadline_slot)
+
+
+def diamond_workflow(
+    workflow_id: str,
+    start_slot: int,
+    deadline_slot: int,
+    spec_of: SpecFactory | TaskSpec | None = None,
+) -> Workflow:
+    """The 4-node diamond: j0 -> {j1, j2} -> j3."""
+    return fork_join_workflow(workflow_id, 2, start_slot, deadline_slot, spec_of)
+
+
+def random_dag_edges(
+    n_nodes: int,
+    target_edges: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Random acyclic edge set over nodes 0..n-1 (edges go low -> high).
+
+    Used by the Fig. 6 scalability sweep, which ranges up to 200 nodes and
+    ~6000 edges.  ``target_edges`` is capped at the DAG maximum n(n-1)/2.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    max_edges = n_nodes * (n_nodes - 1) // 2
+    target = min(target_edges, max_edges)
+    chosen: set[tuple[int, int]] = set()
+    # Start with a random spanning chain so the DAG is connected-ish.
+    order = rng.permutation(n_nodes)
+    for a, b in zip(order[:-1], order[1:]):
+        low, high = (int(a), int(b)) if a < b else (int(b), int(a))
+        chosen.add((low, high))
+        if len(chosen) >= target:
+            break
+    while len(chosen) < target:
+        a = int(rng.integers(0, n_nodes - 1))
+        b = int(rng.integers(a + 1, n_nodes))
+        chosen.add((a, b))
+    return sorted(chosen)
+
+
+def layered_random_workflow(
+    workflow_id: str,
+    n_nodes: int,
+    n_levels: int,
+    start_slot: int,
+    deadline_slot: int,
+    rng: np.random.Generator,
+    *,
+    edge_density: float = 0.3,
+    spec_of: SpecFactory | TaskSpec | None = None,
+) -> Workflow:
+    """A layered DAG: nodes spread over levels, edges only between
+    consecutive levels (plus a guarantee every non-root has a parent).
+
+    This is the scientific-workflow-like topology used for mixed-cluster
+    experiments; the level widths are random but every level is non-empty.
+    """
+    if n_levels < 1 or n_nodes < n_levels:
+        raise ValueError("need n_nodes >= n_levels >= 1")
+    if not 0.0 <= edge_density <= 1.0:
+        raise ValueError("edge_density must be in [0, 1]")
+    jobs = _jobs(workflow_id, n_nodes, spec_of)
+    # Assign each node a level; force one node per level first.
+    levels: list[list[int]] = [[i] for i in range(n_levels)]
+    for i in range(n_levels, n_nodes):
+        levels[int(rng.integers(0, n_levels))].append(i)
+    edges: list[tuple[str, str]] = []
+    for upper, lower in zip(levels[:-1], levels[1:]):
+        for child in lower:
+            parents = [p for p in upper if rng.random() < edge_density]
+            if not parents:
+                parents = [upper[int(rng.integers(0, len(upper)))]]
+            for parent in parents:
+                edges.append((jobs[parent].job_id, jobs[child].job_id))
+    return Workflow.from_jobs(workflow_id, jobs, edges, start_slot, deadline_slot)

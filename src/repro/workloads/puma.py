@@ -1,0 +1,144 @@
+"""PUMA benchmark job templates (Ahmad et al. [17]).
+
+The paper's workflows are filled with PUMA MapReduce jobs — InvertedIndex,
+Sequence-Count, WordCount (word-processing applications) and SelfJoin over
+generated datasets — with inputs of at least 10 GB.  These templates encode
+each benchmark's *shape*: tasks per input GB, per-task duration, and
+per-task resource demand, calibrated to plausible Hadoop numbers (one map
+task per 128 MB split; durations in 10 s slots).  Absolute numbers do not
+matter for the reproduction — relative shape between jobs does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+
+
+@dataclass(frozen=True)
+class PumaTemplate:
+    """Shape of one PUMA benchmark job.
+
+    ``tasks_per_gb`` scales task count with input size; ``duration_slots``
+    is the typical per-task runtime; ``cores``/``mem_gb`` the per-task
+    container size (YARN-style: whole cores, whole GB).
+    """
+
+    name: str
+    tasks_per_gb: float
+    duration_slots: int
+    cores: int
+    mem_gb: int
+
+
+PUMA_TEMPLATES: dict[str, PumaTemplate] = {
+    # Word-processing benchmarks (CPU-leaning).
+    "wordcount": PumaTemplate("wordcount", 0.8, 3, 2, 4),
+    "inverted-index": PumaTemplate("inverted-index", 0.8, 4, 2, 6),
+    "sequence-count": PumaTemplate("sequence-count", 0.8, 5, 2, 6),
+    # Join benchmarks (memory/shuffle-leaning).
+    "self-join": PumaTemplate("self-join", 0.6, 4, 2, 8),
+    "adjacency-list": PumaTemplate("adjacency-list", 0.6, 5, 2, 8),
+    "terasort": PumaTemplate("terasort", 1.0, 3, 1, 4),
+    "grep": PumaTemplate("grep", 0.8, 2, 1, 2),
+}
+
+
+def puma_task_spec(template: str, input_gb: float) -> TaskSpec:
+    """Task structure of one PUMA job over *input_gb* gigabytes of input."""
+    try:
+        tpl = PUMA_TEMPLATES[template]
+    except KeyError:
+        raise ValueError(
+            f"unknown PUMA template {template!r}; available: {sorted(PUMA_TEMPLATES)}"
+        ) from None
+    if input_gb <= 0:
+        raise ValueError(f"input_gb must be positive, got {input_gb}")
+    count = max(int(round(tpl.tasks_per_gb * input_gb)), 1)
+    return TaskSpec(
+        count=count,
+        duration_slots=tpl.duration_slots,
+        demand=ResourceVector({CPU: tpl.cores, MEM: tpl.mem_gb}),
+    )
+
+
+def make_puma_job(
+    job_id: str,
+    template: str,
+    input_gb: float,
+    *,
+    kind: JobKind = JobKind.DEADLINE,
+    arrival_slot: int = 0,
+    workflow_id: str | None = None,
+) -> Job:
+    """One PUMA-shaped job (deadline-class by default)."""
+    return Job(
+        job_id=job_id,
+        tasks=puma_task_spec(template, input_gb),
+        kind=kind,
+        arrival_slot=arrival_slot,
+        workflow_id=workflow_id,
+        name=template,
+    )
+
+
+def make_mapreduce_jobs(
+    job_id: str,
+    template: str,
+    input_gb: float,
+    *,
+    workflow_id: str,
+    reduce_fraction: float = 0.35,
+) -> tuple[list[Job], list[tuple[str, str]]]:
+    """Split one PUMA job into chained map and reduce stage jobs.
+
+    MapReduce stages have different shapes — many short map tasks, fewer
+    longer reduce tasks — and the workflow DAG already expresses stage
+    precedence, so a stage is simply a job node.  Returns the two jobs plus
+    the map->reduce edge, ready to splice into a workflow.
+
+    Args:
+        job_id: base id; stages get ``-map`` / ``-reduce`` suffixes.
+        template: PUMA template name.
+        input_gb: input size (>= 10 GB per the paper's setup).
+        workflow_id: owning workflow.
+        reduce_fraction: reduce-side task count relative to the map side.
+    """
+    if not 0.0 < reduce_fraction <= 1.0:
+        raise ValueError("reduce_fraction must be in (0, 1]")
+    map_spec = puma_task_spec(template, input_gb)
+    reduce_count = max(int(round(map_spec.count * reduce_fraction)), 1)
+    reduce_spec = TaskSpec(
+        count=reduce_count,
+        duration_slots=map_spec.duration_slots + 1,  # shuffle + merge tail
+        demand=map_spec.demand,
+    )
+    map_job = Job(
+        job_id=f"{job_id}-map",
+        tasks=map_spec,
+        workflow_id=workflow_id,
+        name=f"{template}-map",
+    )
+    reduce_job = Job(
+        job_id=f"{job_id}-reduce",
+        tasks=reduce_spec,
+        workflow_id=workflow_id,
+        name=f"{template}-reduce",
+    )
+    return [map_job, reduce_job], [(map_job.job_id, reduce_job.job_id)]
+
+
+def random_puma_spec(
+    rng: np.random.Generator,
+    *,
+    min_gb: float = 10.0,
+    max_gb: float = 40.0,
+) -> TaskSpec:
+    """A random PUMA task spec (inputs >= 10 GB, matching Sec. VII-A)."""
+    template = rng.choice(sorted(PUMA_TEMPLATES))
+    input_gb = float(rng.uniform(min_gb, max_gb))
+    return puma_task_spec(str(template), input_gb)

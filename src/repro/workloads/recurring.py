@@ -1,0 +1,123 @@
+"""Recurring workflows.
+
+"These deadline-aware workflows are typically recurring, running on a
+daily, weekly or monthly basis" (Sec. I) — that recurrence is what makes
+their structure and runtimes known, and what gives Morpheus prior runs to
+infer deadlines from.  A :class:`RecurringWorkflow` is a skeleton plus a
+period; :meth:`instance` stamps out the i-th occurrence with fresh job ids
+and shifted start/deadline, and :func:`record_run` feeds an executed
+instance back into a :class:`~repro.estimation.history.RunHistory` so the
+history used by schedulers can come from *actual* prior simulations rather
+than synthesised observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.estimation.history import JobObservation, RunHistory, WorkflowRun
+from repro.model.workflow import Workflow
+from repro.simulator.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class RecurringWorkflow:
+    """A workflow template that recurs every ``period_slots``.
+
+    Attributes:
+        skeleton: the canonical occurrence, anchored at ``start_slot = 0``;
+            its ``window_slots`` is the deadline window of every instance.
+        period_slots: slots between consecutive instance start times.
+        template_name: history key (defaults to the skeleton's name/id).
+    """
+
+    skeleton: Workflow
+    period_slots: int
+    template_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period_slots < 1:
+            raise ValueError("period_slots must be >= 1")
+        if self.skeleton.start_slot != 0:
+            raise ValueError("the skeleton must be anchored at start_slot 0")
+
+    @property
+    def name(self) -> str:
+        return (
+            self.template_name
+            or self.skeleton.name
+            or self.skeleton.workflow_id
+        )
+
+    def instance_id(self, index: int) -> str:
+        return f"{self.skeleton.workflow_id}@{index}"
+
+    def instance(self, index: int) -> Workflow:
+        """The *index*-th occurrence (index 0 starts at slot 0)."""
+        if index < 0:
+            raise ValueError("index must be >= 0")
+        new_wid = self.instance_id(index)
+        start = index * self.period_slots
+        id_map = {
+            job.job_id: f"{new_wid}-{job.job_id}" for job in self.skeleton.jobs
+        }
+        jobs = [
+            replace(job, job_id=id_map[job.job_id], workflow_id=new_wid)
+            for job in self.skeleton.jobs
+        ]
+        edges = [(id_map[a], id_map[b]) for a, b in self.skeleton.edges]
+        return Workflow.from_jobs(
+            new_wid,
+            jobs,
+            edges,
+            start,
+            start + self.skeleton.window_slots,
+            name=self.name,
+        )
+
+    def instances(self, count: int) -> list[Workflow]:
+        return [self.instance(i) for i in range(count)]
+
+    def skeleton_job_id(self, instance_index: int, job_id: str) -> str:
+        """Map an instance job id back to the skeleton job id."""
+        prefix = f"{self.instance_id(instance_index)}-"
+        if not job_id.startswith(prefix):
+            raise KeyError(job_id)
+        return job_id[len(prefix):]
+
+
+def record_run(
+    history: RunHistory,
+    recurring: RecurringWorkflow,
+    instance_index: int,
+    result: SimulationResult,
+) -> WorkflowRun:
+    """Extract one executed instance's observations into *history*.
+
+    Start offsets come from readiness (when the job could first run),
+    completion offsets from the completion slot — exactly what a resource
+    manager's job-history server records.  Raises ValueError if the
+    instance did not finish in *result*.
+    """
+    workflow = recurring.instance(instance_index)
+    start = workflow.start_slot
+    observations: dict[str, JobObservation] = {}
+    makespan = 1
+    for job in workflow.jobs:
+        record = result.jobs.get(job.job_id)
+        if record is None or record.completion_slot is None:
+            raise ValueError(
+                f"instance {instance_index} of {recurring.name}: job "
+                f"{job.job_id} did not complete in the given result"
+            )
+        skeleton_id = recurring.skeleton_job_id(instance_index, job.job_id)
+        begin = max((record.ready_slot or start) - start, 0)
+        end = record.completion_slot + 1 - start
+        end = max(end, begin + 1)
+        observations[skeleton_id] = JobObservation(
+            job_id=skeleton_id, start_offset=begin, completion_offset=end
+        )
+        makespan = max(makespan, end)
+    run = WorkflowRun(observations=observations, makespan=makespan)
+    history.add(recurring.name, run)
+    return run

@@ -1,0 +1,75 @@
+"""Tests for the ASCII Gantt/skyline renderers."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt, render_utilization
+from repro.schedulers.fifo import FifoScheduler
+from repro.simulator.engine import Simulation, SimulationConfig
+from tests.conftest import adhoc_job
+
+
+@pytest.fixture
+def recorded_run(small_cluster, chain3):
+    adhocs = [adhoc_job("a0", 0, count=2, duration=1)]
+    sim = Simulation(
+        small_cluster,
+        FifoScheduler(),
+        workflows=[chain3],
+        adhoc_jobs=adhocs,
+        config=SimulationConfig(record_execution=True),
+    )
+    return sim.run()
+
+
+class TestGantt:
+    def test_requires_execution_record(self, small_cluster):
+        result = Simulation(
+            small_cluster, FifoScheduler(), adhoc_jobs=[adhoc_job("a", 0)]
+        ).run()
+        with pytest.raises(ValueError, match="record_execution"):
+            render_gantt(result)
+
+    def test_one_row_per_job(self, recorded_run):
+        chart = render_gantt(recorded_run)
+        lines = chart.splitlines()
+        assert len(lines) == 1 + len(recorded_run.jobs)  # header + rows
+        for job_id in recorded_run.jobs:
+            assert any(line.startswith(job_id) for line in lines)
+
+    def test_execution_marks_present(self, recorded_run):
+        chart = render_gantt(recorded_run)
+        assert "#" in chart
+
+    def test_chain_order_visible(self, recorded_run):
+        """Chain jobs appear in dependency order (sorted by first run)."""
+        lines = render_gantt(recorded_run).splitlines()[1:]
+        order = [line.split()[0] for line in lines]
+        assert order.index("c-j0") < order.index("c-j1") < order.index("c-j2")
+
+    def test_job_filter(self, recorded_run):
+        chart = render_gantt(recorded_run, jobs=["c-j0"])
+        assert len(chart.splitlines()) == 2
+
+    def test_max_rows(self, recorded_run):
+        chart = render_gantt(recorded_run, max_rows=2)
+        assert len(chart.splitlines()) == 3
+
+    def test_width_cap(self, recorded_run):
+        chart = render_gantt(recorded_run, width=10)
+        body = chart.splitlines()[1]
+        # label + space + |..........| (10 columns at most)
+        assert body.count("|") == 2
+        inner = body.split("|")[1]
+        assert len(inner) <= 10
+
+
+class TestUtilization:
+    def test_sparkline_renders(self, recorded_run, small_cluster):
+        line = render_utilization(recorded_run, small_cluster)
+        assert line.startswith("util |")
+        assert "peak" in line
+
+    def test_busy_run_has_nonzero_blocks(self, recorded_run, small_cluster):
+        line = render_utilization(recorded_run, small_cluster)
+        inner = line.split("|")[1]
+        assert any(ch != " " for ch in inner)

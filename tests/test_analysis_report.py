@@ -1,0 +1,50 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(scale="quick", seed=15)
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# FlowTime reproduction report",
+            "## Fig. 1",
+            "## Fig. 4",
+            "## Fig. 5",
+            "## Fig. 6 / Fig. 7",
+        ):
+            assert heading in report_text
+
+    def test_fig1_exact_numbers(self, report_text):
+        assert "| EDF | 150 | 150 |" in report_text
+        assert "| FlowTime | 100 | 100 |" in report_text
+
+    def test_fig4_flowtime_row(self, report_text):
+        flowtime_row = next(
+            line for line in report_text.splitlines()
+            if line.startswith("| FlowTime |") and "1.00x" in line
+        )
+        assert "| 0 | 0 |" in flowtime_row  # no misses
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            generate_report(scale="huge")
+
+
+class TestReportCli:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.read_text().startswith("# FlowTime reproduction report")
+
+    def test_stdout_when_no_out(self, capsys):
+        assert main(["report"]) == 0
+        assert "## Fig. 4" in capsys.readouterr().out

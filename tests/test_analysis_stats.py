@@ -1,0 +1,67 @@
+"""Tests for multi-seed replication statistics."""
+
+import pytest
+
+from repro.analysis.stats import MetricSummary, replicate
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import generate_trace
+
+
+class TestMetricSummary:
+    def test_of_single_value(self):
+        summary = MetricSummary.of([3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.n == 1
+
+    def test_of_spread(self):
+        summary = MetricSummary.of([1.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+    def test_str_format(self):
+        text = str(MetricSummary.of([1.0, 3.0]))
+        assert "±" in text and "[1.0, 3.0]" in text
+
+
+@pytest.fixture(scope="module")
+def replication():
+    cluster = ClusterCapacity.uniform(cpu=48, mem=96)
+
+    def factory(seed: int):
+        trace = generate_trace(
+            n_workflows=2,
+            jobs_per_workflow=4,
+            n_adhoc=5,
+            capacity=cluster,
+            seed=seed,
+        )
+        return trace, cluster
+
+    return replicate(factory, seeds=[1, 2, 3], algorithms=["FlowTime", "FIFO"])
+
+
+class TestReplicate:
+    def test_summaries_cover_all_algorithms_and_metrics(self, replication):
+        assert replication.algorithms == ("FlowTime", "FIFO")
+        for name in replication.algorithms:
+            for metric in ("jobs_missed", "workflows_missed", "adhoc_turnaround_s"):
+                assert replication.summary(name, metric).n == 3
+
+    def test_flowtime_misses_zero_across_seeds(self, replication):
+        summary = replication.summary("FlowTime", "jobs_missed")
+        assert summary.maximum == 0.0
+
+    def test_format_table(self, replication):
+        table = replication.format_table("adhoc_turnaround_s")
+        assert "FlowTime" in table and "FIFO" in table
+        assert "±" in table
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: (None, None), [], ["FlowTime"])

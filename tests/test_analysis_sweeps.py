@@ -1,0 +1,52 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import generate_trace
+
+
+@pytest.fixture(scope="module")
+def looseness_sweep():
+    cluster = ClusterCapacity.uniform(cpu=48, mem=96)
+
+    def factory(looseness: float):
+        trace = generate_trace(
+            n_workflows=2,
+            jobs_per_workflow=5,
+            n_adhoc=6,
+            capacity=cluster,
+            looseness=(looseness, looseness + 0.5),
+            seed=4,
+        )
+        return trace, cluster
+
+    return sweep("looseness", [2.0, 6.0], factory, ["FlowTime", "FIFO"])
+
+
+class TestSweep:
+    def test_one_comparison_per_point(self, looseness_sweep):
+        assert looseness_sweep.xs == (2.0, 6.0)
+        assert len(looseness_sweep.comparisons) == 2
+
+    def test_series_extraction(self, looseness_sweep):
+        misses = looseness_sweep.series("jobs_missed")
+        assert set(misses) == {"FlowTime", "FIFO"}
+        assert all(len(vals) == 2 for vals in misses.values())
+
+    def test_turnaround_series(self, looseness_sweep):
+        turns = looseness_sweep.series("adhoc_turnaround_s")
+        assert all(v >= 0 for vals in turns.values() for v in vals)
+
+    def test_looser_deadlines_never_increase_flowtime_misses(self, looseness_sweep):
+        misses = looseness_sweep.series("jobs_missed")["FlowTime"]
+        assert misses[1] <= misses[0]
+
+    def test_unknown_metric(self, looseness_sweep):
+        with pytest.raises(ValueError):
+            looseness_sweep.series("latency_p99")
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("x", [], lambda x: (None, None), ["FlowTime"])

@@ -1,0 +1,62 @@
+"""Tests for the decomposition windows chart."""
+
+import pytest
+
+from repro.analysis.windows_chart import render_windows
+from repro.cli import main
+from repro.core.decomposition import decompose_deadline
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
+
+
+@pytest.fixture
+def cluster():
+    return ClusterCapacity.uniform(cpu=40, mem=80)
+
+
+class TestRenderWindows:
+    def test_one_row_per_job_plus_header(self, cluster):
+        wf = chain_workflow("c", 3, 0, 60)
+        windows = decompose_deadline(wf, cluster).windows
+        chart = render_windows(wf, windows)
+        assert len(chart.splitlines()) == 4
+
+    def test_rows_ordered_by_release(self, cluster):
+        wf = chain_workflow("c", 3, 0, 60)
+        windows = decompose_deadline(wf, cluster).windows
+        rows = render_windows(wf, windows).splitlines()[1:]
+        assert [r.split()[0] for r in rows] == ["c-j0", "c-j1", "c-j2"]
+
+    def test_parallel_jobs_share_bars(self, cluster):
+        wf = fork_join_workflow("f", 3, 0, 90)
+        windows = decompose_deadline(wf, cluster).windows
+        rows = render_windows(wf, windows).splitlines()[1:]
+        middles = [r for r in rows if r.startswith("f-j1") or r.startswith("f-j2")]
+        bars = {r.split("[")[0].split(maxsplit=1)[1] for r in middles}
+        assert len(bars) == 1  # identical spans render identically
+
+    def test_deadline_marker_present(self, cluster):
+        wf = chain_workflow("c", 2, 10, 50)
+        windows = decompose_deadline(wf, cluster).windows
+        chart = render_windows(wf, windows)
+        # The last job's bar ends at the workflow deadline: marker collides
+        # with the bar and renders '#'.
+        assert "#" in chart
+
+    def test_windows_annotated_numerically(self, cluster):
+        wf = chain_workflow("c", 2, 0, 40)
+        windows = decompose_deadline(wf, cluster).windows
+        chart = render_windows(wf, windows)
+        for window in windows.values():
+            assert f"[{window.release_slot},{window.deadline_slot})" in chart
+
+
+class TestCliChart:
+    def test_decompose_chart_flag(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        main(["generate-trace", "--out", str(trace), "--workflows", "1", "--jobs", "4"])
+        capsys.readouterr()
+        assert main(["decompose", "--trace", str(trace), "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "=" in out
+        assert "[slots" in out

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "generate-trace",
+            "--out",
+            str(path),
+            "--workflows",
+            "2",
+            "--jobs",
+            "5",
+            "--adhoc",
+            "6",
+            "--seed",
+            "11",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerateTrace:
+    def test_writes_valid_json(self, trace_path, capsys):
+        payload = json.loads(trace_path.read_text())
+        assert len(payload["workflows"]) == 2
+        assert all(len(wf["jobs"]) == 5 for wf in payload["workflows"])
+
+    def test_reports_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main(["generate-trace", "--out", str(path), "--workflows", "1", "--jobs", "3"])
+        out = capsys.readouterr().out
+        assert "3 deadline jobs" in out
+
+    def test_scientific_flag(self, tmp_path):
+        path = tmp_path / "sci.json"
+        code = main(
+            [
+                "generate-trace",
+                "--out",
+                str(path),
+                "--workflows",
+                "2",
+                "--jobs",
+                "10",
+                "--scientific",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        names = {wf["name"] for wf in payload["workflows"]}
+        assert names <= {"montage", "cybershake", "epigenomics", "inspiral", "sipht"}
+
+
+class TestDecompose:
+    def test_prints_windows_for_all(self, trace_path, capsys):
+        assert main(["decompose", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wf0" in out and "wf1" in out
+        assert "levels" in out
+
+    def test_single_workflow_filter(self, trace_path, capsys):
+        assert main(["decompose", "--trace", str(trace_path), "--workflow", "wf1"]) == 0
+        out = capsys.readouterr().out
+        assert "wf1:" in out and "wf0:" not in out
+
+    def test_unknown_workflow_errors(self, trace_path, capsys):
+        assert main(["decompose", "--trace", str(trace_path), "--workflow", "nope"]) == 2
+
+
+class TestRun:
+    def test_flowtime_run(self, trace_path, capsys):
+        assert main(["run", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler:            FlowTime" in out
+        assert "finished:             True" in out
+        assert "util |" in out
+
+    def test_other_scheduler(self, trace_path, capsys):
+        assert main(["run", "--trace", str(trace_path), "--scheduler", "FIFO"]) == 0
+        assert "FIFO" in capsys.readouterr().out
+
+    def test_gantt_flag(self, trace_path, capsys):
+        assert main(["run", "--trace", str(trace_path), "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # execution marks
+
+    def test_rejects_unknown_scheduler(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--trace", str(trace_path), "--scheduler", "SLURM"])
+
+
+class TestCompare:
+    def test_default_comparison_table(self, trace_path, capsys):
+        assert main(
+            ["compare", "--trace", str(trace_path), "--algorithms", "FlowTime", "FIFO"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "jobs missed" in out
+        assert "relative to FlowTime" in out
+
+    def test_without_flowtime_no_ratios(self, trace_path, capsys):
+        assert main(
+            ["compare", "--trace", str(trace_path), "--algorithms", "FIFO", "Fair"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "relative to FlowTime" not in out
+
+
+class TestErrorHandling:
+    def test_malformed_trace_reports_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["run", "--trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["compare", "--trace", "/nonexistent/trace.json"]) == 2
+        assert "error:" in capsys.readouterr().err

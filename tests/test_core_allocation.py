@@ -1,0 +1,209 @@
+"""Tests for integral quantisation and allocation plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    AllocationPlan,
+    IntegralizationError,
+    greedy_fill,
+    quantize_coupled,
+)
+from repro.core.lexmin import lexmin_schedule
+from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
+from repro.model.resources import CPU, MEM, ResourceVector
+
+RES = (CPU, MEM)
+
+
+def entry(job_id="j", release=0, deadline=4, units=4, cores=1, mem=2, parallel=10):
+    return ScheduleEntry(
+        job_id=job_id,
+        release=release,
+        deadline=deadline,
+        units=units,
+        unit_demand=ResourceVector({CPU: cores, MEM: mem}),
+        max_parallel=parallel,
+    )
+
+
+def caps(horizon, cpu=10, mem=20):
+    arr = np.zeros((horizon, 2))
+    arr[:, 0] = cpu
+    arr[:, 1] = mem
+    return arr
+
+
+def check_feasible(problem, grants):
+    """Grants meet each job's demand, its window, its parallelism, and caps."""
+    load = np.zeros_like(problem.caps)
+    r_index = {name: k for k, name in enumerate(problem.resources)}
+    for e in problem.entries:
+        g = grants[e.job_id]
+        assert g.sum() == e.units
+        assert np.all(g >= 0)
+        assert np.all(g <= min(e.max_parallel, e.units))
+        for slot in range(problem.horizon):
+            if g[slot] and not (e.release <= slot < e.deadline):
+                raise AssertionError(f"{e.job_id} granted outside window at {slot}")
+            for name, amount in e.unit_demand.items():
+                load[slot, r_index[name]] += g[slot] * amount
+    assert np.all(load <= problem.caps + 1e-9)
+
+
+class TestQuantizeCoupled:
+    def test_integral_and_feasible_on_fractional_input(self):
+        entries = [
+            entry(job_id="a", units=7, deadline=3),
+            entry(job_id="b", units=5, release=1, deadline=4),
+        ]
+        problem = build_schedule_problem(entries, caps(4), RES)
+        x = lexmin_schedule(problem).x
+        grants = quantize_coupled(problem, x)
+        check_feasible(problem, grants)
+
+    def test_already_integral_passthrough(self):
+        problem = build_schedule_problem([entry(units=4, deadline=4)], caps(4), RES)
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        grants = quantize_coupled(problem, x)
+        assert list(grants["j"]) == [1, 1, 1, 1]
+
+    def test_keeps_shape_of_fractional_solution(self):
+        # 6 units over 4 slots fractional 1.5 each -> rounding gives 1s and
+        # 2s, never 0s or 6s.
+        problem = build_schedule_problem([entry(units=6, deadline=4)], caps(4), RES)
+        x = np.full(4, 1.5)
+        grants = quantize_coupled(problem, x)
+        assert grants["j"].sum() == 6
+        assert set(grants["j"]) <= {1, 2}
+
+    def test_tight_capacity_relocation(self):
+        # Two jobs whose fractional halves must be shuffled to fit integral
+        # capacity: cpu cap 3 per slot, both jobs want 1.5/slot.
+        entries = [
+            entry(job_id="a", units=3, deadline=2, cores=1, mem=1, parallel=3),
+            entry(job_id="b", units=3, deadline=2, cores=1, mem=1, parallel=3),
+        ]
+        problem = build_schedule_problem(entries, caps(2, cpu=3, mem=6), RES)
+        x = np.array([1.5, 1.5, 1.5, 1.5])
+        grants = quantize_coupled(problem, x)
+        check_feasible(problem, grants)
+
+    def test_impossible_raises(self):
+        # One unit too many for total capacity: floor pass is fine but the
+        # remainder cannot be placed anywhere.
+        entries = [entry(units=5, deadline=2, cores=2, mem=2, parallel=5)]
+        problem = build_schedule_problem(entries, caps(2, cpu=4, mem=4), RES)
+        x = np.array([2.5, 2.5])
+        with pytest.raises(IntegralizationError):
+            quantize_coupled(problem, x)
+
+    def test_wrong_mode_rejected(self):
+        problem = build_schedule_problem([entry()], caps(4), RES, mode="paper")
+        with pytest.raises(ValueError):
+            quantize_coupled(problem, np.zeros(problem.n_vars))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_lexmin_solutions_quantize(self, seed):
+        rng = np.random.default_rng(seed)
+        entries = []
+        for i in range(6):
+            release = int(rng.integers(0, 4))
+            deadline = release + int(rng.integers(2, 6))
+            parallel = int(rng.integers(2, 6))
+            # Keep each window individually feasible (units fit parallelism).
+            units = int(rng.integers(2, min(8, (deadline - release) * parallel) + 1))
+            entries.append(
+                entry(
+                    job_id=f"j{i}",
+                    release=release,
+                    deadline=deadline,
+                    units=units,
+                    cores=int(rng.integers(1, 3)),
+                    mem=int(rng.integers(1, 4)),
+                    parallel=parallel,
+                )
+            )
+        horizon = max(e.deadline for e in entries)
+        problem = build_schedule_problem(entries, caps(horizon, cpu=30, mem=60), RES)
+        result = lexmin_schedule(problem)
+        assert result.is_optimal
+        grants = quantize_coupled(problem, result.x)
+        check_feasible(problem, grants)
+
+
+class TestGreedyFill:
+    def test_fills_in_deadline_order(self):
+        entries = [
+            entry(job_id="late", units=4, deadline=8, parallel=4),
+            entry(job_id="soon", units=4, deadline=2, parallel=4),
+        ]
+        grants = greedy_fill(entries, caps(8, cpu=4, mem=8), RES)
+        # 'soon' monopolises the first slot (4 units of 1 core on 4 cores).
+        assert grants["soon"][0] == 4
+        assert grants["late"][0] == 0
+
+    def test_respects_capacity(self):
+        entries = [
+            entry(job_id=f"j{i}", units=6, deadline=6, cores=2, mem=2, parallel=6)
+            for i in range(3)
+        ]
+        capacity = caps(6, cpu=8, mem=24)
+        grants = greedy_fill(entries, capacity, RES)
+        load = np.zeros(6)
+        for e in entries:
+            load += grants[e.job_id] * 2
+        assert np.all(load <= 8)
+
+    def test_overload_leaves_demand_unplanned(self):
+        entries = [entry(units=100, deadline=2, parallel=100)]
+        grants = greedy_fill(entries, caps(2, cpu=5, mem=10), RES)
+        assert grants["j"].sum() == 10  # 5 cores x 2 slots
+
+    def test_extends_past_deadline_when_allowed(self):
+        entries = [entry(units=10, deadline=2, parallel=5)]
+        grants = greedy_fill(entries, caps(4, cpu=3, mem=6), RES)
+        assert grants["j"][2:].sum() > 0
+
+    def test_no_extension_when_disabled(self):
+        entries = [entry(units=10, deadline=2, parallel=5)]
+        grants = greedy_fill(
+            entries, caps(4, cpu=3, mem=6), RES, extend_past_deadline=False
+        )
+        assert grants["j"][2:].sum() == 0
+
+
+class TestAllocationPlan:
+    def make_plan(self):
+        return AllocationPlan(
+            origin_slot=10,
+            horizon=3,
+            resources=RES,
+            grants={"a": np.array([2, 0, 1])},
+            unit_demands={"a": ResourceVector({CPU: 2, MEM: 4})},
+        )
+
+    def test_units_for(self):
+        plan = self.make_plan()
+        assert plan.units_for("a", 10) == 2
+        assert plan.units_for("a", 12) == 1
+        assert plan.units_for("a", 13) == 0  # beyond horizon
+        assert plan.units_for("a", 9) == 0  # before origin
+        assert plan.units_for("missing", 10) == 0
+
+    def test_resources_for(self):
+        plan = self.make_plan()
+        assert plan.resources_for("a", 10) == ResourceVector(cpu=4, mem=8)
+        assert plan.resources_for("a", 11).is_zero()
+
+    def test_load(self):
+        plan = self.make_plan()
+        assert plan.load(10) == ResourceVector(cpu=4, mem=8)
+
+    def test_total_units(self):
+        assert self.make_plan().total_units("a") == 3
+
+    def test_empty(self):
+        plan = AllocationPlan.empty(5, 4, RES)
+        assert plan.units_for("x", 5) == 0
+        assert plan.load(5).is_zero()

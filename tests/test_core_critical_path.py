@@ -1,0 +1,102 @@
+"""Tests for the critical-path decomposition (the Sec. IV-B fallback)."""
+
+import pytest
+
+from repro.core.critical_path import critical_path_length, critical_path_windows
+from repro.model.job import Job, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow
+from repro.workloads.dag_generators import fork_join_workflow
+from tests.conftest import deadline_job
+
+
+def job_with_duration(job_id, wid, duration):
+    return Job(
+        job_id=job_id,
+        tasks=TaskSpec(
+            count=4, duration_slots=duration, demand=ResourceVector({CPU: 1, MEM: 2})
+        ),
+        workflow_id=wid,
+    )
+
+
+class TestCriticalPathLength:
+    def test_chain_sums_durations(self):
+        jobs = [job_with_duration(f"c-j{i}", "c", d) for i, d in enumerate([2, 3, 5])]
+        wf = Workflow.from_jobs(
+            "c", jobs, [("c-j0", "c-j1"), ("c-j1", "c-j2")], 0, 100
+        )
+        assert critical_path_length(wf) == 10
+
+    def test_takes_longest_branch(self):
+        jobs = [
+            job_with_duration("w-a", "w", 2),
+            job_with_duration("w-b", "w", 9),
+            job_with_duration("w-c", "w", 1),
+            job_with_duration("w-d", "w", 2),
+        ]
+        edges = [("w-a", "w-b"), ("w-a", "w-c"), ("w-b", "w-d"), ("w-c", "w-d")]
+        wf = Workflow.from_jobs("w", jobs, edges, 0, 100)
+        assert critical_path_length(wf) == 2 + 9 + 2
+
+    def test_parallel_jobs_do_not_add(self):
+        wf = fork_join_workflow("f", 10, 0, 100)
+        # chain depth is 3 levels x 3 slots (default spec duration).
+        assert critical_path_length(wf) == 9
+
+
+class TestCriticalPathWindows:
+    def test_fig3_middle_gets_one_third(self):
+        """The paper: critical-path decomposition gives job 2 one third of
+        the deadline on the fork-join DAG regardless of fan-out."""
+        wf = fork_join_workflow("f", 20, 0, 90)
+        windows = critical_path_windows(wf)
+        middle = windows["f-j1"]
+        assert middle.length_slots == pytest.approx(30, abs=1)
+
+    def test_precedence_respected(self):
+        jobs = [job_with_duration(f"w-{x}", "w", d) for x, d in zip("abcd", [1, 4, 2, 1])]
+        edges = [("w-a", "w-b"), ("w-a", "w-c"), ("w-b", "w-d"), ("w-c", "w-d")]
+        wf = Workflow.from_jobs("w", jobs, edges, 0, 60)
+        windows = critical_path_windows(wf)
+        for parent, child in wf.edges:
+            assert windows[parent].deadline_slot <= windows[child].release_slot
+
+    def test_covers_whole_window_on_chain(self):
+        jobs = [job_with_duration(f"c-j{i}", "c", 2) for i in range(3)]
+        wf = Workflow.from_jobs(
+            "c", jobs, [("c-j0", "c-j1"), ("c-j1", "c-j2")], 0, 60
+        )
+        windows = critical_path_windows(wf)
+        assert windows["c-j0"].release_slot == 0
+        assert windows["c-j2"].deadline_slot == 60
+        # Equal runtimes -> equal thirds.
+        assert windows["c-j0"].deadline_slot == 20
+        assert windows["c-j1"].deadline_slot == 40
+
+    def test_unequal_runtimes_split_proportionally(self):
+        jobs = [job_with_duration(f"c-j{i}", "c", d) for i, d in enumerate([1, 3])]
+        wf = Workflow.from_jobs("c", jobs, [("c-j0", "c-j1")], 0, 80)
+        windows = critical_path_windows(wf)
+        assert windows["c-j0"].deadline_slot == 20
+        assert windows["c-j1"].deadline_slot == 80
+
+    def test_squeezed_window_still_produces_valid_windows(self):
+        # Window (5) < critical path (9): windows are squeezed but stay
+        # non-empty and ordered.
+        jobs = [job_with_duration(f"c-j{i}", "c", 3) for i in range(3)]
+        wf = Workflow.from_jobs(
+            "c", jobs, [("c-j0", "c-j1"), ("c-j1", "c-j2")], 0, 5
+        )
+        windows = critical_path_windows(wf)
+        for parent, child in wf.edges:
+            assert windows[parent].deadline_slot <= windows[child].release_slot
+        for window in windows.values():
+            assert window.length_slots >= 1
+
+    def test_start_slot_offsets_everything(self):
+        jobs = [job_with_duration("c-j0", "c", 2)]
+        wf = Workflow.from_jobs("c", jobs, [], 50, 110)
+        windows = critical_path_windows(wf)
+        assert windows["c-j0"].release_slot == 50
+        assert windows["c-j0"].deadline_slot == 110

@@ -1,0 +1,67 @@
+"""Tests for the grouped topological sort (Sec. IV-A)."""
+
+import pytest
+
+from repro.core.toposort import grouped_topological_sets, level_of
+from repro.model.workflow import Workflow
+from repro.workloads.dag_generators import fork_join_workflow
+from tests.conftest import deadline_job
+
+
+class TestGroupedToposort:
+    def test_single_job(self):
+        wf = Workflow.from_jobs("w", [deadline_job("w-a", "w")], [], 0, 10)
+        assert grouped_topological_sets(wf) == (("w-a",),)
+
+    def test_chain_one_per_level(self, chain3):
+        assert grouped_topological_sets(chain3) == (
+            ("c-j0",),
+            ("c-j1",),
+            ("c-j2",),
+        )
+
+    def test_fork_join_matches_paper_example(self):
+        # The paper's Fig. 3: output should be {1, {2..n}, n+1}.
+        wf = fork_join_workflow("f", 5, 0, 100)
+        levels = grouped_topological_sets(wf)
+        assert len(levels) == 3
+        assert levels[0] == ("f-j0",)
+        assert set(levels[1]) == {f"f-j{i}" for i in range(1, 6)}
+        assert levels[2] == ("f-j6",)
+
+    def test_independent_jobs_share_a_level(self):
+        jobs = [deadline_job(f"w-{i}", "w") for i in range(4)]
+        wf = Workflow.from_jobs("w", jobs, [], 0, 10)
+        levels = grouped_topological_sets(wf)
+        assert len(levels) == 1
+        assert set(levels[0]) == {"w-0", "w-1", "w-2", "w-3"}
+
+    def test_level_is_longest_path_depth(self):
+        # a -> c, b -> c, a -> b: c must sit at depth 2 even though one of
+        # its parents is a root.
+        jobs = [deadline_job(f"w-{x}", "w") for x in "abc"]
+        edges = [("w-a", "w-c"), ("w-b", "w-c"), ("w-a", "w-b")]
+        wf = Workflow.from_jobs("w", jobs, edges, 0, 10)
+        levels = grouped_topological_sets(wf)
+        assert levels == (("w-a",), ("w-b",), ("w-c",))
+
+    def test_every_edge_crosses_levels_forward(self, fork4):
+        levels = grouped_topological_sets(fork4)
+        for parent, child in fork4.edges:
+            assert level_of(levels, parent) < level_of(levels, child)
+
+    def test_every_job_exactly_once(self, fork4):
+        levels = grouped_topological_sets(fork4)
+        flat = [job for level in levels for job in level]
+        assert sorted(flat) == sorted(fork4.job_ids)
+
+    def test_levels_sorted_for_determinism(self, fork4):
+        levels = grouped_topological_sets(fork4)
+        for level in levels:
+            assert list(level) == sorted(level)
+
+
+class TestLevelOf:
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            level_of((("a",),), "b")

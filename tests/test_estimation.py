@@ -1,0 +1,155 @@
+"""Tests for history, estimators, and error injection."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.errors import (
+    ErrorModel,
+    apply_estimation_errors,
+    apply_workflow_estimation_errors,
+    perturb_spec,
+)
+from repro.estimation.estimator import (
+    estimate_job_offsets,
+    estimated_makespan,
+    quantile_estimate,
+)
+from repro.estimation.history import (
+    JobObservation,
+    RunHistory,
+    WorkflowRun,
+    synthesize_history,
+)
+from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
+from tests.conftest import spec
+
+
+class TestHistoryStore:
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            JobObservation("j", start_offset=5, completion_offset=5)
+        with pytest.raises(ValueError):
+            JobObservation("j", start_offset=-1, completion_offset=3)
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowRun(observations={}, makespan=0)
+
+    def test_add_and_query(self):
+        history = RunHistory()
+        run = WorkflowRun(
+            observations={"j": JobObservation("j", 0, 5)}, makespan=5
+        )
+        history.add("daily-etl", run)
+        assert history.has("daily-etl")
+        assert not history.has("weekly")
+        assert list(history.completion_offsets("daily-etl", "j")) == [5.0]
+        assert list(history.start_offsets("daily-etl", "j")) == [0.0]
+        assert list(history.makespans("daily-etl")) == [5.0]
+
+
+class TestSynthesizeHistory:
+    def test_deterministic_runs_have_level_structure(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 90)
+        history = synthesize_history(wf, small_cluster, runs=3, noise=0.0)
+        runs = history.runs_for("w")
+        assert len(runs) == 3
+        first = runs[0]
+        # Observations are keyed by instance-independent local job ids.
+        # Chain: each observation starts when the previous ends.
+        assert first.observations["j0"].completion_offset == first.observations[
+            "j1"
+        ].start_offset
+
+    def test_parallel_jobs_share_offsets(self, small_cluster):
+        wf = fork_join_workflow("w", 4, 0, 200)
+        history = synthesize_history(wf, small_cluster, runs=1, noise=0.0)
+        run = history.runs_for("w")[0]
+        middles = [run.observations[f"j{i}"] for i in range(1, 5)]
+        assert len({(o.start_offset, o.completion_offset) for o in middles}) == 1
+
+    def test_noise_varies_runs(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 90)
+        history = synthesize_history(wf, small_cluster, runs=10, noise=0.3, seed=1)
+        assert len(set(history.makespans("w"))) > 1
+
+    def test_template_key_override(self, small_cluster):
+        wf = chain_workflow("w", 2, 0, 50)
+        history = synthesize_history(wf, small_cluster, template="nightly")
+        assert history.has("nightly")
+
+    def test_needs_at_least_one_run(self, small_cluster):
+        wf = chain_workflow("w", 2, 0, 50)
+        with pytest.raises(ValueError):
+            synthesize_history(wf, small_cluster, runs=0)
+
+
+class TestEstimators:
+    def test_quantile_estimate(self):
+        samples = np.arange(1, 101, dtype=float)
+        assert quantile_estimate(samples, 0.95) == pytest.approx(95.05)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile_estimate(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            quantile_estimate(np.array([1.0]), 1.5)
+
+    def test_estimate_job_offsets(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 90)
+        history = synthesize_history(wf, small_cluster, runs=5, noise=0.0)
+        offsets = estimate_job_offsets(history, "w", ["j0", "j1", "j2"])
+        start0, end0 = offsets["j0"]
+        assert start0 == 0.0
+        assert end0 > 0
+        _, end2 = offsets["j2"]
+        assert end2 == pytest.approx(estimated_makespan(history, "w"))
+
+    def test_missing_history_raises(self):
+        with pytest.raises(KeyError):
+            estimate_job_offsets(RunHistory(), "nope", ["j"])
+
+
+class TestErrorInjection:
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            ErrorModel(low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            ErrorModel(low=2.0, high=1.0)
+
+    def test_deterministic_point(self):
+        model = ErrorModel(low=1.3, high=1.3)
+        rng = np.random.default_rng(0)
+        assert model.draw(rng) == 1.3
+
+    def test_perturb_spec_scales_duration(self):
+        original = spec(duration=4)
+        assert perturb_spec(original, 1.5).duration_slots == 6
+        assert perturb_spec(original, 0.5).duration_slots == 2
+        assert perturb_spec(original, 0.01).duration_slots == 1  # floor at 1
+
+    def test_apply_keeps_estimates_untouched(self):
+        jobs = [
+            __import__("repro.model.job", fromlist=["Job"]).Job(
+                job_id="j", tasks=spec(duration=4)
+            )
+        ]
+        out = apply_estimation_errors(jobs, ErrorModel(low=2.0, high=2.0))
+        assert out[0].tasks.duration_slots == 4
+        assert out[0].true_tasks.duration_slots == 8
+
+    def test_apply_to_workflow(self):
+        wf = chain_workflow("w", 3, 0, 90)
+        perturbed = apply_workflow_estimation_errors(wf, ErrorModel(low=1.5, high=1.5))
+        assert perturbed.workflow_id == wf.workflow_id
+        for job in perturbed.jobs:
+            assert job.true_tasks is not None
+            assert job.true_tasks.duration_slots > job.tasks.duration_slots
+
+    def test_seed_reproducible(self):
+        wf = chain_workflow("w", 5, 0, 90)
+        a = apply_workflow_estimation_errors(wf, ErrorModel(0.5, 1.5), seed=3)
+        b = apply_workflow_estimation_errors(wf, ErrorModel(0.5, 1.5), seed=3)
+        assert [j.true_tasks.duration_slots for j in a.jobs] == [
+            j.true_tasks.duration_slots for j in b.jobs
+        ]

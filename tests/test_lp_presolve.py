@@ -1,0 +1,115 @@
+"""Tests for the LP presolve reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.presolve import PresolveError, presolve, solve_with_presolve
+from repro.lp.problem import LinearProgram, LPStatus
+from repro.lp.solver import solve_lp
+
+
+class TestFixedVariables:
+    def test_fixed_variable_substituted(self):
+        # x0 fixed at 2; minimise x1 with x0 + x1 >= 5 -> x1 = 3, obj 3+2c0.
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            a_ub=[[-1.0, -1.0]],
+            b_ub=[-5.0],
+            lb=[2.0, 0.0],
+            ub=[2.0, np.inf],
+        )
+        reduced, restorer = presolve(lp)
+        assert reduced.n_variables == 1
+        solution = solve_with_presolve(lp)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(5.0)
+        assert solution.x[0] == pytest.approx(2.0)
+        assert solution.x[1] == pytest.approx(3.0)
+
+    def test_all_fixed_falls_back(self):
+        lp = LinearProgram(c=[1.0], lb=[3.0], ub=[3.0])
+        solution = solve_with_presolve(lp)
+        assert solution.is_optimal
+        assert solution.x[0] == pytest.approx(3.0)
+
+
+class TestSingletonRows:
+    def test_positive_singleton_tightens_upper(self):
+        # 2 x0 <= 6 -> ub 3.
+        lp = LinearProgram(c=[-1.0], a_ub=[[2.0]], b_ub=[6.0])
+        reduced, _ = presolve(lp)
+        assert reduced.a_ub.shape[0] == 0
+        assert reduced.ub[0] == pytest.approx(3.0)
+
+    def test_negative_singleton_tightens_lower(self):
+        # -x0 <= -2 -> lb 2.
+        lp = LinearProgram(c=[1.0], a_ub=[[-1.0]], b_ub=[-2.0])
+        reduced, _ = presolve(lp)
+        assert reduced.lb[0] == pytest.approx(2.0)
+
+    def test_crossed_bounds_detected(self):
+        # x0 <= 1 and x0 >= 2.
+        lp = LinearProgram(c=[1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0])
+        with pytest.raises(PresolveError):
+            presolve(lp)
+
+    def test_solve_with_presolve_reports_infeasible(self):
+        lp = LinearProgram(c=[1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0])
+        assert solve_with_presolve(lp).status is LPStatus.INFEASIBLE
+
+
+class TestEmptyRows:
+    def test_consistent_empty_rows_dropped(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            a_ub=[[0.0, 0.0], [1.0, 1.0]],
+            b_ub=[5.0, 4.0],
+        )
+        reduced, _ = presolve(lp)
+        assert reduced.a_ub.shape[0] == 1
+
+    def test_infeasible_empty_le_row(self):
+        lp = LinearProgram(c=[1.0], a_ub=[[0.0]], b_ub=[-1.0])
+        with pytest.raises(PresolveError):
+            presolve(lp)
+
+    def test_empty_eq_row_after_fixing(self):
+        # x0 fixed at 1 turns the equality 2 x0 = 3 into 0 = 1: infeasible.
+        lp = LinearProgram(
+            c=[1.0], a_eq=[[2.0]], b_eq=[3.0], lb=[1.0], ub=[1.0]
+        )
+        with pytest.raises(PresolveError):
+            presolve(lp)
+
+
+class TestEquivalence:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_presolved_objective_matches_direct(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 5, 4
+        lb = np.zeros(n)
+        ub = rng.uniform(1.0, 6.0, size=n)
+        fix = rng.random(n) < 0.3
+        ub[fix] = lb[fix] = rng.uniform(0.0, 2.0, size=fix.sum())
+        lp = LinearProgram(
+            c=rng.normal(size=n),
+            a_ub=rng.normal(size=(m, n)),
+            b_ub=rng.uniform(1.0, 6.0, size=m),
+            lb=lb,
+            ub=ub,
+        )
+        direct = solve_lp(lp)
+        via_presolve = solve_with_presolve(lp)
+        assert direct.status is via_presolve.status
+        if direct.is_optimal:
+            assert via_presolve.objective == pytest.approx(
+                direct.objective, abs=1e-6
+            )
+            # The restored point is feasible for the original program.
+            x = via_presolve.x
+            assert np.all(x >= lp.lb - 1e-7)
+            assert np.all(x <= lp.ub + 1e-7)
+            assert np.all(np.asarray(lp.a_ub @ x).ravel() <= lp.b_ub + 1e-6)

@@ -1,0 +1,129 @@
+"""Remaining coverage gaps: reporting edges, presolve-on-scheduling-LP,
+engine ordering details, registry kwargs plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_comparison
+from repro.analysis.reporting import turnaround_ratios
+from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
+from repro.lp.presolve import presolve
+from repro.lp.problem import LinearProgram
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.engine import Simulation
+from repro.workloads.dag_generators import chain_workflow
+from repro.workloads.traces import generate_trace
+from tests.conftest import adhoc_job
+
+
+class TestPresolveOnSchedulingLP:
+    def test_nearly_done_job_fixes_variables(self):
+        """A job with 1 remaining unit and parallelism 1 in a 1-slot window
+        has its variable squeezed to a point the presolve can exploit."""
+        entries = [
+            ScheduleEntry(
+                job_id="tail",
+                release=0,
+                deadline=1,
+                units=1,
+                unit_demand=ResourceVector({CPU: 1, MEM: 1}),
+                max_parallel=1,
+            ),
+            ScheduleEntry(
+                job_id="big",
+                release=0,
+                deadline=4,
+                units=6,
+                unit_demand=ResourceVector({CPU: 1, MEM: 1}),
+                max_parallel=2,
+            ),
+        ]
+        caps = np.zeros((4, 2))
+        caps[:, 0], caps[:, 1] = 4, 8
+        problem = build_schedule_problem(entries, caps, (CPU, MEM))
+        # min total load subject to eq demands and capacity rows.
+        cap_rows = np.array(
+            [problem.cap_of_cell(k) for k in range(len(problem.util_cells))]
+        )
+        lp = LinearProgram(
+            c=np.ones(problem.n_vars),
+            a_ub=problem.a_util,
+            b_ub=cap_rows,
+            a_eq=problem.a_eq,
+            b_eq=problem.b_eq,
+            lb=np.zeros(problem.n_vars),
+            ub=problem.var_ub,
+        )
+        reduced, restorer = presolve(lp)
+        assert reduced.n_variables <= lp.n_variables
+        from repro.lp.presolve import solve_with_presolve
+        from repro.lp.solver import solve_lp
+
+        assert solve_with_presolve(lp).objective == pytest.approx(
+            solve_lp(lp).objective, abs=1e-6
+        )
+
+
+class TestReportingEdges:
+    def test_zero_baseline_rejected(self, small_cluster):
+        trace = generate_trace(
+            n_workflows=1, jobs_per_workflow=2, n_adhoc=0,
+            capacity=small_cluster, seed=1,
+        )
+        comparison = run_comparison(trace, small_cluster, ["FlowTime"])
+        with pytest.raises(ValueError):
+            turnaround_ratios(comparison)  # no ad-hoc jobs -> zero baseline
+
+
+class TestRegistryKwargs:
+    def test_planner_kwargs_forwarded(self):
+        scheduler = make_scheduler(
+            "FlowTime", planner={"slack_slots": 2, "backend": "simplex"}
+        )
+        assert scheduler.planner.config.slack_slots == 2
+        assert scheduler.planner.config.backend == "simplex"
+
+    def test_scheduler_kwargs_forwarded(self):
+        scheduler = make_scheduler("FlowTime", work_conserving=False)
+        assert scheduler.work_conserving is False
+
+    def test_cora_kwargs(self):
+        scheduler = make_scheduler("CORA", adhoc_soft_deadline_slots=10)
+        assert scheduler.adhoc_soft_deadline_slots == 10
+
+    def test_tetrisched_kwargs(self):
+        scheduler = make_scheduler("TetriSched", plan_ahead_slots=32)
+        assert scheduler.plan_ahead_slots == 32
+
+
+class TestEngineOrdering:
+    def test_workflow_and_adhoc_same_slot(self, small_cluster):
+        """Arrivals in the same slot are all visible to the scheduler."""
+        seen = {}
+
+        class Spy(FifoScheduler):
+            def assign(self, view):
+                seen.setdefault(view.slot, (len(view.deadline_jobs), len(view.adhoc_jobs)))
+                return super().assign(view)
+
+        wf = chain_workflow("w", 1, 2, 60)
+        job = adhoc_job("a", 2)
+        Simulation(small_cluster, Spy(), workflows=[wf], adhoc_jobs=[job]).run()
+        assert seen[2] == (1, 1)
+
+    def test_simplex_backend_end_to_end(self, small_cluster):
+        """FlowTime driven entirely by the from-scratch simplex backend."""
+        from repro.core.flowtime import PlannerConfig
+        from repro.schedulers.flowtime_sched import FlowTimeScheduler
+        from repro.simulator.metrics import missed_workflows
+
+        wf = chain_workflow("w", 2, 0, 80)
+        scheduler = FlowTimeScheduler(
+            PlannerConfig(backend="simplex", max_lexmin_rounds=1)
+        )
+        result = Simulation(small_cluster, scheduler, workflows=[wf]).run()
+        assert result.finished
+        assert missed_workflows(result) == []

@@ -1,0 +1,67 @@
+"""Unit tests for ClusterCapacity and the event types."""
+
+import pytest
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.events import (
+    EventKind,
+    JobArrived,
+    JobCompleted,
+    JobReady,
+    WorkflowArrived,
+    WorkflowCompleted,
+)
+from repro.model.resources import ResourceVector
+
+
+class TestClusterCapacity:
+    def test_uniform(self):
+        cluster = ClusterCapacity.uniform(cpu=500, mem=1024)
+        assert cluster.amount(0, "cpu") == 500
+        assert cluster.amount(9999, "mem") == 1024
+
+    def test_resources_sorted(self):
+        cluster = ClusterCapacity.uniform(mem=1, cpu=2)
+        assert cluster.resources == ("cpu", "mem")
+
+    def test_override_applies_to_one_slot(self):
+        cluster = ClusterCapacity(
+            base=ResourceVector(cpu=10),
+            overrides={5: ResourceVector(cpu=4)},
+        )
+        assert cluster.amount(4, "cpu") == 10
+        assert cluster.amount(5, "cpu") == 4
+        assert cluster.amount(6, "cpu") == 10
+
+    def test_rejects_zero_base(self):
+        with pytest.raises(ValueError):
+            ClusterCapacity(base=ResourceVector())
+
+    def test_rejects_negative_override_slot(self):
+        with pytest.raises(ValueError):
+            ClusterCapacity(
+                base=ResourceVector(cpu=1), overrides={-1: ResourceVector(cpu=1)}
+            )
+
+    def test_rejects_unknown_override_resource(self):
+        with pytest.raises(ValueError):
+            ClusterCapacity(
+                base=ResourceVector(cpu=1), overrides={0: ResourceVector(gpu=1)}
+            )
+
+
+class TestEvents:
+    def test_kinds(self):
+        assert WorkflowArrived(0, "w").kind is EventKind.WORKFLOW_ARRIVED
+        assert JobArrived(0, "j").kind is EventKind.JOB_ARRIVED
+        assert JobReady(0, "j", "w").kind is EventKind.JOB_READY
+        assert JobCompleted(0, "j").kind is EventKind.JOB_COMPLETED
+        assert WorkflowCompleted(0, "w").kind is EventKind.WORKFLOW_COMPLETED
+
+    def test_events_are_frozen(self):
+        event = JobReady(3, "j")
+        with pytest.raises(AttributeError):
+            event.slot = 4
+
+    def test_job_ready_defaults_workflow_none(self):
+        assert JobReady(0, "j").workflow_id is None

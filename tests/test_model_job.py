@@ -1,0 +1,111 @@
+"""Unit tests for TaskSpec and Job."""
+
+import pytest
+
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+
+
+def make_spec(count=6, duration=3, cores=2, mem=4) -> TaskSpec:
+    return TaskSpec(
+        count=count,
+        duration_slots=duration,
+        demand=ResourceVector({CPU: cores, MEM: mem}),
+    )
+
+
+class TestTaskSpec:
+    def test_total_task_slots(self):
+        assert make_spec(count=6, duration=3).total_task_slots == 18
+
+    def test_total_demand_is_papers_sri(self):
+        spec = make_spec(count=6, duration=3, cores=2)
+        assert spec.total_demand(CPU) == 36  # 6 tasks x 3 slots x 2 cores
+
+    def test_per_slot_cap(self):
+        assert make_spec(count=6, cores=2).per_slot_cap(CPU) == 12
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            make_spec(count=0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            make_spec(duration=0)
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(ValueError):
+            TaskSpec(count=1, duration_slots=1, demand=ResourceVector())
+
+
+class TestJob:
+    def test_defaults(self):
+        job = Job(job_id="j", tasks=make_spec())
+        assert job.kind is JobKind.DEADLINE
+        assert not job.is_adhoc
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            Job(job_id="", tasks=make_spec())
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            Job(job_id="j", tasks=make_spec(), arrival_slot=-1)
+
+    def test_adhoc_cannot_have_workflow(self):
+        with pytest.raises(ValueError):
+            Job(
+                job_id="j",
+                tasks=make_spec(),
+                kind=JobKind.ADHOC,
+                workflow_id="w",
+            )
+
+    def test_execution_tasks_defaults_to_estimate(self):
+        job = Job(job_id="j", tasks=make_spec())
+        assert job.execution_tasks is job.tasks
+
+    def test_execution_tasks_uses_truth_when_present(self):
+        true = make_spec(duration=5)
+        job = Job(job_id="j", tasks=make_spec(duration=3), true_tasks=true)
+        assert job.execution_tasks is true
+        assert job.tasks.duration_slots == 3  # estimate untouched
+
+
+class TestMinRuntime:
+    def test_unbounded_is_one_task_duration(self):
+        job = Job(job_id="j", tasks=make_spec(count=100, duration=3))
+        assert job.min_runtime_slots() == 3
+
+    def test_cluster_aware_adds_waves(self):
+        # 6 tasks of 2 cores on a 4-core cluster: 2 at a time -> 3 waves.
+        job = Job(job_id="j", tasks=make_spec(count=6, duration=3, cores=2, mem=1))
+        capacity = ResourceVector(cpu=4, mem=100)
+        assert job.min_runtime_slots(capacity) == 9
+
+    def test_cluster_aware_caps_at_task_count(self):
+        job = Job(job_id="j", tasks=make_spec(count=2, duration=3, cores=1, mem=1))
+        capacity = ResourceVector(cpu=100, mem=100)
+        assert job.min_runtime_slots(capacity) == 3
+
+    def test_task_not_fitting_raises(self):
+        job = Job(job_id="j", tasks=make_spec(cores=8, mem=1))
+        with pytest.raises(ValueError):
+            job.min_runtime_slots(ResourceVector(cpu=4, mem=100))
+
+
+class TestDemandHelpers:
+    def test_demand_vector(self):
+        job = Job(job_id="j", tasks=make_spec(count=2, duration=2, cores=3, mem=5))
+        assert job.demand_vector() == ResourceVector(cpu=12, mem=20)
+
+    def test_normalized_demand_sums_over_resources(self):
+        job = Job(job_id="j", tasks=make_spec(count=2, duration=2, cores=5, mem=10))
+        capacity = ResourceVector(cpu=10, mem=100)
+        # cpu: 4*5/10 = 2.0 ; mem: 4*10/100 = 0.4
+        assert job.normalized_demand(capacity) == pytest.approx(2.4)
+
+    def test_normalized_demand_needs_positive_capacity(self):
+        job = Job(job_id="j", tasks=make_spec())
+        with pytest.raises(ValueError):
+            job.normalized_demand(ResourceVector(cpu=10))  # mem capacity 0

@@ -1,0 +1,122 @@
+"""Unit tests for ResourceVector."""
+
+import pytest
+
+from repro.model.resources import CPU, MEM, ResourceVector
+
+
+class TestConstruction:
+    def test_from_kwargs(self):
+        vec = ResourceVector(cpu=4, mem=8)
+        assert vec[CPU] == 4
+        assert vec[MEM] == 8
+
+    def test_from_mapping(self):
+        vec = ResourceVector({"cpu": 2})
+        assert vec["cpu"] == 2
+
+    def test_missing_resource_is_zero(self):
+        assert ResourceVector(cpu=1)["gpu"] == 0
+
+    def test_zero_entries_dropped(self):
+        assert ResourceVector(cpu=0) == ResourceVector()
+        assert len(ResourceVector(cpu=0, mem=1)) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ResourceVector(cpu=-1)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            ResourceVector(cpu=1.5)
+
+    def test_accepts_integral_float(self):
+        assert ResourceVector(cpu=2.0)[CPU] == 2
+
+    def test_immutable(self):
+        vec = ResourceVector(cpu=1)
+        with pytest.raises(AttributeError):
+            vec.anything = 3
+
+
+class TestEquality:
+    def test_equal_ignores_order(self):
+        assert ResourceVector(cpu=1, mem=2) == ResourceVector(mem=2, cpu=1)
+
+    def test_equal_to_plain_mapping(self):
+        assert ResourceVector(cpu=1) == {"cpu": 1}
+
+    def test_hashable(self):
+        assert hash(ResourceVector(cpu=1)) == hash(ResourceVector(cpu=1, mem=0))
+
+    def test_repr_is_stable(self):
+        assert repr(ResourceVector(mem=2, cpu=1)) == "ResourceVector(cpu=1, mem=2)"
+
+
+class TestArithmetic:
+    def test_add_unions_resources(self):
+        total = ResourceVector(cpu=4, mem=8) + ResourceVector(cpu=1)
+        assert total == ResourceVector(cpu=5, mem=8)
+
+    def test_sub(self):
+        assert ResourceVector(cpu=4) - ResourceVector(cpu=1) == ResourceVector(cpu=3)
+
+    def test_sub_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector(cpu=1) - ResourceVector(cpu=2)
+
+    def test_saturating_sub_clamps(self):
+        out = ResourceVector(cpu=1, mem=5).saturating_sub(ResourceVector(cpu=2, mem=3))
+        assert out == ResourceVector(mem=2)
+
+    def test_scalar_multiply(self):
+        assert ResourceVector(cpu=2) * 3 == ResourceVector(cpu=6)
+        assert 3 * ResourceVector(cpu=2) == ResourceVector(cpu=6)
+
+    def test_multiply_requires_int(self):
+        with pytest.raises(TypeError):
+            ResourceVector(cpu=2) * 1.5
+
+    def test_elementwise_min(self):
+        out = ResourceVector(cpu=3, mem=1).elementwise_min(ResourceVector(cpu=1, mem=5))
+        assert out == ResourceVector(cpu=1, mem=1)
+
+    def test_sum(self):
+        vecs = [ResourceVector(cpu=1), ResourceVector(mem=2), ResourceVector(cpu=3)]
+        assert ResourceVector.sum(vecs) == ResourceVector(cpu=4, mem=2)
+
+
+class TestComparisons:
+    def test_fits_in(self):
+        assert ResourceVector(cpu=2, mem=4).fits_in(ResourceVector(cpu=2, mem=8))
+        assert not ResourceVector(cpu=3).fits_in(ResourceVector(cpu=2, mem=8))
+
+    def test_empty_fits_everywhere(self):
+        assert ResourceVector().fits_in(ResourceVector())
+
+    def test_is_zero(self):
+        assert ResourceVector().is_zero()
+        assert not ResourceVector(cpu=1).is_zero()
+
+
+class TestDerived:
+    def test_units_fitting_limited_by_scarcest(self):
+        demand = ResourceVector(cpu=2, mem=4)
+        capacity = ResourceVector(cpu=10, mem=8)
+        assert demand.units_fitting(capacity) == 2  # mem limits
+
+    def test_units_fitting_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector().units_fitting(ResourceVector(cpu=1))
+
+    def test_dominant_share(self):
+        demand = ResourceVector(cpu=5, mem=2)
+        capacity = ResourceVector(cpu=10, mem=100)
+        assert demand.dominant_share(capacity) == pytest.approx(0.5)
+
+    def test_dominant_share_zero_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector(gpu=1).dominant_share(ResourceVector(cpu=10))
+
+    def test_dominant_share_empty_is_zero(self):
+        assert ResourceVector().dominant_share(ResourceVector(cpu=1)) == 0.0

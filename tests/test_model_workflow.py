@@ -1,0 +1,92 @@
+"""Unit tests for the Workflow DAG model."""
+
+import pytest
+
+from repro.model.job import Job, JobKind
+from repro.model.workflow import Workflow, WorkflowValidationError
+from tests.conftest import deadline_job, spec
+
+
+def wf(jobs, edges, start=0, deadline=100, wid="w"):
+    return Workflow.from_jobs(wid, jobs, edges, start, deadline)
+
+
+class TestValidation:
+    def test_minimal(self):
+        workflow = wf([deadline_job("w-a", "w")], [])
+        assert len(workflow) == 1
+        assert workflow.window_slots == 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkflowValidationError):
+            wf([], [])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(WorkflowValidationError):
+            wf([deadline_job("w-a", "w")], [], start=10, deadline=10)
+
+    def test_rejects_duplicate_job_ids(self):
+        jobs = [deadline_job("w-a", "w"), deadline_job("w-a", "w")]
+        with pytest.raises(WorkflowValidationError):
+            wf(jobs, [])
+
+    def test_rejects_adhoc_member(self):
+        adhoc = Job(job_id="w-a", tasks=spec(), kind=JobKind.ADHOC)
+        with pytest.raises(WorkflowValidationError):
+            wf([adhoc], [])
+
+    def test_rejects_wrong_workflow_tag(self):
+        job = deadline_job("x-a", "other")
+        with pytest.raises(WorkflowValidationError):
+            wf([job], [])
+
+    def test_rejects_unknown_edge_endpoints(self):
+        with pytest.raises(WorkflowValidationError):
+            wf([deadline_job("w-a", "w")], [("w-a", "w-b")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(WorkflowValidationError):
+            wf([deadline_job("w-a", "w")], [("w-a", "w-a")])
+
+    def test_rejects_duplicate_edges(self):
+        jobs = [deadline_job("w-a", "w"), deadline_job("w-b", "w")]
+        with pytest.raises(WorkflowValidationError):
+            wf(jobs, [("w-a", "w-b"), ("w-a", "w-b")])
+
+    def test_rejects_cycle(self):
+        jobs = [deadline_job("w-a", "w"), deadline_job("w-b", "w")]
+        with pytest.raises(WorkflowValidationError):
+            wf(jobs, [("w-a", "w-b"), ("w-b", "w-a")])
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        jobs = [deadline_job(f"w-{name}", "w") for name in "abcd"]
+        edges = [("w-a", "w-b"), ("w-a", "w-c"), ("w-b", "w-d"), ("w-c", "w-d")]
+        return wf(jobs, edges)
+
+    def test_parents_and_dependents(self, diamond):
+        assert set(diamond.parents_of("w-d")) == {"w-b", "w-c"}
+        assert set(diamond.dependents_of("w-a")) == {"w-b", "w-c"}
+        assert diamond.parents_of("w-a") == ()
+
+    def test_roots_and_sinks(self, diamond):
+        assert diamond.roots() == ("w-a",)
+        assert diamond.sinks() == ("w-d",)
+
+    def test_job_lookup(self, diamond):
+        assert diamond.job("w-b").job_id == "w-b"
+        with pytest.raises(KeyError):
+            diamond.job("missing")
+
+    def test_iteration(self, diamond):
+        assert sorted(job.job_id for job in diamond) == [
+            "w-a",
+            "w-b",
+            "w-c",
+            "w-d",
+        ]
+
+    def test_job_ids(self, diamond):
+        assert set(diamond.job_ids) == {"w-a", "w-b", "w-c", "w-d"}

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+paper's invariants: decomposition windows, lexmin feasibility, quantisation
+exactness, and toposort level structure."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import IntegralizationError, quantize_coupled
+from repro.core.decomposition import decompose_deadline
+from repro.core.lexmin import lexmin_schedule
+from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
+from repro.core.toposort import grouped_topological_sets, level_of
+from repro.model.cluster import ClusterCapacity
+from repro.model.job import Job, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow
+
+# -- strategies ---------------------------------------------------------------------
+
+resource_vectors = st.builds(
+    lambda c, m: ResourceVector({CPU: c, MEM: m}),
+    st.integers(min_value=0, max_value=16),
+    st.integers(min_value=0, max_value=32),
+)
+
+task_specs = st.builds(
+    lambda count, dur, c, m: TaskSpec(
+        count=count, duration_slots=dur, demand=ResourceVector({CPU: c, MEM: m})
+    ),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+@st.composite
+def random_workflows(draw):
+    """Random DAG workflows: edges always go from lower to higher index."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    specs = [draw(task_specs) for _ in range(n)]
+    jobs = [
+        Job(job_id=f"w-j{i}", tasks=specs[i], workflow_id="w") for i in range(n)
+    ]
+    edges = []
+    for child in range(1, n):
+        parents = draw(
+            st.sets(st.integers(min_value=0, max_value=child - 1), max_size=3)
+        )
+        edges.extend((f"w-j{p}", f"w-j{child}") for p in parents)
+    window = draw(st.integers(min_value=n * 6, max_value=300))
+    return Workflow.from_jobs("w", jobs, edges, 0, window)
+
+
+CLUSTER = ClusterCapacity.uniform(cpu=24, mem=48)
+
+
+# -- ResourceVector algebraic laws ---------------------------------------------------
+
+
+@given(resource_vectors, resource_vectors)
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(resource_vectors, resource_vectors, resource_vectors)
+def test_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(resource_vectors)
+def test_zero_is_identity(a):
+    assert a + ResourceVector() == a
+
+
+@given(resource_vectors, st.integers(min_value=0, max_value=5))
+def test_scalar_multiplication_distributes(a, k):
+    total = ResourceVector()
+    for _ in range(k):
+        total = total + a
+    assert a * k == total
+
+
+@given(resource_vectors, resource_vectors)
+def test_saturating_sub_never_negative(a, b):
+    out = a.saturating_sub(b)
+    assert all(v >= 0 for v in out.values())
+    assert out.fits_in(a)
+
+
+# -- grouped toposort -----------------------------------------------------------------
+
+
+@given(random_workflows())
+def test_toposort_partitions_jobs(workflow):
+    levels = grouped_topological_sets(workflow)
+    flat = [j for level in levels for j in level]
+    assert sorted(flat) == sorted(workflow.job_ids)
+
+
+@given(random_workflows())
+def test_toposort_edges_cross_forward(workflow):
+    levels = grouped_topological_sets(workflow)
+    for parent, child in workflow.edges:
+        assert level_of(levels, parent) < level_of(levels, child)
+
+
+# -- deadline decomposition -----------------------------------------------------------
+
+
+@settings(deadline=None)
+@given(random_workflows())
+def test_decomposition_invariants(workflow):
+    result = decompose_deadline(workflow, CLUSTER)
+    windows = result.windows
+    assert set(windows) == set(workflow.job_ids)
+    for window in windows.values():
+        assert window.release_slot < window.deadline_slot
+    # Precedence: a child never starts before its parent's deadline.
+    for parent, child in workflow.edges:
+        assert windows[parent].deadline_slot <= windows[child].release_slot
+    if not result.used_fallback:
+        # The non-fallback decomposition never exceeds the workflow window
+        # and its last level ends exactly at the deadline.
+        last = max(w.deadline_slot for w in windows.values())
+        assert last == workflow.deadline_slot
+        first = min(w.release_slot for w in windows.values())
+        assert first == workflow.start_slot
+
+
+@settings(deadline=None)
+@given(random_workflows())
+def test_decomposition_levels_share_windows(workflow):
+    result = decompose_deadline(workflow, CLUSTER)
+    if result.used_fallback:
+        return
+    for level in result.node_sets:
+        spans = {
+            (result.windows[j].release_slot, result.windows[j].deadline_slot)
+            for j in level
+        }
+        assert len(spans) == 1
+
+
+# -- lexmin + quantisation ------------------------------------------------------------
+
+
+@st.composite
+def feasible_entry_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    entries = []
+    for i in range(n):
+        release = draw(st.integers(min_value=0, max_value=4))
+        length = draw(st.integers(min_value=2, max_value=6))
+        parallel = draw(st.integers(min_value=1, max_value=4))
+        units = draw(st.integers(min_value=1, max_value=length * parallel))
+        cores = draw(st.integers(min_value=1, max_value=2))
+        mem = draw(st.integers(min_value=1, max_value=3))
+        entries.append(
+            ScheduleEntry(
+                job_id=f"j{i}",
+                release=release,
+                deadline=release + length,
+                units=units,
+                unit_demand=ResourceVector({CPU: cores, MEM: mem}),
+                max_parallel=parallel,
+            )
+        )
+    return entries
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_entry_sets())
+def test_lexmin_feasible_solutions_satisfy_all_constraints(entries):
+    horizon = max(e.deadline for e in entries)
+    caps = np.zeros((horizon, 2))
+    caps[:, 0], caps[:, 1] = 30, 60
+    problem = build_schedule_problem(entries, caps, (CPU, MEM))
+    result = lexmin_schedule(problem, max_rounds=3)
+    assume(result.is_optimal)  # windows can still jointly overload capacity
+    x = result.x
+    # Demands met exactly.
+    resid = np.asarray(problem.a_eq @ x).ravel() - problem.b_eq
+    assert np.allclose(resid, 0.0, atol=1e-5)
+    # Capacity respected.
+    loads = np.asarray(problem.a_util @ x).ravel()
+    for k, load in enumerate(loads):
+        assert load <= problem.cap_of_cell(k) + 1e-5
+    # Bounds respected.
+    assert np.all(x >= -1e-7)
+    assert np.all(x <= problem.var_ub + 1e-7)
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_entry_sets())
+def test_quantisation_is_exact_and_feasible(entries):
+    horizon = max(e.deadline for e in entries)
+    caps = np.zeros((horizon, 2))
+    caps[:, 0], caps[:, 1] = 30, 60
+    problem = build_schedule_problem(entries, caps, (CPU, MEM))
+    result = lexmin_schedule(problem, max_rounds=3)
+    assume(result.is_optimal)
+    try:
+        grants = quantize_coupled(problem, result.x)
+    except IntegralizationError:
+        raise AssertionError("quantisation failed on a feasible LP solution")
+    load = np.zeros_like(caps)
+    for e in problem.entries:
+        g = grants[e.job_id]
+        assert g.sum() == e.units
+        assert np.all(g <= min(e.max_parallel, e.units))
+        assert g[: e.release].sum() == 0
+        assert g[e.deadline :].sum() == 0
+        load[:, 0] += g * e.unit_demand[CPU]
+        load[:, 1] += g * e.unit_demand[MEM]
+    assert np.all(load <= caps + 1e-9)

@@ -1,0 +1,86 @@
+"""Property-based tests for node-level packing invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.simulator.nodes import NodeCluster
+
+
+@st.composite
+def clusters_and_requests(draw):
+    n_nodes = draw(st.integers(min_value=1, max_value=6))
+    nodes = []
+    for _ in range(n_nodes):
+        nodes.append(
+            ResourceVector(
+                {
+                    CPU: draw(st.integers(min_value=2, max_value=8)),
+                    MEM: draw(st.integers(min_value=2, max_value=16)),
+                }
+            )
+        )
+    cluster = NodeCluster(nodes)
+    n_jobs = draw(st.integers(min_value=0, max_value=5))
+    requests = []
+    for i in range(n_jobs):
+        demand = ResourceVector(
+            {
+                CPU: draw(st.integers(min_value=1, max_value=4)),
+                MEM: draw(st.integers(min_value=1, max_value=6)),
+            }
+        )
+        units = draw(st.integers(min_value=0, max_value=10))
+        requests.append((f"j{i}", demand, units))
+    return cluster, requests
+
+
+@settings(deadline=None, max_examples=60)
+@given(clusters_and_requests())
+def test_pack_conserves_units(data):
+    cluster, requests = data
+    result = cluster.pack(requests)
+    for job_id, _demand, units in requests:
+        if units <= 0:
+            continue
+        placed = result.placed.get(job_id, 0)
+        unplaced = result.unplaced.get(job_id, 0)
+        assert placed + unplaced == units
+        assert placed >= 0 and unplaced >= 0
+
+
+@settings(deadline=None, max_examples=60)
+@given(clusters_and_requests())
+def test_pack_respects_node_capacities(data):
+    cluster, requests = data
+    result = cluster.pack(requests)
+    for node, load in zip(cluster.nodes, result.node_loads):
+        assert load.fits_in(node)
+
+
+@settings(deadline=None, max_examples=60)
+@given(clusters_and_requests())
+def test_pack_load_accounts_for_placements(data):
+    cluster, requests = data
+    result = cluster.pack(requests)
+    expected = ResourceVector()
+    for job_id, demand, _units in requests:
+        expected = expected + demand * result.placed.get(job_id, 0)
+    assert ResourceVector.sum(result.node_loads) == expected
+
+
+@settings(deadline=None, max_examples=60)
+@given(clusters_and_requests())
+def test_pack_is_work_conserving(data):
+    """If a unit went unplaced, no node can still hold its demand."""
+    cluster, requests = data
+    result = cluster.pack(requests)
+    residuals = [
+        node.saturating_sub(load)
+        for node, load in zip(cluster.nodes, result.node_loads)
+    ]
+    for job_id, demand, _units in requests:
+        if result.unplaced.get(job_id, 0) > 0:
+            assert not any(demand.fits_in(free) for free in residuals)

@@ -1,0 +1,75 @@
+"""Tests for the Morpheus baseline (history-inferred deadlines)."""
+
+import pytest
+
+from repro.estimation.history import RunHistory, synthesize_history
+from repro.schedulers.morpheus import MorpheusScheduler
+from repro.simulator.engine import Simulation
+from repro.simulator.metrics import missed_workflows
+from tests.conftest import adhoc_job
+from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
+
+
+class TestDeadlineInference:
+    def test_windows_from_history_scale_to_current_window(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 90)
+        history = synthesize_history(wf, small_cluster, runs=5, noise=0.0)
+        scheduler = MorpheusScheduler(history=history)
+        Simulation(small_cluster, scheduler, workflows=[wf]).run()
+        windows = scheduler.windows
+        assert set(windows) == set(wf.job_ids)
+        # Noise-free chain history has equal level durations: inferred
+        # deadlines split the window into thirds.
+        assert windows["w-j0"].deadline_slot == pytest.approx(30, abs=2)
+        assert windows["w-j2"].deadline_slot <= 90
+
+    def test_cold_start_gives_whole_window(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 90)
+        scheduler = MorpheusScheduler(history=RunHistory())
+        Simulation(small_cluster, scheduler, workflows=[wf]).run()
+        for window in scheduler.windows.values():
+            assert window.release_slot == 0
+            assert window.deadline_slot == 90
+
+    def test_inference_ignores_dag_structure(self, small_cluster):
+        """Morpheus's defining limitation: two workflows with identical
+        history but different DAGs get identical windows."""
+        wf = fork_join_workflow("w", 3, 0, 90)
+        history = synthesize_history(wf, small_cluster, runs=3, noise=0.0)
+        scheduler = MorpheusScheduler(history=history)
+        Simulation(small_cluster, scheduler, workflows=[wf]).run()
+        # Windows derived purely from observed offsets.
+        middle = [scheduler.windows[f"w-j{i}"] for i in range(1, 4)]
+        assert len({(w.release_slot, w.deadline_slot) for w in middle}) == 1
+
+
+class TestExecution:
+    def test_completes_and_meets_loose_deadline(self, small_cluster):
+        wf = chain_workflow("w", 3, 0, 120)
+        history = synthesize_history(wf, small_cluster, runs=4, noise=0.1)
+        result = Simulation(
+            small_cluster, MorpheusScheduler(history=history), workflows=[wf]
+        ).run()
+        assert result.finished
+        assert missed_workflows(result) == []
+
+    def test_serves_adhoc_with_leftovers(self, small_cluster):
+        wf = chain_workflow("w", 2, 0, 200)
+        history = synthesize_history(wf, small_cluster, runs=3)
+        adhoc = adhoc_job("a", 0, count=2, duration=1)
+        result = Simulation(
+            small_cluster,
+            MorpheusScheduler(history=history),
+            workflows=[wf],
+            adhoc_jobs=[adhoc],
+        ).run()
+        assert result.finished
+        assert result.jobs["a"].turnaround_slots() <= 5
+
+    def test_reservation_respects_capacity(self, tiny_cluster):
+        wf = fork_join_workflow("w", 4, 0, 400)
+        history = synthesize_history(wf, tiny_cluster, runs=3)
+        result = Simulation(
+            tiny_cluster, MorpheusScheduler(history=history), workflows=[wf]
+        ).run()
+        assert result.finished  # strict engine would raise on over-grant

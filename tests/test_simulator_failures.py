@@ -1,0 +1,93 @@
+"""Tests for failure injection (progress setbacks)."""
+
+import numpy as np
+import pytest
+
+from repro.model.events import EventKind
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.flowtime_sched import FlowTimeScheduler
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.failures import FailureModel
+from repro.simulator.metrics import missed_workflows
+from repro.workloads.dag_generators import chain_workflow
+from tests.conftest import adhoc_job
+
+
+class TestFailureModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(setback_prob=1.5)
+        with pytest.raises(ValueError):
+            FailureModel(setback_prob=0.5, max_setback_units=0)
+
+    def test_zero_probability_never_fails(self):
+        model = FailureModel(setback_prob=0.0)
+        rng = model.rng()
+        assert all(model.roll(rng, 10) == 0 for _ in range(100))
+
+    def test_roll_bounded_by_executed(self):
+        model = FailureModel(setback_prob=1.0, max_setback_units=100, seed=1)
+        rng = model.rng()
+        for _ in range(50):
+            assert 0 <= model.roll(rng, 3) <= 3
+
+    def test_roll_zero_executed(self):
+        model = FailureModel(setback_prob=1.0)
+        assert model.roll(model.rng(), 0) == 0
+
+    def test_deterministic_per_seed(self):
+        model = FailureModel(setback_prob=0.5, seed=7)
+        a = [model.roll(model.rng(), 10) for _ in range(1)]
+        b = [model.roll(model.rng(), 10) for _ in range(1)]
+        assert a == b
+
+
+class TestEngineWithFailures:
+    def run(self, scheduler, prob, max_slots=2000):
+        config = SimulationConfig(
+            failures=FailureModel(setback_prob=prob, max_setback_units=3, seed=3),
+            max_slots=max_slots,
+        )
+        wf = chain_workflow("w", 3, 0, 300)
+        adhocs = [adhoc_job("a0", 0, count=4, duration=2)]
+        sim = Simulation(
+            self.cluster, scheduler, workflows=[wf], adhoc_jobs=adhocs, config=config
+        )
+        return sim.run()
+
+    @pytest.fixture(autouse=True)
+    def _cluster(self, small_cluster):
+        self.cluster = small_cluster
+
+    def test_everything_still_completes(self):
+        result = self.run(FifoScheduler(), prob=0.3)
+        assert result.finished
+
+    def test_failures_delay_completion(self):
+        clean = self.run(FifoScheduler(), prob=0.0)
+        faulty = self.run(FifoScheduler(), prob=0.5)
+        assert faulty.n_slots >= clean.n_slots
+
+    def test_flowtime_replans_after_setbacks(self):
+        scheduler = FlowTimeScheduler()
+        result = self.run(scheduler, prob=0.4)
+        assert result.finished
+        # Loose 300-slot deadline absorbs the setbacks.
+        assert missed_workflows(result) == []
+
+    def test_setback_events_delivered(self):
+        seen = []
+
+        class Recorder(FifoScheduler):
+            def on_events(self, events, view):
+                seen.extend(e for e in events if e.kind is EventKind.JOB_SETBACK)
+
+        self.run(Recorder(), prob=0.8)
+        assert seen
+        assert all(e.lost_units >= 1 for e in seen)
+
+    def test_completed_jobs_never_regress(self):
+        result = self.run(FifoScheduler(), prob=0.9)
+        assert result.finished
+        for record in result.jobs.values():
+            assert record.completion_slot is not None

@@ -1,0 +1,142 @@
+"""Tests for the evaluation metrics (Sec. VII-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition_types import JobWindow
+from repro.model.cluster import ClusterCapacity
+from repro.model.job import JobKind
+from repro.simulator.metrics import (
+    adhoc_turnaround_seconds,
+    deadline_deltas_seconds,
+    missed_jobs,
+    missed_workflows,
+    summarize,
+    utilization_timeline,
+)
+from repro.simulator.result import JobRecord, SimulationResult, WorkflowRecord
+
+
+def record(job_id, kind, arrival, completion, workflow=None):
+    return JobRecord(
+        job_id=job_id,
+        kind=kind,
+        workflow_id=workflow,
+        arrival_slot=arrival,
+        ready_slot=arrival,
+        completion_slot=completion,
+        true_units=4,
+        est_units=4,
+    )
+
+
+def result_with(jobs, workflows=None, n_slots=100, slot_seconds=10.0):
+    return SimulationResult(
+        slot_seconds=slot_seconds,
+        n_slots=n_slots,
+        finished=all(r.completion_slot is not None for r in jobs.values()),
+        jobs=jobs,
+        workflows=workflows or {},
+        usage=np.zeros((n_slots, 2)),
+        granted=np.zeros((n_slots, 2)),
+        resources=("cpu", "mem"),
+    )
+
+
+class TestTurnaround:
+    def test_average_in_seconds(self):
+        jobs = {
+            "a": record("a", JobKind.ADHOC, arrival=0, completion=4),  # 5 slots
+            "b": record("b", JobKind.ADHOC, arrival=10, completion=12),  # 3 slots
+        }
+        result = result_with(jobs)
+        assert adhoc_turnaround_seconds(result) == pytest.approx(40.0)
+
+    def test_deadline_jobs_excluded(self):
+        jobs = {
+            "a": record("a", JobKind.ADHOC, 0, 0),
+            "w": record("w", JobKind.DEADLINE, 0, 50, workflow="wf"),
+        }
+        assert adhoc_turnaround_seconds(result_with(jobs)) == pytest.approx(10.0)
+
+    def test_unfinished_counts_to_sim_end(self):
+        jobs = {"a": record("a", JobKind.ADHOC, 90, None)}
+        result = result_with(jobs, n_slots=100)
+        assert adhoc_turnaround_seconds(result) == pytest.approx(100.0)
+
+    def test_no_adhoc_jobs(self):
+        assert adhoc_turnaround_seconds(result_with({})) == 0.0
+
+
+class TestDeadlineMetrics:
+    @pytest.fixture
+    def windows(self):
+        return {
+            "early": JobWindow("early", 0, 10),
+            "late": JobWindow("late", 0, 10),
+            "never": JobWindow("never", 0, 10),
+        }
+
+    @pytest.fixture
+    def result(self):
+        jobs = {
+            "early": record("early", JobKind.DEADLINE, 0, 5, workflow="wf"),
+            "late": record("late", JobKind.DEADLINE, 0, 15, workflow="wf"),
+            "never": record("never", JobKind.DEADLINE, 0, None, workflow="wf"),
+            "adhoc": record("adhoc", JobKind.ADHOC, 0, 3),
+        }
+        return result_with(jobs, n_slots=50)
+
+    def test_deltas(self, result, windows):
+        deltas = deadline_deltas_seconds(result, windows)
+        assert deltas["early"] == pytest.approx(-40.0)  # finished slot 5, end 6
+        assert deltas["late"] == pytest.approx(60.0)
+        assert deltas["never"] == pytest.approx(400.0)  # lower bound
+        assert "adhoc" not in deltas
+
+    def test_missed_jobs(self, result, windows):
+        assert missed_jobs(result, windows) == ["late", "never"]
+
+    def test_boundary_is_exclusive(self):
+        # Completion in slot 9 with deadline 10 meets it; slot 10 misses.
+        windows = {"j": JobWindow("j", 0, 10)}
+        ok = result_with({"j": record("j", JobKind.DEADLINE, 0, 9, "wf")})
+        bad = result_with({"j": record("j", JobKind.DEADLINE, 0, 10, "wf")})
+        assert missed_jobs(ok, windows) == []
+        assert missed_jobs(bad, windows) == ["j"]
+
+    def test_missing_record_skipped(self, windows):
+        result = result_with({})
+        assert missed_jobs(result, windows) == []
+        assert deadline_deltas_seconds(result, windows) == {}
+
+
+class TestWorkflowMetrics:
+    def test_missed_workflows(self):
+        workflows = {
+            "ok": WorkflowRecord("ok", 0, 100, completion_slot=50),
+            "late": WorkflowRecord("late", 0, 100, completion_slot=120),
+            "unfinished": WorkflowRecord("unfinished", 0, 100, completion_slot=None),
+        }
+        result = result_with({}, workflows=workflows)
+        assert missed_workflows(result) == ["late", "unfinished"]
+
+
+class TestUtilization:
+    def test_max_over_resources(self):
+        result = result_with({}, n_slots=2)
+        result.usage[0] = [10, 40]  # cpu 10/20=0.5, mem 40/50=0.8
+        cluster = ClusterCapacity.uniform(cpu=20, mem=50)
+        timeline = utilization_timeline(result, cluster)
+        assert timeline[0] == pytest.approx(0.8)
+        assert timeline[1] == 0.0
+
+
+class TestSummary:
+    def test_summarize_keys(self):
+        windows = {"j": JobWindow("j", 0, 10)}
+        result = result_with({"j": record("j", JobKind.DEADLINE, 0, 5, "wf")})
+        summary = summarize(result, windows)
+        assert summary["jobs_missed"] == 0.0
+        assert summary["n_deadline_jobs"] == 1.0
+        assert "adhoc_turnaround_s" in summary

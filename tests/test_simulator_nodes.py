@@ -1,0 +1,152 @@
+"""Tests for node-level cluster modelling and placement."""
+
+import pytest
+
+from repro.model.resources import ResourceVector
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.flowtime_sched import FlowTimeScheduler
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.nodes import NodeCluster
+from repro.workloads.dag_generators import chain_workflow
+from tests.conftest import adhoc_job
+
+
+class TestNodeCluster:
+    def test_uniform(self):
+        cluster = NodeCluster.uniform(4, cpu=8, mem=16)
+        assert len(cluster) == 4
+        assert cluster.aggregate() == ResourceVector(cpu=32, mem=64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeCluster([])
+        with pytest.raises(ValueError):
+            NodeCluster.uniform(0, cpu=1)
+        with pytest.raises(ValueError):
+            NodeCluster([ResourceVector()])
+
+    def test_heterogeneous_aggregate(self):
+        cluster = NodeCluster(
+            [ResourceVector(cpu=8, mem=16), ResourceVector(cpu=4, mem=32)]
+        )
+        assert cluster.aggregate() == ResourceVector(cpu=12, mem=48)
+
+    def test_as_capacity(self):
+        capacity = NodeCluster.uniform(2, cpu=8, mem=8).as_capacity()
+        assert capacity.amount(0, "cpu") == 16
+
+
+class TestPacking:
+    def test_everything_fits(self):
+        cluster = NodeCluster.uniform(2, cpu=8, mem=16)
+        result = cluster.pack([("a", ResourceVector(cpu=2, mem=4), 4)])
+        assert result.placed["a"] == 4
+        assert result.total_unplaced == 0
+
+    def test_fragmentation_blocks_large_tasks(self):
+        """Aggregate capacity is enough, but no single node can host the
+        big task once small ones are spread."""
+        cluster = NodeCluster.uniform(2, cpu=4, mem=8)
+        # 8 aggregate cores; big task needs 3 cores, small tasks 2 each.
+        # 2 small + 1 big = 7 cores fits only because best-fit-decreasing
+        # places the big task first and keeps a whole node for the smalls.
+        result = cluster.pack(
+            [
+                ("small", ResourceVector(cpu=2, mem=2), 2),
+                ("big", ResourceVector(cpu=3, mem=3), 1),
+            ]
+        )
+        assert result.total_unplaced == 0
+        result = cluster.pack(
+            [
+                ("small", ResourceVector(cpu=2, mem=2), 3),
+                ("big", ResourceVector(cpu=3, mem=3), 2),
+            ]
+        )
+        # 2 big (6 cores) + 3 small (6 cores) = 12 > 8: some units drop.
+        assert result.total_unplaced >= 1
+
+    def test_best_fit_decreasing_packs_tightly(self):
+        # One node of 6 and one of 4 cores; tasks of 4 and 3 cores: BFD
+        # puts the 4-core task on the 4-core node? No — best fit by
+        # *residual headroom*: 4-core task -> 4-core node (residual 0),
+        # 3-core task -> 6-core node.  Both place.
+        cluster = NodeCluster(
+            [ResourceVector(cpu=6, mem=12), ResourceVector(cpu=4, mem=12)]
+        )
+        result = cluster.pack(
+            [
+                ("four", ResourceVector(cpu=4, mem=2), 1),
+                ("three", ResourceVector(cpu=3, mem=2), 1),
+            ]
+        )
+        assert result.total_unplaced == 0
+
+    def test_zero_units_ignored(self):
+        cluster = NodeCluster.uniform(1, cpu=4, mem=4)
+        result = cluster.pack([("a", ResourceVector(cpu=1, mem=1), 0)])
+        assert result.placed.get("a", 0) == 0
+
+    def test_node_loads_reported(self):
+        cluster = NodeCluster.uniform(2, cpu=4, mem=8)
+        result = cluster.pack([("a", ResourceVector(cpu=2, mem=2), 2)])
+        total_load = ResourceVector.sum(result.node_loads)
+        assert total_load == ResourceVector(cpu=4, mem=4)
+
+
+class TestEngineIntegration:
+    def test_validation_against_aggregate(self, small_cluster):
+        # 40-core aggregate capacity but nodes only sum to 16: rejected.
+        nodes = NodeCluster.uniform(2, cpu=8, mem=16)
+        with pytest.raises(ValueError, match="node cluster"):
+            Simulation(
+                small_cluster,
+                FifoScheduler(),
+                adhoc_jobs=[adhoc_job("a", 0)],
+                config=SimulationConfig(node_cluster=nodes),
+            )
+
+    def test_task_must_fit_some_node(self):
+        nodes = NodeCluster.uniform(8, cpu=1, mem=2)
+        capacity = nodes.as_capacity()
+        job = adhoc_job("a", 0, cores=2, mem=2)  # 2 cores > any node
+        with pytest.raises(ValueError, match="any node"):
+            Simulation(
+                capacity,
+                FifoScheduler(),
+                adhoc_jobs=[job],
+                config=SimulationConfig(node_cluster=nodes),
+            )
+
+    def test_fragmentation_recorded_and_work_completes(self):
+        # 3-core tasks on 8-core nodes: 2 per node, 2 cores wasted each —
+        # the aggregate scheduler over-grants and packing trims it.
+        nodes = NodeCluster.uniform(4, cpu=8, mem=16)
+        capacity = nodes.as_capacity()
+        job = adhoc_job("a", 0, count=12, duration=2, cores=3, mem=2)
+        result = Simulation(
+            capacity,
+            FifoScheduler(),
+            adhoc_jobs=[job],
+            config=SimulationConfig(node_cluster=nodes),
+        ).run()
+        assert result.finished
+        assert result.fragmentation_waste_units > 0
+
+    def test_flowtime_still_meets_loose_deadlines_on_nodes(self):
+        nodes = NodeCluster.uniform(8, cpu=8, mem=16)
+        capacity = nodes.as_capacity()
+        wf = chain_workflow("w", 3, 0, 200)
+        result = Simulation(
+            capacity,
+            FlowTimeScheduler(),
+            workflows=[wf],
+            config=SimulationConfig(node_cluster=nodes),
+        ).run()
+        assert result.finished
+        assert result.workflows["w"].met_deadline
+
+    def test_no_nodes_means_no_waste(self, small_cluster):
+        job = adhoc_job("a", 0)
+        result = Simulation(small_cluster, FifoScheduler(), adhoc_jobs=[job]).run()
+        assert result.fragmentation_waste_units == 0

@@ -1,0 +1,192 @@
+"""Tests for the workload generators (DAGs, PUMA, scientific, arrivals)."""
+
+import numpy as np
+import pytest
+
+from repro.model.job import JobKind
+from repro.workloads.arrivals import (
+    adhoc_stream,
+    bursty_arrival_slots,
+    poisson_arrival_slots,
+)
+from repro.workloads.dag_generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    layered_random_workflow,
+    random_dag_edges,
+)
+from repro.workloads.puma import PUMA_TEMPLATES, make_puma_job, puma_task_spec
+from repro.workloads.scientific import SCIENTIFIC_SHAPES, make_scientific_workflow
+
+
+class TestDagGenerators:
+    def test_chain(self):
+        wf = chain_workflow("c", 4, 0, 100)
+        assert len(wf) == 4
+        assert len(wf.edges) == 3
+        assert wf.roots() == ("c-j0",)
+        assert wf.sinks() == ("c-j3",)
+
+    def test_chain_length_one(self):
+        wf = chain_workflow("c", 1, 0, 10)
+        assert len(wf) == 1 and not wf.edges
+
+    def test_fork_join(self):
+        wf = fork_join_workflow("f", 5, 0, 100)
+        assert len(wf) == 7
+        assert len(wf.dependents_of("f-j0")) == 5
+        assert len(wf.parents_of("f-j6")) == 5
+
+    def test_diamond(self):
+        wf = diamond_workflow("d", 0, 100)
+        assert len(wf) == 4
+
+    def test_random_dag_edges_acyclic_by_construction(self):
+        rng = np.random.default_rng(0)
+        edges = random_dag_edges(50, 300, rng)
+        assert all(a < b for a, b in edges)
+        assert len(edges) == 300
+
+    def test_random_dag_edges_capped_at_max(self):
+        rng = np.random.default_rng(0)
+        edges = random_dag_edges(5, 1000, rng)
+        assert len(edges) == 10  # 5*4/2
+
+    def test_layered_random_workflow_valid(self):
+        rng = np.random.default_rng(1)
+        wf = layered_random_workflow("w", 20, 4, 0, 200, rng)
+        assert len(wf) == 20
+        # Every non-root has at least one parent by construction.
+        roots = set(wf.roots())
+        for job_id in wf.job_ids:
+            if job_id not in roots:
+                assert wf.parents_of(job_id)
+
+    def test_layered_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            layered_random_workflow("w", 3, 5, 0, 100, rng)
+
+
+class TestPuma:
+    def test_templates_cover_paper_benchmarks(self):
+        assert {"wordcount", "inverted-index", "sequence-count", "self-join"} <= set(
+            PUMA_TEMPLATES
+        )
+
+    def test_task_count_scales_with_input(self):
+        small = puma_task_spec("wordcount", 10)
+        big = puma_task_spec("wordcount", 40)
+        assert big.count == 4 * small.count
+
+    def test_unknown_template(self):
+        with pytest.raises(ValueError):
+            puma_task_spec("pagerank", 10)
+
+    def test_bad_input_size(self):
+        with pytest.raises(ValueError):
+            puma_task_spec("wordcount", 0)
+
+    def test_make_puma_job(self):
+        job = make_puma_job("j1", "self-join", 20, workflow_id="w")
+        assert job.kind is JobKind.DEADLINE
+        assert job.name == "self-join"
+        assert job.tasks.demand["mem"] == 8
+
+
+class TestScientific:
+    @pytest.mark.parametrize("shape", sorted(SCIENTIFIC_SHAPES))
+    def test_all_shapes_build_valid_workflows(self, shape):
+        wf = make_scientific_workflow(shape, f"{shape}-1", 0, 500, width=4)
+        assert len(wf) >= 5
+        assert wf.roots() and wf.sinks()
+        assert wf.name == shape
+
+    def test_width_scales_parallel_stages(self):
+        narrow = make_scientific_workflow("montage", "m1", 0, 500, width=2)
+        wide = make_scientific_workflow("montage", "m2", 0, 500, width=8)
+        assert len(wide) > len(narrow)
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            make_scientific_workflow("blast", "b1", 0, 100)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            make_scientific_workflow("montage", "m1", 0, 100, width=0)
+
+
+class TestArrivals:
+    def test_poisson_sorted_within_horizon(self):
+        rng = np.random.default_rng(0)
+        slots = poisson_arrival_slots(0.5, 100, rng)
+        assert slots == sorted(slots)
+        assert all(0 <= s < 100 for s in slots)
+
+    def test_poisson_rate_roughly_matches(self):
+        rng = np.random.default_rng(42)
+        slots = poisson_arrival_slots(0.5, 10_000, rng)
+        assert len(slots) == pytest.approx(5000, rel=0.1)
+
+    def test_zero_rate_empty(self):
+        rng = np.random.default_rng(0)
+        assert poisson_arrival_slots(0.0, 100, rng) == []
+
+    def test_negative_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrival_slots(-1.0, 100, rng)
+
+    def test_bursty_mean_size(self):
+        rng = np.random.default_rng(7)
+        slots = bursty_arrival_slots(0.05, 4.0, 10_000, rng)
+        bursts = len(set(slots))
+        assert len(slots) / bursts == pytest.approx(4.0, rel=0.25)
+
+    def test_adhoc_stream_jobs(self):
+        jobs = adhoc_stream(10, rate_per_slot=1.0, horizon_slots=100, seed=3)
+        assert len(jobs) == 10
+        assert all(j.kind is JobKind.ADHOC for j in jobs)
+        arrivals = [j.arrival_slot for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_adhoc_stream_deterministic(self):
+        a = adhoc_stream(5, seed=9)
+        b = adhoc_stream(5, seed=9)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert [j.tasks for j in a] == [j.tasks for j in b]
+
+
+class TestMapReduceSplit:
+    def test_two_stages_with_edge(self):
+        from repro.workloads.puma import make_mapreduce_jobs
+
+        jobs, edges = make_mapreduce_jobs("j1", "wordcount", 20, workflow_id="w")
+        assert [j.job_id for j in jobs] == ["j1-map", "j1-reduce"]
+        assert edges == [("j1-map", "j1-reduce")]
+        assert all(j.workflow_id == "w" for j in jobs)
+
+    def test_reduce_side_is_smaller_and_longer(self):
+        from repro.workloads.puma import make_mapreduce_jobs
+
+        (map_job, reduce_job), _ = make_mapreduce_jobs(
+            "j1", "self-join", 20, workflow_id="w"
+        )
+        assert reduce_job.tasks.count < map_job.tasks.count
+        assert reduce_job.tasks.duration_slots > map_job.tasks.duration_slots
+
+    def test_reduce_fraction_validation(self):
+        from repro.workloads.puma import make_mapreduce_jobs
+
+        with pytest.raises(ValueError):
+            make_mapreduce_jobs("j", "grep", 10, workflow_id="w", reduce_fraction=0.0)
+
+    def test_splices_into_workflow(self):
+        from repro.model.workflow import Workflow
+        from repro.workloads.puma import make_mapreduce_jobs
+
+        jobs, edges = make_mapreduce_jobs("j1", "terasort", 15, workflow_id="w")
+        wf = Workflow.from_jobs("w", jobs, edges, 0, 100)
+        assert wf.roots() == ("j1-map",)
+        assert wf.sinks() == ("j1-reduce",)

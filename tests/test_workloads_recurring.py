@@ -1,0 +1,124 @@
+"""Tests for recurring workflows and real-history extraction."""
+
+import pytest
+
+from repro.estimation.history import RunHistory
+from repro.model.cluster import ClusterCapacity
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.morpheus import MorpheusScheduler
+from repro.simulator.engine import Simulation
+from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
+from repro.workloads.recurring import RecurringWorkflow, record_run
+
+
+@pytest.fixture
+def daily_chain() -> RecurringWorkflow:
+    skeleton = chain_workflow("etl", 3, 0, 60)
+    return RecurringWorkflow(skeleton=skeleton, period_slots=100, template_name="daily-etl")
+
+
+class TestInstantiation:
+    def test_validation(self):
+        skeleton = chain_workflow("etl", 2, 0, 30)
+        with pytest.raises(ValueError):
+            RecurringWorkflow(skeleton=skeleton, period_slots=0)
+        shifted = chain_workflow("etl", 2, 10, 40)
+        with pytest.raises(ValueError):
+            RecurringWorkflow(skeleton=shifted, period_slots=50)
+
+    def test_instance_zero_matches_skeleton_shape(self, daily_chain):
+        instance = daily_chain.instance(0)
+        assert instance.start_slot == 0
+        assert instance.deadline_slot == 60
+        assert len(instance) == 3
+        assert len(instance.edges) == 2
+
+    def test_instances_shift_by_period(self, daily_chain):
+        third = daily_chain.instance(3)
+        assert third.start_slot == 300
+        assert third.deadline_slot == 360
+        assert third.workflow_id == "etl@3"
+
+    def test_instance_job_ids_unique_across_instances(self, daily_chain):
+        ids0 = set(daily_chain.instance(0).job_ids)
+        ids1 = set(daily_chain.instance(1).job_ids)
+        assert not ids0 & ids1
+
+    def test_instances_share_template_name(self, daily_chain):
+        assert daily_chain.instance(0).name == "daily-etl"
+        assert daily_chain.instance(5).name == "daily-etl"
+
+    def test_edges_remapped(self, daily_chain):
+        instance = daily_chain.instance(1)
+        for parent, child in instance.edges:
+            assert parent in instance.job_ids
+            assert child in instance.job_ids
+
+    def test_skeleton_job_id_round_trip(self, daily_chain):
+        instance = daily_chain.instance(2)
+        for job in instance.jobs:
+            local = daily_chain.skeleton_job_id(2, job.job_id)
+            assert local in daily_chain.skeleton.job_ids
+
+    def test_skeleton_job_id_rejects_foreign(self, daily_chain):
+        with pytest.raises(KeyError):
+            daily_chain.skeleton_job_id(0, "other-job")
+
+    def test_negative_index_rejected(self, daily_chain):
+        with pytest.raises(ValueError):
+            daily_chain.instance(-1)
+
+
+class TestRecordRun:
+    def test_history_from_executed_instance(self, small_cluster, daily_chain):
+        instance = daily_chain.instance(0)
+        result = Simulation(small_cluster, FairScheduler(), workflows=[instance]).run()
+        history = RunHistory()
+        run = record_run(history, daily_chain, 0, result)
+        assert history.has("daily-etl")
+        # Observations use skeleton ids, offsets relative to instance start.
+        assert set(run.observations) == set(daily_chain.skeleton.job_ids)
+        chain_ids = list(daily_chain.skeleton.job_ids)
+        first = run.observations[chain_ids[0]]
+        assert first.start_offset == 0
+        assert run.makespan >= first.completion_offset
+
+    def test_unfinished_instance_rejected(self, small_cluster, daily_chain):
+        result = Simulation(small_cluster, FairScheduler(), workflows=[]).run()
+        with pytest.raises(ValueError):
+            record_run(RunHistory(), daily_chain, 0, result)
+
+    def test_later_instance_offsets_are_relative(self, small_cluster, daily_chain):
+        instance = daily_chain.instance(2)  # starts at slot 200
+        result = Simulation(small_cluster, FairScheduler(), workflows=[instance]).run()
+        history = RunHistory()
+        run = record_run(history, daily_chain, 2, result)
+        assert all(obs.start_offset < 60 for obs in run.observations.values())
+
+
+class TestMorpheusLearnsFromRealRuns:
+    """End-to-end: instance 0 executes, its history drives instance 1."""
+
+    def test_second_instance_gets_observed_windows(self, small_cluster):
+        skeleton = fork_join_workflow("pipe", 3, 0, 120)
+        recurring = RecurringWorkflow(
+            skeleton=skeleton, period_slots=200, template_name="pipe"
+        )
+        # Run the first occurrence cold and record what happened.
+        first = recurring.instance(0)
+        result = Simulation(small_cluster, FairScheduler(), workflows=[first]).run()
+        assert result.finished
+        history = RunHistory()
+        record_run(history, recurring, 0, result)
+
+        # Schedule the second occurrence with Morpheus on that history.
+        second = recurring.instance(1)
+        scheduler = MorpheusScheduler(history=history)
+        result2 = Simulation(small_cluster, scheduler, workflows=[second]).run()
+        assert result2.finished
+        windows = scheduler.windows
+        assert set(windows) == set(second.job_ids)
+        # Inferred windows are real sub-windows, not the cold-start whole
+        # window: the source job's deadline lands strictly inside.
+        source = f"{second.workflow_id}-pipe-j0"
+        assert windows[source].deadline_slot < second.deadline_slot

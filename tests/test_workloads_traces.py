@@ -1,0 +1,94 @@
+"""Tests for trace generation and JSON round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.core.critical_path import critical_path_length
+from repro.model.cluster import ClusterCapacity
+from repro.workloads.traces import generate_trace, load_trace, save_trace
+
+
+@pytest.fixture
+def cluster():
+    return ClusterCapacity.uniform(cpu=100, mem=200)
+
+
+class TestGenerateTrace:
+    def test_shape_matches_request(self, cluster):
+        trace = generate_trace(
+            n_workflows=3, jobs_per_workflow=6, n_adhoc=10, capacity=cluster, seed=1
+        )
+        assert len(trace.workflows) == 3
+        assert trace.n_deadline_jobs == 18
+        assert len(trace.adhoc_jobs) <= 10
+
+    def test_deterministic(self, cluster):
+        a = generate_trace(capacity=cluster, seed=5, n_workflows=2, jobs_per_workflow=5)
+        b = generate_trace(capacity=cluster, seed=5, n_workflows=2, jobs_per_workflow=5)
+        assert [w.deadline_slot for w in a.workflows] == [
+            w.deadline_slot for w in b.workflows
+        ]
+
+    def test_looseness_bounds_deadlines(self, cluster):
+        trace = generate_trace(
+            n_workflows=4,
+            jobs_per_workflow=8,
+            n_adhoc=0,
+            capacity=cluster,
+            looseness=(3.0, 8.0),
+            seed=2,
+        )
+        for wf in trace.workflows:
+            cp = critical_path_length(wf, cluster, cluster_aware=True)
+            ratio = wf.window_slots / cp
+            assert 2.5 <= ratio <= 9.0  # rounding tolerance around [3, 8]
+
+    def test_scientific_variant(self, cluster):
+        trace = generate_trace(
+            n_workflows=5, jobs_per_workflow=15, n_adhoc=0,
+            capacity=cluster, scientific=True, seed=3,
+        )
+        names = {wf.name for wf in trace.workflows}
+        assert len(names) == 5  # one per shape
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, cluster, tmp_path):
+        trace = generate_trace(
+            n_workflows=2, jobs_per_workflow=5, n_adhoc=6, capacity=cluster, seed=4
+        )
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.workflows) == len(trace.workflows)
+        for original, restored in zip(trace.workflows, loaded.workflows):
+            assert original.workflow_id == restored.workflow_id
+            assert original.deadline_slot == restored.deadline_slot
+            assert set(original.edges) == set(restored.edges)
+            for job in original.jobs:
+                assert restored.job(job.job_id).tasks == job.tasks
+        assert [j.job_id for j in loaded.adhoc_jobs] == [
+            j.job_id for j in trace.adhoc_jobs
+        ]
+
+    def test_true_tasks_survive_round_trip(self, cluster, tmp_path):
+        from dataclasses import replace
+
+        from repro.estimation.errors import ErrorModel, apply_estimation_errors
+        from repro.workloads.traces import SyntheticTrace
+
+        trace = generate_trace(
+            n_workflows=1, jobs_per_workflow=3, n_adhoc=2, capacity=cluster, seed=5
+        )
+        perturbed_adhoc = apply_estimation_errors(
+            trace.adhoc_jobs, ErrorModel(low=2.0, high=2.0)
+        )
+        trace = SyntheticTrace(
+            workflows=trace.workflows, adhoc_jobs=tuple(perturbed_adhoc)
+        )
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for job in loaded.adhoc_jobs:
+            assert job.true_tasks is not None
+            assert job.true_tasks.duration_slots == 2 * job.tasks.duration_slots
