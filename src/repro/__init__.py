@@ -56,6 +56,15 @@ from repro.model import (
     TaskSpec,
     Workflow,
 )
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Observability,
+    current_obs,
+    read_trace,
+    use_obs,
+)
 from repro.schedulers import (
     CoraScheduler,
     EdfScheduler,
@@ -75,7 +84,7 @@ from repro.workloads import (
 )
 from repro.workloads.recurring import RecurringWorkflow, record_run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CPU",
@@ -95,7 +104,11 @@ __all__ = [
     "JobDemand",
     "JobKind",
     "JobWindow",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
     "MorpheusScheduler",
+    "Observability",
     "PlannerConfig",
     "RecurringWorkflow",
     "ResourceVector",
@@ -110,6 +123,7 @@ __all__ = [
     "apply_estimation_errors",
     "canonical_windows",
     "critical_path_windows",
+    "current_obs",
     "decompose_deadline",
     "fork_join_workflow",
     "format_comparison_table",
@@ -118,9 +132,11 @@ __all__ = [
     "lexmin_schedule",
     "make_scheduler",
     "make_scientific_workflow",
+    "read_trace",
     "record_run",
     "render_gantt",
     "render_utilization",
     "run_comparison",
     "run_one",
+    "use_obs",
 ]

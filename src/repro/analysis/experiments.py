@@ -16,6 +16,7 @@ from repro.core.decomposition import decompose_deadline
 from repro.core.decomposition_types import JobWindow
 from repro.estimation.history import RunHistory, synthesize_history
 from repro.model.cluster import ClusterCapacity
+from repro.obs import Observability
 from repro.schedulers.registry import make_scheduler
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import (
@@ -86,8 +87,14 @@ def run_one(
     history: RunHistory | None = None,
     config: SimulationConfig | None = None,
     scheduler_kwargs: dict | None = None,
+    obs: Observability | None = None,
 ) -> AlgorithmOutcome:
-    """Run one scheduler over a trace and measure the paper's metrics."""
+    """Run one scheduler over a trace and measure the paper's metrics.
+
+    ``obs`` injects an observability handle (trace sink, shared registry)
+    into the simulation; by default each run gets a private registry and
+    no trace.
+    """
     if windows is None:
         windows = canonical_windows(trace, capacity)
     scheduler = make_scheduler(name, history=history, **(scheduler_kwargs or {}))
@@ -97,6 +104,7 @@ def run_one(
         workflows=trace.workflows,
         adhoc_jobs=trace.adhoc_jobs,
         config=config,
+        obs=obs,
     )
     result = sim.run()
     return AlgorithmOutcome(

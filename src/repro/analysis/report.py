@@ -18,8 +18,13 @@ import time
 
 import numpy as np
 
-from repro.analysis.experiments import run_comparison
-from repro.analysis.reporting import turnaround_ratios
+from repro.analysis.experiments import run_comparison, run_one
+from repro.analysis.reporting import (
+    format_phase_table,
+    format_slowest_slot,
+    turnaround_ratios,
+)
+from repro.obs import Observability
 from repro.core.decomposition import decompose_deadline
 from repro.core.flowtime import PlannerConfig
 from repro.core.lexmin import lexmin_schedule
@@ -198,6 +203,34 @@ def _timing_section() -> list[str]:
     ]
 
 
+def _phase_latency_section(seed: int) -> list[str]:
+    """Per-phase wall-clock profile of one instrumented FlowTime run.
+
+    This is the live-run counterpart of the Fig. 6/7 microbenchmarks: the
+    same latencies (decomposition, LP build/solve, per-slot decision)
+    measured where they actually occur, plus the engine's slowest-slot
+    breakdown — the first place to look when a run misses deadlines.
+    """
+    cluster = ClusterCapacity.uniform(cpu=64, mem=128)
+    trace = generate_trace(
+        n_workflows=3, jobs_per_workflow=10, n_adhoc=20, capacity=cluster,
+        looseness=(4.0, 8.0), adhoc_rate_per_slot=0.7,
+        workflow_spread_slots=40, seed=seed,
+    )
+    outcome = run_one("FlowTime", trace, cluster, obs=Observability())
+    lines = [
+        "## Per-phase latency profile (instrumented FlowTime run)",
+        "",
+        "```",
+        format_phase_table(outcome.result.metrics),
+    ]
+    slowest = format_slowest_slot(outcome.result.metrics)
+    if slowest:
+        lines.append(slowest)
+    lines += ["```", ""]
+    return lines
+
+
 def generate_report(*, scale: str = "quick", seed: int = 15) -> str:
     """Render the Markdown reproduction report.
 
@@ -218,4 +251,5 @@ def generate_report(*, scale: str = "quick", seed: int = 15) -> str:
     lines += _fig4_section(scale, seed)
     lines += _fig5_section()
     lines += _timing_section()
+    lines += _phase_latency_section(seed)
     return "\n".join(lines)

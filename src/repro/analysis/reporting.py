@@ -13,6 +13,77 @@ import numpy as np
 
 from repro.analysis.experiments import ComparisonResult
 
+#: Presentation order of the instrumented phase histograms (others follow
+#: alphabetically); see repro.obs for the span names.
+PHASE_ORDER: tuple[str, ...] = (
+    "decompose",
+    "lp.build",
+    "lp.presolve",
+    "lp.solve",
+    "sched.plan",
+    "sched.decide",
+    "sim.slot",
+    "admission.check",
+)
+
+
+def _seconds_cell(seconds: float) -> str:
+    """Render a turnaround/seconds value, NaN as ``n/a``."""
+    return "n/a" if seconds != seconds else f"{seconds:.1f}"
+
+
+def format_phase_table(metrics: Mapping[str, Mapping[str, float]]) -> str:
+    """Per-phase wall-clock latency table from a metrics snapshot.
+
+    Takes the ``SimulationResult.metrics`` /
+    :meth:`repro.obs.MetricsRegistry.snapshot` shape and renders every
+    timing histogram (span seconds) as one row of call count and latency
+    quantiles in milliseconds.
+    """
+    names = [
+        name
+        for name, stats in metrics.items()
+        if stats.get("type") == "histogram"
+        and stats.get("count")
+        # Only wall-clock span histograms belong in a latency table; other
+        # histograms (e.g. lp.backend.*.iterations) carry non-time units.
+        and (name in PHASE_ORDER or name.endswith("seconds"))
+    ]
+    names.sort(key=lambda n: (PHASE_ORDER.index(n) if n in PHASE_ORDER else
+                              len(PHASE_ORDER), n))
+    header = (
+        f"{'phase':<18}{'calls':>8}{'p50 (ms)':>12}{'p95 (ms)':>12}"
+        f"{'p99 (ms)':>12}{'max (ms)':>12}{'total (s)':>12}"
+    )
+    lines = ["per-phase timings (wall-clock):", header, "-" * len(header)]
+    for name in names:
+        stats = metrics[name]
+        lines.append(
+            f"{name:<18}{int(stats['count']):>8d}"
+            f"{stats['p50'] * 1000:>12.3f}{stats['p95'] * 1000:>12.3f}"
+            f"{stats['p99'] * 1000:>12.3f}{stats['max'] * 1000:>12.3f}"
+            f"{stats['sum']:>12.3f}"
+        )
+    if len(lines) == 3:
+        lines.append("(no phase timings recorded)")
+    return "\n".join(lines)
+
+
+def format_slowest_slot(metrics: Mapping[str, Mapping[str, float]]) -> str | None:
+    """One-line slowest-slot breakdown, or None when not recorded."""
+    slot = metrics.get("sim.slowest_slot")
+    total = metrics.get("sim.slowest_slot_seconds")
+    decide = metrics.get("sim.slowest_slot_decide_seconds")
+    if not (slot and total and decide):
+        return None
+    total_ms = total["value"] * 1000
+    decide_ms = decide["value"] * 1000
+    return (
+        f"slowest slot: #{int(slot['value'])} "
+        f"({total_ms:.2f} ms total, {decide_ms:.2f} ms scheduler decision, "
+        f"{total_ms - decide_ms:.2f} ms engine)"
+    )
+
 
 def format_comparison_table(
     comparison: ComparisonResult, *, planning: bool = False
@@ -38,7 +109,7 @@ def format_comparison_table(
             f"{outcome.name:<16}{outcome.n_missed_jobs:>12d}"
             f"{outcome.n_missed_workflows:>11d}"
             f"{max_delta:>12.1f}{mean_delta:>12.1f}"
-            f"{outcome.adhoc_turnaround_s:>24.1f}"
+            f"{_seconds_cell(outcome.adhoc_turnaround_s):>24}"
         )
         if planning:
             result = outcome.result
@@ -84,8 +155,8 @@ def turnaround_ratios(comparison: ComparisonResult, baseline: str = "FlowTime") 
     time" (1/2 of CORA, 1/3 of FIFO, 1/10 of EDF, Fair 1.36x).
     """
     base = comparison.outcome(baseline).adhoc_turnaround_s
-    if base <= 0:
-        raise ValueError(f"baseline {baseline!r} has non-positive turnaround")
+    if not base > 0:  # catches non-positive and NaN (no ad-hoc jobs)
+        raise ValueError(f"baseline {baseline!r} has no positive turnaround")
     return {
         outcome.name: outcome.adhoc_turnaround_s / base
         for outcome in comparison.outcomes

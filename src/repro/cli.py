@@ -1,32 +1,60 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflow end to end::
+The subcommands cover the library's workflow end to end::
 
     python -m repro generate-trace --out trace.json --seed 15
     python -m repro decompose --trace trace.json --workflow wf0
     python -m repro run --trace trace.json --scheduler FlowTime --gantt
+    python -m repro run --trace trace.json --trace-out run.jsonl --metrics
     python -m repro compare --trace trace.json
 
 Cluster size is given with ``--cpu/--mem`` (every command defaults to the
 64-core / 128-GB mixed-cluster setup the examples use).  Traces are the
 replayable JSON files of :mod:`repro.workloads.traces`, so a comparison run
 on another machine sees byte-identical workloads.
+
+Global flags (before the subcommand): ``--version``; ``-v/--verbose`` and
+``-q/--quiet`` set the observability log level (repeat ``-v`` for debug);
+``-v`` on a ``run`` also prints the per-phase timing table.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
 from repro.analysis.experiments import run_comparison, run_one
 from repro.analysis.gantt import render_gantt, render_utilization
-from repro.analysis.reporting import format_comparison_table, turnaround_ratios
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_phase_table,
+    format_slowest_slot,
+    turnaround_ratios,
+)
 from repro.core.decomposition import decompose_deadline
 from repro.model.cluster import ClusterCapacity
+from repro.obs import JsonlSink, Observability
 from repro.schedulers.registry import SCHEDULER_NAMES
 from repro.simulator.engine import SimulationConfig
 from repro.workloads.traces import generate_trace, load_trace, save_trace
+
+
+def verbosity_to_level(quiet: bool, verbose: int) -> int:
+    """Map -q/-v flags to a logging level (the obs layer's log level).
+
+    Default is WARNING (instrumentation is silent unless asked); ``-v``
+    surfaces run milestones (INFO), ``-vv`` the debug firehose; ``-q``
+    keeps only errors.
+    """
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -39,9 +67,27 @@ def _cluster(args: argparse.Namespace) -> ClusterCapacity:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FlowTime (ICDCS 2018) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info + timing tables, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="log errors only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,6 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--slot-seconds", type=float, default=10.0)
     run.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL event trace of the run (arrivals, placements, "
+        "completions, deadline misses) to PATH",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the per-phase timing table (decompose, lp.build, "
+        "lp.solve, sched.decide, sim.slot, ...)",
+    )
     _add_cluster_args(run)
 
     report = sub.add_parser(
@@ -168,21 +226,39 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     trace = load_trace(args.trace)
-    outcome = run_one(
-        args.scheduler,
-        trace,
-        cluster,
-        config=SimulationConfig(
-            slot_seconds=args.slot_seconds, record_execution=args.gantt
-        ),
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    obs = Observability(
+        sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
     )
+    with obs:
+        outcome = run_one(
+            args.scheduler,
+            trace,
+            cluster,
+            config=SimulationConfig(
+                slot_seconds=args.slot_seconds, record_execution=args.gantt
+            ),
+            obs=obs,
+        )
     result = outcome.result
+    turnaround = outcome.adhoc_turnaround_s
+    turnaround_text = (
+        "n/a (no ad-hoc jobs)" if turnaround != turnaround else f"{turnaround:.1f} s"
+    )
     print(f"scheduler:            {args.scheduler}")
     print(f"finished:             {result.finished} ({result.n_slots} slots)")
     print(f"jobs missed:          {outcome.n_missed_jobs}")
     print(f"workflows missed:     {outcome.n_missed_workflows}")
-    print(f"ad-hoc turnaround:    {outcome.adhoc_turnaround_s:.1f} s")
+    print(f"ad-hoc turnaround:    {turnaround_text}")
+    if sink is not None:
+        print(f"trace:                wrote {sink.n_events} events to {args.trace_out}")
     print(render_utilization(result, cluster))
+    if args.metrics or args.verbose:
+        print()
+        print(format_phase_table(result.metrics))
+        slowest = format_slowest_slot(result.metrics)
+        if slowest:
+            print(slowest)
     if args.gantt:
         print()
         print(render_gantt(result))
@@ -226,6 +302,14 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=verbosity_to_level(args.quiet, args.verbose),
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    logging.getLogger("repro").setLevel(
+        verbosity_to_level(args.quiet, args.verbose)
+    )
     try:
         return _COMMANDS[args.command](args)
     except (OSError, ValueError, KeyError) as error:

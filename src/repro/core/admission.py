@@ -28,6 +28,7 @@ from repro.lp.problem import LinearProgram
 from repro.lp.solver import solve_lp
 from repro.model.cluster import ClusterCapacity
 from repro.model.workflow import Workflow
+from repro.obs import current_obs
 
 __all__ = ["AdmissionDecision", "check_admission"]
 
@@ -76,6 +77,39 @@ def check_admission(
     The check is exact for the coupled formulation: max-placement under the
     joint windows either places all work (admit) or certifies a shortfall.
     """
+    obs = current_obs()
+    with obs.span("admission.check"):
+        decision = _check_admission(
+            new_workflow, existing_demands, capacity, now_slot, config=config
+        )
+    if decision.admit:
+        obs.counter("admission.accepted").inc()
+        obs.event(
+            "admission_accept",
+            workflow_id=new_workflow.workflow_id,
+            slot=now_slot,
+            utilisation=decision.utilisation,
+        )
+    else:
+        obs.counter("admission.rejected").inc()
+        obs.event(
+            "admission_reject",
+            workflow_id=new_workflow.workflow_id,
+            slot=now_slot,
+            shortfall_units=decision.total_shortfall,
+            utilisation=decision.utilisation,
+        )
+    return decision
+
+
+def _check_admission(
+    new_workflow: Workflow,
+    existing_demands: Sequence[JobDemand],
+    capacity: ClusterCapacity,
+    now_slot: int,
+    *,
+    config: PlannerConfig | None = None,
+) -> AdmissionDecision:
     planner = FlowTimePlanner(config)
     decomposition = decompose_deadline(new_workflow, capacity)
     new_demands = [

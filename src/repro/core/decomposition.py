@@ -32,6 +32,7 @@ from repro.core.decomposition_types import JobWindow
 from repro.core.toposort import grouped_topological_sets
 from repro.model.cluster import ClusterCapacity
 from repro.model.workflow import Workflow
+from repro.obs import current_obs
 
 __all__ = ["DecompositionResult", "JobWindow", "decompose_deadline"]
 
@@ -112,6 +113,16 @@ def decompose_deadline(
         A :class:`DecompositionResult`; inspect ``used_fallback`` to see
         whether the critical-path fallback was taken.
     """
+    with current_obs().span("decompose"):
+        return _decompose_deadline(workflow, capacity, cluster_aware=cluster_aware)
+
+
+def _decompose_deadline(
+    workflow: Workflow,
+    capacity: ClusterCapacity,
+    *,
+    cluster_aware: bool,
+) -> DecompositionResult:
     node_sets = grouped_topological_sets(workflow)
     min_runtimes = [
         _set_min_runtime(workflow, node_set, capacity, cluster_aware)
@@ -121,6 +132,7 @@ def decompose_deadline(
     remaining = window - sum(min_runtimes)
 
     if remaining < 0:
+        current_obs().counter("decompose.fallback").inc()
         windows = critical_path_windows(
             workflow, capacity, cluster_aware=cluster_aware
         )

@@ -38,6 +38,7 @@ from repro.core.lexmin import lexmin_schedule
 from repro.core.lp_formulation import Mode, ScheduleEntry, build_schedule_problem
 from repro.model.cluster import ClusterCapacity
 from repro.model.resources import ResourceVector
+from repro.obs import current_obs
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,15 @@ class FlowTimePlanner:
         jobs).  ``plan.degraded`` is True when the LP was infeasible even
         with relaxed windows and EDF water-filling was used.
         """
+        with current_obs().span("sched.plan"):
+            return self._plan(now_slot, demands, capacity)
+
+    def _plan(
+        self,
+        now_slot: int,
+        demands: list[JobDemand],
+        capacity: ClusterCapacity,
+    ) -> AllocationPlan:
         resources = capacity.resources
         if not demands:
             return AllocationPlan.empty(now_slot, 1, resources)
@@ -227,6 +237,7 @@ class FlowTimePlanner:
         # The cluster is over-committed beyond what window relaxation can
         # absorb: EDF water-filling over the *original* windows keeps the
         # most urgent work first and always makes progress.
+        current_obs().counter("sched.plan.degraded").inc()
         caps = self._caps_array(capacity, now_slot, stretched)
         grants = greedy_fill(clamp(plain, stretched), caps, resources)
         return AllocationPlan(

@@ -30,6 +30,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.model.resources import ResourceVector
+from repro.obs import current_obs
 
 Mode = Literal["paper", "coupled"]
 
@@ -139,6 +140,20 @@ def build_schedule_problem(
     Raises:
         ValueError on malformed windows or a window falling outside caps.
     """
+    with current_obs().span("lp.build"):
+        return _build_schedule_problem(
+            entries, caps, resources, mode=mode, per_slot_caps=per_slot_caps
+        )
+
+
+def _build_schedule_problem(
+    entries: Sequence[ScheduleEntry],
+    caps: np.ndarray,
+    resources: Sequence[str],
+    *,
+    mode: Mode,
+    per_slot_caps: bool,
+) -> ScheduleProblem:
     caps = np.asarray(caps, dtype=float)
     if caps.ndim != 2 or caps.shape[1] != len(resources):
         raise ValueError(

@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import sparse
 
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
 from repro.lp.solver import solve_lp
+from repro.obs import current_obs
 
 __all__ = ["PresolveError", "Restorer", "presolve", "solve_with_presolve"]
 
@@ -156,7 +156,8 @@ def solve_with_presolve(
     """Presolve, solve, and restore; falls back to a direct solve when the
     presolve degenerates (e.g. every variable fixed)."""
     try:
-        reduced, restorer = presolve(problem)
+        with current_obs().span("lp.presolve"):
+            reduced, restorer = presolve(problem)
     except PresolveError as error:
         if "fixed every variable" in str(error):
             return solve_lp(problem, backend=backend)

@@ -6,6 +6,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
+from repro.obs import current_obs
 
 _STATUS_MAP = {
     0: LPStatus.OPTIMAL,
@@ -28,6 +29,8 @@ def solve(problem: LinearProgram) -> LPSolution:
         method="highs",
     )
     status = _STATUS_MAP.get(res.status, LPStatus.ERROR)
+    if getattr(res, "nit", None) is not None:
+        current_obs().histogram("lp.backend.highs.iterations").observe(int(res.nit))
     if status is not LPStatus.OPTIMAL:
         return LPSolution(status=status, message=str(res.message))
     duals_ub = None

@@ -27,6 +27,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
+from repro.obs import current_obs
 
 _TOL = 1e-9
 _MAX_ITERS_FACTOR = 200
@@ -42,6 +43,7 @@ class _Tableau:
         self.basis = basis
         self.m = table.shape[0] - 1
         self.n = table.shape[1] - 1
+        self.pivots = 0  # across all run() phases, for observability
 
     def _price_out_basis(self, cost: np.ndarray) -> None:
         """Set the objective row for the given cost vector and current basis."""
@@ -88,6 +90,7 @@ class _Tableau:
             if r != row and abs(table[r, col]) > _TOL:
                 table[r] -= table[r, col] * table[row]
         self.basis[row] = col
+        self.pivots += 1
 
 
 def solve(problem: LinearProgram) -> LPSolution:
@@ -227,6 +230,7 @@ def solve(problem: LinearProgram) -> LPSolution:
     duals_ub = y[: problem.a_ub.shape[0]] if problem.a_ub.shape[0] else None
     duals_eq = y[n_le : n_le + n_eq] if n_eq else None
 
+    current_obs().histogram("lp.backend.simplex.pivots").observe(tableau.pivots)
     objective = float(phase2_cost @ x_red) + const_term
     return LPSolution(
         status=LPStatus.OPTIMAL,

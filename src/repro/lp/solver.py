@@ -1,4 +1,11 @@
-"""Backend registry: one entry point for solving LPs."""
+"""Backend registry: one entry point for solving LPs.
+
+Every solve passes through :func:`solve_lp`, which makes it the natural
+observability choke point: each call is timed into the ``lp.solve``
+histogram of the current registry, tagged counters record per-backend call
+volume, and non-optimal outcomes (infeasible ladder rungs during planning
+are *expected*, but their rate matters) are counted separately.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from typing import Callable
 
 from repro.lp import scipy_backend, simplex
 from repro.lp.problem import LinearProgram, LPSolution
+from repro.obs import current_obs
 
 _BACKENDS: dict[str, Callable[[LinearProgram], LPSolution]] = {
     "highs": scipy_backend.solve,
@@ -27,4 +35,10 @@ def solve_lp(problem: LinearProgram, backend: str = DEFAULT_BACKEND) -> LPSoluti
         raise ValueError(
             f"unknown LP backend {backend!r}; available: {available_backends()}"
         ) from None
-    return solver(problem)
+    obs = current_obs()
+    with obs.span("lp.solve"):
+        solution = solver(problem)
+    obs.counter(f"lp.solve.calls.{backend}").inc()
+    if not solution.is_optimal:
+        obs.counter("lp.solve.nonoptimal").inc()
+    return solution

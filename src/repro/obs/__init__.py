@@ -1,0 +1,43 @@
+"""Observability: metrics registry, phase spans, and structured tracing.
+
+The instrumentation layer behind ``Simulation(obs=...)``, ``repro run
+--trace-out run.jsonl --metrics`` and the report's per-phase latency
+table.  See docs/OBSERVABILITY.md for the API guide and event schema.
+"""
+
+from repro.obs.core import (
+    NULL_OBS,
+    Observability,
+    Span,
+    current_obs,
+    use_obs,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    EVENT_TYPES,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    count_by_type,
+    read_trace,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "NULL_OBS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Observability",
+    "Span",
+    "TraceSink",
+    "count_by_type",
+    "current_obs",
+    "read_trace",
+    "use_obs",
+]

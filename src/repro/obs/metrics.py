@@ -1,0 +1,197 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+Production schedulers answer "why did this run miss its deadline?" with
+numbers, not log archaeology; this module is the numeric half of the
+observability layer (the trace emitter in :mod:`repro.obs.trace` is the
+other).  Design constraints, in order:
+
+1. **No global mutable state.**  Every :class:`MetricsRegistry` is an
+   isolated container; two :class:`~repro.simulator.engine.Simulation`
+   instances never see each other's samples.  The "current" registry is
+   selected per run via a context variable (:mod:`repro.obs.core`), never
+   via module-level singletons.
+2. **Near-zero overhead.**  ``observe``/``inc`` are attribute appends and
+   float adds; quantiles are computed lazily at snapshot time.
+3. **Test-friendly.**  ``snapshot()`` returns plain dicts so assertions
+   never need to reach into metric internals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, calls, rejects)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, float | str]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A last-write-wins value (current queue depth, slowest slot index)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = math.nan
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, float | str]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """A distribution of observed values with lazy quantiles.
+
+    All samples are retained (a simulation run observes at most a few
+    hundred thousand floats, far below reservoir-sampling territory) so
+    quantiles are exact.  The sorted view is cached and invalidated on the
+    next ``observe``.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._values) if self._values else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Exact linear-interpolated quantile, ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return math.nan
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        values = self._sorted
+        position = q * (len(values) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return values[low]
+        frac = position - low
+        return values[low] * (1.0 - frac) + values[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> dict[str, float | str]:
+        return {
+            "type": "histogram",
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """An isolated, injectable collection of named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    with a name creates the metric, later calls return the same object.  A
+    name is bound to exactly one metric kind; mixing kinds raises.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Mapping[str, float | str]]:
+        """Plain-dict view of every metric (the hand-off to results/reports)."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}

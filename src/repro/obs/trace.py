@@ -1,0 +1,162 @@
+"""Structured trace emission: JSON-lines event sinks.
+
+A trace is a flat stream of dict events — one JSON object per line when
+written to disk — mirroring what the simulator and the algorithm layers
+did: job arrivals, readiness transitions, task placements, preemptions,
+completions, deadline misses, admission decisions, failure injections.
+
+Every event carries at least ``ts`` (wall-clock seconds), ``seq`` (a
+per-sink monotonic sequence number, so interleaved readers can re-order)
+and ``type`` (one of :data:`EVENT_TYPES` for engine-emitted events; other
+layers may add their own).  Everything else is event-specific payload.
+
+Sinks are tiny and injectable:
+
+* :class:`NullSink` — the default; ``enabled`` is False so emitting layers
+  can skip building payload dicts entirely.
+* :class:`MemorySink` — collects events in a list (tests, notebooks).
+* :class:`JsonlSink` — appends JSON lines to a file.
+
+``read_trace`` parses a JSONL file back into event dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Iterable
+
+__all__ = [
+    "EVENT_TYPES",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TraceSink",
+    "read_trace",
+]
+
+#: Event types the instrumented stack emits (see docs/OBSERVABILITY.md for
+#: each type's payload fields).  Other layers may emit additional types;
+#: consumers should ignore types they do not know.
+EVENT_TYPES: tuple[str, ...] = (
+    "run_start",
+    "workflow_arrived",
+    "job_arrived",
+    "job_ready",
+    "task_placement",
+    "job_preempted",
+    "job_completed",
+    "job_setback",
+    "workflow_completed",
+    "workflow_deadline_miss",
+    "admission_accept",
+    "admission_reject",
+    "run_end",
+)
+
+
+class TraceSink:
+    """Base sink: receives event dicts; subclasses decide where they go."""
+
+    #: False only for :class:`NullSink`; emitters consult this to skip all
+    #: trace work (payload construction included) on the disabled path.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._seq = 0
+
+    def emit(self, event: dict) -> None:
+        """Stamp ``ts``/``seq`` (when absent) and hand off to ``write``."""
+        event.setdefault("ts", time.time())
+        event["seq"] = self._seq
+        self._seq += 1
+        self.write(event)
+
+    def write(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    @property
+    def n_events(self) -> int:
+        return self._seq
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """The disabled sink: emitting is a no-op and ``enabled`` is False."""
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - trivial
+        pass
+
+    def write(self, event: dict) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class MemorySink(TraceSink):
+    """Collects events in ``self.events`` (tests and interactive use)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: str) -> list[dict]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per line to *path* (created/truncated)."""
+
+    def __init__(self, path: str | Path):
+        super().__init__()
+        self.path = Path(path)
+        self._file: IO[str] | None = self.path.open("w")
+
+    def write(self, event: dict) -> None:
+        if self._file is None:
+            raise ValueError(f"trace sink for {self.path} is closed")
+        json.dump(event, self._file, separators=(",", ":"), default=str)
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file back into a list of event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_no}: malformed trace line: {error}"
+                ) from None
+    return events
+
+
+def count_by_type(events: Iterable[dict]) -> dict[str, int]:
+    """Event-type histogram of a parsed trace (reporting convenience)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = event.get("type", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

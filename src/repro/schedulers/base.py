@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 
 from repro.model.events import Event
 from repro.model.resources import ResourceVector
+from repro.obs import current_obs
 from repro.simulator.view import (
     AdhocJobView,
     ClusterView,
@@ -41,6 +42,17 @@ class Scheduler(abc.ABC):
         The engine validates that the implied resource usage fits capacity
         and that only ready, unfinished jobs are granted units.
         """
+
+    def decide(self, view: ClusterView) -> Assignment:
+        """``assign`` wrapped in the ``sched.decide`` observability span.
+
+        The engine calls this instead of ``assign`` so every policy's
+        per-slot decision latency lands in the same histogram (the Fig. 7
+        quantity, measured from a live run instead of a microbenchmark).
+        Subclasses override ``assign``, never this.
+        """
+        with current_obs().span("sched.decide"):
+            return self.assign(view)
 
     # -- shared helpers for subclasses --------------------------------------------
 

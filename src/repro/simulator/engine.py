@@ -20,6 +20,7 @@ treats a job as a divisible amount of work placed freely in its window).
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional
@@ -36,6 +37,7 @@ from repro.model.events import (
     WorkflowArrived,
     WorkflowCompleted,
 )
+from repro.obs import Observability, use_obs
 from repro.model.job import Job, JobKind
 from repro.model.resources import ResourceVector
 from repro.model.workflow import Workflow
@@ -135,10 +137,17 @@ class Simulation:
         workflows: Iterable[Workflow] = (),
         adhoc_jobs: Iterable[Job] = (),
         config: SimulationConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulationConfig()
+        # Each simulation owns its observability handle (metrics registry +
+        # trace sink); the default records metrics into a private registry
+        # and traces nowhere.  It is installed as the context-wide handle
+        # only while ``run`` executes, so concurrent/sequential simulations
+        # never share metric state.
+        self.obs = obs if obs is not None else Observability()
         self.workflows: dict[str, Workflow] = {}
         self._runs: dict[str, _JobRun] = {}
         self._workflow_completion: dict[str, Optional[int]] = {}
@@ -245,7 +254,16 @@ class Simulation:
     # -- run loop --------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        # Install this simulation's observability handle for the whole run
+        # so the algorithm layers (decomposition, LP, admission) reached
+        # from scheduler callbacks record into *this* registry.
+        with use_obs(self.obs):
+            return self._run_loop()
+
+    def _run_loop(self) -> SimulationResult:
         config = self.config
+        obs = self.obs
+        tracing = obs.tracing
         resources = self.cluster.resources
         usage_rows: list[list[float]] = []
         granted_rows: list[list[float]] = []
@@ -253,12 +271,33 @@ class Simulation:
         pending_events: list[Event] = []
         planning_calls = 0
         planning_seconds = 0.0
+        # Slowest-slot tracking for the per-phase report: which slot cost
+        # the most wall-clock time, and how much of it was the scheduler.
+        slowest = (-1.0, -1, 0.0)  # (seconds, slot, decide_seconds)
+        prev_running: set[str] = set()
+        # Prefer the span-wrapped ``decide`` of repro schedulers; duck-typed
+        # stand-ins (test doubles) only need ``assign``.
+        decide = getattr(self.scheduler, "decide", self.scheduler.assign)
 
         failure_rng = config.failures.rng() if config.failures else None
         remaining_jobs = sum(1 for run in self._runs.values() if not run.done)
         slot = 0
         finished = remaining_jobs == 0
+        obs.event(
+            "run_start",
+            scheduler=getattr(self.scheduler, "name", ""),
+            n_jobs=len(self._runs),
+            n_workflows=len(self.workflows),
+        )
+        obs.log(
+            logging.INFO,
+            "simulation start: %d jobs, %d workflows, scheduler=%s",
+            len(self._runs), len(self.workflows),
+            getattr(self.scheduler, "name", ""),
+        )
         while not finished and slot < config.max_slots:
+            slot_span = obs.span("sim.slot")
+            slot_span.__enter__()
             events = pending_events
             pending_events = []
 
@@ -286,12 +325,16 @@ class Simulation:
                     run.ready_slot = slot
                     events.append(JobArrived(slot=slot, job_id=run.job.job_id))
 
+            if tracing:
+                self._trace_events(events)
+
             view = self._view(slot)
             start = time.perf_counter()
             if events:
                 self.scheduler.on_events(events, view)
-            assignment = self.scheduler.assign(view)
-            planning_seconds += time.perf_counter() - start
+            assignment = decide(view)
+            decide_seconds = time.perf_counter() - start
+            planning_seconds += decide_seconds
             planning_calls += 1
 
             usage, granted, completions, executed = self._execute(
@@ -301,6 +344,19 @@ class Simulation:
             granted_rows.append([granted[r] for r in resources])
             if config.record_execution:
                 execution_rows.append(executed)
+
+            if tracing:
+                for job_id, units in executed.items():
+                    obs.event(
+                        "task_placement", slot=slot, job_id=job_id, units=units
+                    )
+                # Preemption at a slot boundary: a job that ran last slot,
+                # is still unfinished, and received nothing this slot.
+                running = set(executed)
+                for job_id in prev_running - running:
+                    if not self._runs[job_id].done:
+                        obs.event("job_preempted", slot=slot, job_id=job_id)
+                prev_running = running
 
             # Failure injection: jobs that ran but did not complete may lose
             # progress (a crashed container redoes work).  Completed jobs
@@ -339,6 +395,13 @@ class Simulation:
                         pending_events.append(
                             WorkflowCompleted(slot=slot + 1, workflow_id=workflow_id)
                         )
+                        if tracing and slot >= workflow.deadline_slot:
+                            obs.event(
+                                "workflow_deadline_miss",
+                                slot=slot,
+                                workflow_id=workflow_id,
+                                deadline_slot=workflow.deadline_slot,
+                            )
                     for child in workflow.dependents_of(job_id):
                         child_run = self._runs[child]
                         child_run.unmet_parents -= 1
@@ -354,14 +417,39 @@ class Simulation:
             remaining_jobs -= len(completions)
             finished = remaining_jobs == 0
             slot += 1
+            slot_span.__exit__(None, None, None)
+            if slot_span.elapsed > slowest[0]:
+                slowest = (slot_span.elapsed, slot - 1, decide_seconds)
 
         if pending_events:
+            if tracing:
+                self._trace_events(pending_events)
             # Deliver the final completion events (observability: schedulers
             # and tests can see the run close out) without asking for work.
             self.scheduler.on_events(pending_events, self._view(slot))
 
+        if slowest[1] >= 0:
+            obs.gauge("sim.slowest_slot").set(slowest[1])
+            obs.gauge("sim.slowest_slot_seconds").set(slowest[0])
+            obs.gauge("sim.slowest_slot_decide_seconds").set(slowest[2])
+        obs.event("run_end", n_slots=slot, finished=finished)
+        obs.log(
+            logging.INFO,
+            "simulation end: %d slots, finished=%s", slot, finished,
+        )
         return self._result(slot, finished, usage_rows, granted_rows,
                             execution_rows, planning_calls, planning_seconds)
+
+    def _trace_events(self, events: list[Event]) -> None:
+        """Mirror engine events into the trace (types match EventKind values)."""
+        obs = self.obs
+        for event in events:
+            fields = {
+                key: value
+                for key, value in vars(event).items()
+                if key != "slot" and value is not None
+            }
+            obs.event(event.kind.value, slot=event.slot, **fields)
 
     def _execute(
         self, slot: int, assignment, view: ClusterView
@@ -495,4 +583,5 @@ class Simulation:
             planning_seconds=planning_seconds,
             execution=tuple(execution_rows),
             fragmentation_waste_units=self._fragmentation_waste,
+            metrics=self.obs.registry.snapshot(),
         )

@@ -20,7 +20,23 @@ import numpy as np
 from repro.core.decomposition_types import JobWindow
 from repro.model.cluster import ClusterCapacity
 from repro.model.job import JobKind
-from repro.simulator.result import SimulationResult
+from repro.simulator.result import JobRecord, SimulationResult
+
+
+def _end_slot(record: JobRecord, n_slots: int) -> int:
+    """The exclusive end-slot boundary of a job's execution.
+
+    A job completing in slot ``s`` occupies ``[arrival, s]`` and its work
+    ends at boundary ``s + 1``; an unfinished job's earliest possible
+    completion is slot ``n_slots`` (the first un-simulated slot), so its
+    end boundary is at least ``n_slots + 1``.  Both the delta and the miss
+    metrics derive from this single convention: a job is late iff its end
+    boundary exceeds its (exclusive) deadline slot, i.e. iff its deadline
+    delta is strictly positive.
+    """
+    if record.completion_slot is not None:
+        return record.completion_slot + 1
+    return n_slots + 1
 
 
 def adhoc_turnaround_seconds(result: SimulationResult) -> float:
@@ -29,7 +45,9 @@ def adhoc_turnaround_seconds(result: SimulationResult) -> float:
     Turnaround = completion time - submission time.  Jobs that never
     finished (simulation truncated) count with the simulation end as their
     completion, which under-reports — callers should check
-    ``result.finished``.
+    ``result.finished``.  With no ad-hoc jobs in the workload the metric
+    is undefined and NaN is returned (0.0 would read as "perfect
+    turnaround" in reports); renderers print it as ``n/a``.
     """
     turnarounds = []
     for record in result.jobs_of_kind(JobKind.ADHOC):
@@ -39,7 +57,7 @@ def adhoc_turnaround_seconds(result: SimulationResult) -> float:
             slots = result.n_slots - record.arrival_slot
         turnarounds.append(slots)
     if not turnarounds:
-        return 0.0
+        return float("nan")
     return float(np.mean(turnarounds)) * result.slot_seconds
 
 
@@ -57,25 +75,26 @@ def deadline_deltas_seconds(
         record = result.jobs.get(job_id)
         if record is None:
             continue
-        end_slot = (
-            record.completion_slot + 1
-            if record.completion_slot is not None
-            else result.n_slots
-        )
-        deltas[job_id] = (end_slot - window.deadline_slot) * result.slot_seconds
+        end = _end_slot(record, result.n_slots)
+        deltas[job_id] = (end - window.deadline_slot) * result.slot_seconds
     return deltas
 
 
 def missed_jobs(
     result: SimulationResult, windows: Mapping[str, JobWindow]
 ) -> list[str]:
-    """Deadline-aware jobs that finished after their deadline (Fig. 4b)."""
+    """Deadline-aware jobs that finished after their deadline (Fig. 4b).
+
+    Shares the end-slot convention of :func:`deadline_deltas_seconds`: a
+    job is missed iff its delta is strictly positive, so a job finishing
+    exactly at its deadline (``delta == 0.0`` s) is *not* missed.
+    """
     missed = []
     for job_id, window in windows.items():
         record = result.jobs.get(job_id)
         if record is None:
             continue
-        if record.completion_slot is None or record.completion_slot >= window.deadline_slot:
+        if _end_slot(record, result.n_slots) > window.deadline_slot:
             missed.append(job_id)
     return sorted(missed)
 
@@ -106,16 +125,30 @@ def utilization_timeline(
 
 def summarize(
     result: SimulationResult, windows: Mapping[str, JobWindow]
-) -> dict[str, float]:
-    """One-line summary used by the comparison harness and reports."""
+) -> dict[str, float | None]:
+    """One-line summary used by the comparison harness and reports.
+
+    ``adhoc_turnaround_s`` is ``None`` when the workload had no ad-hoc
+    jobs (the metric is undefined; renderers show ``n/a``).  When the run
+    recorded observability metrics, scheduler decision-latency stats (the
+    live-run Fig. 7 quantity) are included as ``decide_ms_*``.
+    """
     deltas = deadline_deltas_seconds(result, windows)
     missed = missed_jobs(result, windows)
-    return {
+    turnaround = adhoc_turnaround_seconds(result)
+    summary: dict[str, float | None] = {
         "n_deadline_jobs": float(len(windows)),
         "jobs_missed": float(len(missed)),
         "workflows_missed": float(len(missed_workflows(result))),
-        "adhoc_turnaround_s": adhoc_turnaround_seconds(result),
+        "adhoc_turnaround_s": None if np.isnan(turnaround) else turnaround,
         "max_delta_s": max(deltas.values(), default=0.0),
         "mean_delta_s": float(np.mean(list(deltas.values()))) if deltas else 0.0,
         "finished": float(result.finished),
     }
+    decide = result.phase_stats("sched.decide")
+    if decide is not None and decide["count"]:
+        summary["decide_ms_p50"] = decide["p50"] * 1000.0
+        summary["decide_ms_p95"] = decide["p95"] * 1000.0
+        summary["decide_ms_mean"] = decide["mean"] * 1000.0
+        summary["decide_ms_max"] = decide["max"] * 1000.0
+    return summary

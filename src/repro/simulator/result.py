@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 import numpy as np
@@ -85,6 +85,17 @@ class SimulationResult:
     #: Granted task units that failed node-level placement over the whole
     #: run (0 unless the simulation had a ``node_cluster``).
     fragmentation_waste_units: int = 0
+    #: Snapshot of the run's observability registry (phase timing
+    #: histograms like ``sim.slot``/``sched.decide``, counters, gauges) —
+    #: see :meth:`repro.obs.MetricsRegistry.snapshot` for the shape.
+    metrics: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def phase_stats(self, name: str) -> Optional[Mapping[str, float]]:
+        """Timing-histogram snapshot of one phase (``None`` if unrecorded)."""
+        stats = self.metrics.get(name)
+        if stats is None or stats.get("type") != "histogram":
+            return None
+        return stats
 
     def seconds(self, slots: int) -> float:
         return slots * self.slot_seconds

@@ -1,10 +1,12 @@
 """Tests for the command-line interface."""
 
 import json
+import logging
 
 import pytest
 
-from repro.cli import main
+from repro.cli import main, verbosity_to_level
+from repro.obs import count_by_type, read_trace
 
 
 @pytest.fixture
@@ -97,6 +99,56 @@ class TestRun:
     def test_rejects_unknown_scheduler(self, trace_path):
         with pytest.raises(SystemExit):
             main(["run", "--trace", str(trace_path), "--scheduler", "SLURM"])
+
+    def test_trace_out_writes_jsonl(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--trace", str(trace_path), "--scheduler", "FIFO",
+             "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        events = read_trace(out_path)
+        counts = count_by_type(events)
+        assert counts["run_start"] == 1 and counts["run_end"] == 1
+        assert counts["job_completed"] >= 1
+        stdout = capsys.readouterr().out
+        assert f"wrote {len(events)} events to {out_path}" in stdout
+
+    def test_metrics_flag_prints_phase_table(self, trace_path, capsys):
+        assert main(["run", "--trace", str(trace_path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase timings" in out
+        assert "sched.decide" in out
+        assert "sim.slot" in out
+        assert "slowest slot:" in out
+
+    def test_verbose_implies_metrics(self, trace_path, capsys):
+        assert main(["-v", "run", "--trace", str(trace_path),
+                     "--scheduler", "FIFO"]) == 0
+        assert "per-phase timings" in capsys.readouterr().out
+
+    def test_quiet_run_still_prints_summary(self, trace_path, capsys):
+        assert main(["-q", "run", "--trace", str(trace_path),
+                     "--scheduler", "FIFO"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler:" in out
+        assert "per-phase timings" not in out
+
+
+class TestGlobalFlags:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_verbosity_mapping(self):
+        assert verbosity_to_level(quiet=True, verbose=0) == logging.ERROR
+        assert verbosity_to_level(quiet=False, verbose=0) == logging.WARNING
+        assert verbosity_to_level(quiet=False, verbose=1) == logging.INFO
+        assert verbosity_to_level(quiet=False, verbose=2) == logging.DEBUG
 
 
 class TestCompare:

@@ -7,7 +7,6 @@ from repro.core.flowtime import JobDemand, PlannerConfig
 from repro.model.cluster import ClusterCapacity
 from repro.model.resources import ResourceVector
 from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
-from tests.conftest import spec
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ from repro.model.job import Job, TaskSpec
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.model.workflow import Workflow
 from repro.workloads.dag_generators import fork_join_workflow
-from tests.conftest import deadline_job
 
 
 def job_with_duration(job_id, wid, duration):

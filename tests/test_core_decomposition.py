@@ -9,7 +9,7 @@ from repro.model.job import Job, TaskSpec
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.model.workflow import Workflow
 from repro.workloads.dag_generators import fork_join_workflow
-from tests.conftest import deadline_job, spec
+from tests.conftest import deadline_job
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the FlowTime planner (slack, window repair, degradation)."""
 
-import numpy as np
 import pytest
 
 from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig

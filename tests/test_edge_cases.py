@@ -6,7 +6,6 @@ import pytest
 from repro.core.allocation import greedy_fill, quantize_coupled
 from repro.core.lexmin import lexmin_schedule
 from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
-from repro.model.cluster import ClusterCapacity
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.schedulers.fifo import FifoScheduler
 from repro.simulator.engine import Simulation, SimulationConfig

@@ -18,7 +18,7 @@ from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.flowtime_sched import FlowTimeScheduler
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import adhoc_turnaround_seconds, missed_workflows
-from repro.workloads.traces import SyntheticTrace, generate_trace
+from repro.workloads.traces import generate_trace
 
 
 def fig1_workload():

@@ -9,7 +9,6 @@ from repro.analysis.reporting import turnaround_ratios
 from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
 from repro.lp.presolve import presolve
 from repro.lp.problem import LinearProgram
-from repro.model.cluster import ClusterCapacity
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.registry import make_scheduler

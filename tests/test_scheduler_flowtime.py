@@ -1,13 +1,10 @@
 """Tests for the full FlowTime scheduler (decomposition + LP + leftovers)."""
 
-import pytest
-
 from repro.core.flowtime import PlannerConfig
-from repro.model.workflow import Workflow
 from repro.schedulers.flowtime_sched import FlowTimeScheduler
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import missed_jobs, missed_workflows
-from tests.conftest import adhoc_job, deadline_job
+from tests.conftest import adhoc_job
 from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
 
 

@@ -1,7 +1,5 @@
 """Tests for the DRF mode of the Fair scheduler and the planning column."""
 
-import pytest
-
 from repro.analysis.experiments import run_comparison
 from repro.analysis.reporting import format_comparison_table
 from repro.model.cluster import ClusterCapacity

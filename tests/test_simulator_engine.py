@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.model.cluster import ClusterCapacity
-from repro.model.job import Job, JobKind, TaskSpec
-from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.job import Job, JobKind
+from repro.model.resources import CPU
 from repro.model.workflow import Workflow
 from repro.schedulers.base import Scheduler
 from repro.schedulers.fifo import FifoScheduler

@@ -1,6 +1,5 @@
 """Tests for failure injection (progress setbacks)."""
 
-import numpy as np
 import pytest
 
 from repro.model.events import EventKind

@@ -64,8 +64,10 @@ class TestTurnaround:
         result = result_with(jobs, n_slots=100)
         assert adhoc_turnaround_seconds(result) == pytest.approx(100.0)
 
-    def test_no_adhoc_jobs(self):
-        assert adhoc_turnaround_seconds(result_with({})) == 0.0
+    def test_no_adhoc_jobs_is_nan(self):
+        # 0.0 would read as "perfect turnaround" in reports; the metric is
+        # undefined without ad-hoc jobs.
+        assert np.isnan(adhoc_turnaround_seconds(result_with({})))
 
 
 class TestDeadlineMetrics:
@@ -91,7 +93,10 @@ class TestDeadlineMetrics:
         deltas = deadline_deltas_seconds(result, windows)
         assert deltas["early"] == pytest.approx(-40.0)  # finished slot 5, end 6
         assert deltas["late"] == pytest.approx(60.0)
-        assert deltas["never"] == pytest.approx(400.0)  # lower bound
+        # Lower bound: the earliest an unfinished job can complete is slot
+        # n_slots, whose end boundary is n_slots + 1 (same convention as
+        # finished jobs — see test_delta_and_missed_agree_on_zero).
+        assert deltas["never"] == pytest.approx(410.0)
         assert "adhoc" not in deltas
 
     def test_missed_jobs(self, result, windows):
@@ -109,6 +114,30 @@ class TestDeadlineMetrics:
         result = result_with({})
         assert missed_jobs(result, windows) == []
         assert deadline_deltas_seconds(result, windows) == {}
+
+    def test_delta_and_missed_agree_on_zero(self):
+        """Regression: a job with delta == 0.0 s must not count as missed.
+
+        Both metrics share one end-slot convention (completion_slot + 1,
+        or n_slots + 1 when unfinished): missed iff delta > 0, for
+        finished and unfinished jobs alike.
+        """
+        windows = {"j": JobWindow("j", 0, 10)}
+        # Finishes in slot 9 -> end boundary 10 == deadline -> delta 0, met.
+        on_time = result_with({"j": record("j", JobKind.DEADLINE, 0, 9, "wf")})
+        assert deadline_deltas_seconds(on_time, windows)["j"] == pytest.approx(0.0)
+        assert missed_jobs(on_time, windows) == []
+        # One slot later -> delta one slot, missed.
+        late = result_with({"j": record("j", JobKind.DEADLINE, 0, 10, "wf")})
+        assert deadline_deltas_seconds(late, windows)["j"] == pytest.approx(10.0)
+        assert missed_jobs(late, windows) == ["j"]
+        # Unfinished at n_slots == deadline: earliest end is n_slots + 1,
+        # one slot past the deadline -> positive delta AND missed.
+        unfinished = result_with(
+            {"j": record("j", JobKind.DEADLINE, 0, None, "wf")}, n_slots=10
+        )
+        assert deadline_deltas_seconds(unfinished, windows)["j"] == pytest.approx(10.0)
+        assert missed_jobs(unfinished, windows) == ["j"]
 
 
 class TestWorkflowMetrics:

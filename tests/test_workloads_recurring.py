@@ -3,7 +3,6 @@
 import pytest
 
 from repro.estimation.history import RunHistory
-from repro.model.cluster import ClusterCapacity
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.morpheus import MorpheusScheduler
 from repro.simulator.engine import Simulation

@@ -1,6 +1,5 @@
 """Tests for trace generation and JSON round-tripping."""
 
-import numpy as np
 import pytest
 
 from repro.core.critical_path import critical_path_length
@@ -72,8 +71,6 @@ class TestRoundTrip:
         ]
 
     def test_true_tasks_survive_round_trip(self, cluster, tmp_path):
-        from dataclasses import replace
-
         from repro.estimation.errors import ErrorModel, apply_estimation_errors
         from repro.workloads.traces import SyntheticTrace
 
