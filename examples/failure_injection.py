@@ -8,7 +8,7 @@ renders both schedules as ASCII Gantt charts so the redone work is visible.
 Run:  python examples/failure_injection.py
 """
 
-from repro import ClusterCapacity, FlowTimeScheduler, Simulation, SimulationConfig
+from repro import ClusterCapacity, Simulation, SimulationConfig, make_scheduler
 from repro.analysis.gantt import render_gantt, render_utilization
 from repro.simulator.failures import FailureModel
 from repro.simulator.metrics import missed_workflows
@@ -19,7 +19,7 @@ def run(failures: FailureModel | None):
     cluster = ClusterCapacity.uniform(cpu=24, mem=48)
     workflow = diamond_workflow("pipeline", 0, 120)
     config = SimulationConfig(record_execution=True, failures=failures)
-    scheduler = FlowTimeScheduler()
+    scheduler = make_scheduler("FlowTime")
     result = Simulation(cluster, scheduler, workflows=[workflow], config=config).run()
     return cluster, result
 

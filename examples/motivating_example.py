@@ -14,16 +14,14 @@ from repro import (
     CPU,
     MEM,
     ClusterCapacity,
-    EdfScheduler,
-    FlowTimeScheduler,
     Job,
     JobKind,
-    PlannerConfig,
     ResourceVector,
     Simulation,
     SimulationConfig,
     TaskSpec,
     Workflow,
+    make_scheduler,
 )
 from repro.simulator.metrics import adhoc_turnaround_seconds, missed_workflows
 
@@ -60,8 +58,8 @@ def run(scheduler):
 def main() -> None:
     print("Fig. 1 motivating example (time units = slots):\n")
     for label, scheduler, expected in (
-        ("EDF", EdfScheduler(), 150),
-        ("FlowTime", FlowTimeScheduler(PlannerConfig(slack_slots=0)), 100),
+        ("EDF", make_scheduler("EDF"), 150),
+        ("FlowTime", make_scheduler("FlowTime", planner={"slack_slots": 0}), 100),
     ):
         result = run(scheduler)
         turnaround = adhoc_turnaround_seconds(result)

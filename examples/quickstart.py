@@ -13,13 +13,13 @@ from repro import (
     CPU,
     MEM,
     ClusterCapacity,
-    FlowTimeScheduler,
     Job,
     JobKind,
     ResourceVector,
     Simulation,
     TaskSpec,
     Workflow,
+    make_scheduler,
 )
 from repro.simulator.metrics import (
     adhoc_turnaround_seconds,
@@ -66,7 +66,7 @@ def main() -> None:
         for i, arrival in enumerate((0, 5))
     ]
 
-    scheduler = FlowTimeScheduler()
+    scheduler = make_scheduler("FlowTime")
     result = Simulation(
         cluster, scheduler, workflows=[workflow], adhoc_jobs=adhoc
     ).run()

@@ -9,8 +9,7 @@ Run:  python examples/recurring_pipeline.py
 """
 
 from repro import ClusterCapacity, RecurringWorkflow, RunHistory, Simulation, record_run
-from repro.schedulers.flowtime_sched import FlowTimeScheduler
-from repro.schedulers.morpheus import MorpheusScheduler
+from repro.schedulers import make_scheduler
 from repro.simulator.metrics import missed_workflows
 from repro.workloads.dag_generators import fork_join_workflow
 
@@ -28,8 +27,8 @@ def main() -> None:
     for day in range(4):
         instance = recurring.instance(day)
         for label, scheduler in (
-            ("FlowTime", FlowTimeScheduler()),
-            ("Morpheus", MorpheusScheduler(history=history)),
+            ("FlowTime", make_scheduler("FlowTime")),
+            ("Morpheus", make_scheduler("Morpheus", history=history)),
         ):
             result = Simulation(cluster, scheduler, workflows=[instance]).run()
             met = "met " if not missed_workflows(result) else "MISS"

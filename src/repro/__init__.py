@@ -39,7 +39,9 @@ from repro.core import (
     FlowTimePlanner,
     JobDemand,
     JobWindow,
+    PlanCache,
     PlannerConfig,
+    PlanRequest,
     critical_path_windows,
     decompose_deadline,
     grouped_topological_sets,
@@ -84,7 +86,7 @@ from repro.workloads import (
 )
 from repro.workloads.recurring import RecurringWorkflow, record_run
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CPU",
@@ -109,6 +111,8 @@ __all__ = [
     "MetricsRegistry",
     "MorpheusScheduler",
     "Observability",
+    "PlanCache",
+    "PlanRequest",
     "PlannerConfig",
     "RecurringWorkflow",
     "ResourceVector",

@@ -8,7 +8,11 @@ from repro.analysis.experiments import (
     run_one,
 )
 from repro.analysis.gantt import render_gantt, render_utilization
-from repro.analysis.reporting import format_comparison_table, format_series
+from repro.analysis.reporting import (
+    format_comparison_table,
+    format_series,
+    run_report,
+)
 from repro.analysis.stats import MetricSummary, ReplicationResult, replicate
 
 __all__ = [
@@ -24,4 +28,5 @@ __all__ = [
     "replicate",
     "run_comparison",
     "run_one",
+    "run_report",
 ]

@@ -36,7 +36,7 @@ from repro.analysis.reporting import (
 from repro.core.decomposition import decompose_deadline
 from repro.model.cluster import ClusterCapacity
 from repro.obs import JsonlSink, Observability
-from repro.schedulers.registry import SCHEDULER_NAMES
+from repro.schedulers.registry import available_schedulers
 from repro.simulator.engine import SimulationConfig
 from repro.workloads.traces import generate_trace, load_trace, save_trace
 
@@ -129,9 +129,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one scheduler over a trace")
     run.add_argument("--trace", required=True)
     run.add_argument(
-        "--scheduler", default="FlowTime", choices=sorted(SCHEDULER_NAMES)
+        # Resolved from the live registry, so schedulers added via
+        # register_scheduler() are immediately accepted with no CLI edits.
+        "--scheduler", default="FlowTime", choices=sorted(available_schedulers())
     )
     run.add_argument("--slot-seconds", type=float, default=10.0)
+    run.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the FlowTime plan cache (ablation; ignored by "
+        "schedulers without a planner)",
+    )
+    run.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable warm-started lexmin solves (ablation; ignored by "
+        "schedulers without a planner)",
+    )
     run.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     run.add_argument(
         "--trace-out",
@@ -162,7 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithms",
         nargs="+",
         default=["FlowTime", "CORA", "EDF", "Fair", "FIFO"],
-        choices=sorted(SCHEDULER_NAMES),
+        choices=sorted(available_schedulers()),
     )
     _add_cluster_args(cmp_parser)
 
@@ -230,6 +244,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs = Observability(
         sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
     )
+    planner_opts = {}
+    if args.no_plan_cache:
+        planner_opts["plan_cache"] = False
+    if args.no_warm_start:
+        planner_opts["warm_start"] = False
+    scheduler_kwargs = (
+        {"planner": planner_opts}
+        if planner_opts and args.scheduler.startswith("FlowTime")
+        else None
+    )
     with obs:
         outcome = run_one(
             args.scheduler,
@@ -238,6 +262,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config=SimulationConfig(
                 slot_seconds=args.slot_seconds, record_execution=args.gantt
             ),
+            scheduler_kwargs=scheduler_kwargs,
             obs=obs,
         )
     result = outcome.result
@@ -278,9 +303,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import generate_report
+    from repro.analysis.reporting import run_report
 
-    text = generate_report(scale=args.scale, seed=args.seed)
+    text = run_report(scale=args.scale, seed=args.seed)
     if args.out:
         from pathlib import Path
 

@@ -20,23 +20,29 @@ from repro.core.decomposition import (
     JobWindow,
     decompose_deadline,
 )
-from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
-from repro.core.lexmin import LexminResult, lexmin_schedule
+from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig, caps_array
+from repro.core.lexmin import LexminResult, LexminWarmHint, lexmin_schedule
 from repro.core.lp_formulation import ScheduleProblem, build_schedule_problem
+from repro.core.replan import CachedPlan, PlanCache, PlanRequest
 from repro.core.scalarization import g_scalarization, lex_leq, scalarized_schedule
 from repro.core.toposort import grouped_topological_sets
 
 __all__ = [
     "AdmissionDecision",
     "AllocationPlan",
+    "CachedPlan",
     "DecompositionResult",
     "FlowTimePlanner",
     "IntegralizationError",
     "JobDemand",
     "JobWindow",
     "LexminResult",
+    "LexminWarmHint",
+    "PlanCache",
+    "PlanRequest",
     "PlannerConfig",
     "ScheduleProblem",
+    "caps_array",
     "build_schedule_problem",
     "check_admission",
     "critical_path_length",

@@ -22,7 +22,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.decomposition import decompose_deadline
-from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
+from repro.core.flowtime import JobDemand, PlannerConfig, caps_array
 from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
 from repro.lp.problem import LinearProgram
 from repro.lp.solver import solve_lp
@@ -110,7 +110,7 @@ def _check_admission(
     *,
     config: PlannerConfig | None = None,
 ) -> AdmissionDecision:
-    planner = FlowTimePlanner(config)
+    config = config or PlannerConfig()
     decomposition = decompose_deadline(new_workflow, capacity)
     new_demands = [
         JobDemand(
@@ -127,7 +127,7 @@ def _check_admission(
     # Unlike the planner, admission must NOT repair infeasible windows — a
     # window too small for its own work is precisely a reason to reject.
     entries = []
-    slack = planner.config.slack_slots
+    slack = config.slack_slots
     for demand in demands:
         release = max(demand.release_slot - now_slot, 0)
         deadline = demand.deadline_slot - now_slot
@@ -145,14 +145,12 @@ def _check_admission(
             )
         )
     horizon = max(entry.deadline for entry in entries)
-    caps = planner._caps_array(capacity, now_slot, horizon)
+    caps = caps_array(capacity, now_slot, horizon)
     problem = build_schedule_problem(
         entries, caps, capacity.resources, mode="coupled", per_slot_caps=True
     )
 
-    cap_rows = np.array(
-        [problem.cap_of_cell(k) for k in range(len(problem.util_cells))]
-    )
+    cap_rows = problem.cell_caps()
     lp = LinearProgram(
         c=-np.ones(problem.n_vars),
         a_ub=sparse.vstack([problem.a_util, problem.a_eq]).tocsr(),
@@ -160,7 +158,7 @@ def _check_admission(
         lb=np.zeros(problem.n_vars),
         ub=problem.var_ub,
     )
-    sol = solve_lp(lp)
+    sol = solve_lp(lp, tag="admission")
     x = sol.require_optimal()
     placed = np.asarray(problem.a_eq @ x).ravel()
 

@@ -17,13 +17,19 @@ the *remaining* demands of all live deadline-aware jobs.  The planner:
    relaxing all windows (the cluster is over-committed) it degrades to EDF
    water-filling rather than failing.
 
-The planner is pure: no simulator state, no clocks — it maps (now, demands,
-capacity) to an :class:`~repro.core.allocation.AllocationPlan`.
+The planner has no simulator state and no clocks: it maps a
+:class:`~repro.core.replan.PlanRequest` (now, demands, capacity, config) to
+an :class:`~repro.core.allocation.AllocationPlan`.  Because that mapping is
+deterministic, the planner memoises it — a fingerprint-keyed plan cache
+skips the LP for repeated job mixes (recurring workflows), and the previous
+solve's skyline warm-starts the lexmin ladder on near-identical ones; see
+:mod:`repro.core.replan`.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -34,11 +40,30 @@ from repro.core.allocation import (
     greedy_fill,
     quantize_coupled,
 )
-from repro.core.lexmin import lexmin_schedule
-from repro.core.lp_formulation import Mode, ScheduleEntry, build_schedule_problem
+from repro.core.lexmin import LexminResult, LexminWarmHint, lexmin_schedule
+from repro.core.lp_formulation import (
+    Mode,
+    ScheduleEntry,
+    ScheduleProblem,
+    build_schedule_problem,
+)
+from repro.core.replan import CachedPlan, PlanCache, PlanRequest
 from repro.model.cluster import ClusterCapacity
 from repro.model.resources import ResourceVector
 from repro.obs import current_obs
+
+
+def caps_array(
+    capacity: ClusterCapacity, now_slot: int, horizon: int
+) -> np.ndarray:
+    """Per-slot capacity matrix ``C[k, r] = capacity.at(now + k)[r]``."""
+    resources = capacity.resources
+    caps = np.zeros((horizon, len(resources)))
+    for k in range(horizon):
+        cap_vec = capacity.at(now_slot + k)
+        for r, name in enumerate(resources):
+            caps[k, r] = cap_vec[name]
+    return caps
 
 
 @dataclass(frozen=True)
@@ -60,6 +85,17 @@ class PlannerConfig:
             :func:`repro.core.lexmin.lexmin_schedule`); False is the
             paper-faithful behaviour where only the deadline slack guards
             against last-minute allocations.
+        plan_cache: memoise solved plans by a canonical fingerprint of
+            (remaining demands, capacity, config) so unchanged job mixes —
+            in particular recurring-workflow instances — skip the LP ladder
+            entirely.  Plans are deterministic functions of the fingerprint,
+            so cached plans are identical to cold solves.
+        plan_cache_size: LRU capacity of the plan cache.
+        warm_start: on a cache miss, seed the lexmin ladder from the
+            previous solve's utilisation skyline (see
+            :class:`repro.core.lexmin.LexminWarmHint`).  The minimax theta
+            is still solved exactly and a failed exactness check falls back
+            to the cold ladder, so plans stay minimax-optimal.
     """
 
     slack_slots: int = 6
@@ -69,12 +105,17 @@ class PlannerConfig:
     max_lexmin_rounds: int | None = 4
     horizon_slots: int | None = None
     front_load: bool = True
+    plan_cache: bool = True
+    plan_cache_size: int = 128
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.slack_slots < 0:
             raise ValueError("slack_slots must be >= 0")
         if self.horizon_slots is not None and self.horizon_slots < 1:
             raise ValueError("horizon_slots must be >= 1")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -93,10 +134,26 @@ class JobDemand:
 
 
 class FlowTimePlanner:
-    """Stateless planner mapping live demands to an allocation plan."""
+    """Planner mapping live demands to an allocation plan.
+
+    The planner remains a *pure function* of its inputs — it maps a
+    :class:`~repro.core.replan.PlanRequest` to the same
+    :class:`~repro.core.allocation.AllocationPlan` a fresh instance would
+    produce — but it carries two pieces of memoisation state to keep the
+    re-planning hot path incremental: a fingerprint-keyed
+    :class:`~repro.core.replan.PlanCache` (identical plans are reused
+    outright) and the previous solve's utilisation skyline (used to
+    warm-start the lexmin ladder on near-identical job mixes).  Both are
+    transparent: disabling them via :class:`PlannerConfig` changes latency,
+    never the plan's recorded metrics.
+    """
 
     def __init__(self, config: PlannerConfig | None = None):
         self.config = config or PlannerConfig()
+        self.plan_cache = PlanCache(maxsize=self.config.plan_cache_size)
+        # Previous cold solve's skyline in absolute coordinates:
+        # (resources, theta, {(absolute_slot, r_index): utilisation}).
+        self._skyline: tuple[tuple[str, ...], float, dict] | None = None
 
     # -- window preparation ---------------------------------------------------
 
@@ -126,38 +183,97 @@ class FlowTimePlanner:
     def _caps_array(
         self, capacity: ClusterCapacity, now: int, horizon: int
     ) -> np.ndarray:
-        resources = capacity.resources
-        caps = np.zeros((horizon, len(resources)))
-        for k in range(horizon):
-            cap_vec = capacity.at(now + k)
-            for r, name in enumerate(resources):
-                caps[k, r] = cap_vec[name]
-        return caps
+        return caps_array(capacity, now, horizon)
 
     # -- planning ----------------------------------------------------------------
 
     def plan(
         self,
-        now_slot: int,
-        demands: list[JobDemand],
-        capacity: ClusterCapacity,
+        request: PlanRequest | int,
+        demands: list[JobDemand] | None = None,
+        capacity: ClusterCapacity | None = None,
     ) -> AllocationPlan:
         """Compute an integral allocation plan for the live deadline jobs.
 
-        Returns an :class:`AllocationPlan` anchored at ``now_slot``.  When
-        there are no demands the plan is empty (everything goes to ad-hoc
-        jobs).  ``plan.degraded`` is True when the LP was infeasible even
-        with relaxed windows and EDF water-filling was used.
-        """
-        with current_obs().span("sched.plan"):
-            return self._plan(now_slot, demands, capacity)
+        Takes a single :class:`~repro.core.replan.PlanRequest`.  (The old
+        positional signature ``plan(now_slot, demands, capacity)`` still
+        works for one release but emits a :class:`DeprecationWarning`.)
 
-    def _plan(
+        Returns an :class:`AllocationPlan` anchored at the request's
+        ``now_slot``.  When there are no demands the plan is empty
+        (everything goes to ad-hoc jobs).  ``plan.degraded`` is True when
+        the LP was infeasible even with relaxed windows and EDF
+        water-filling was used.
+        """
+        if not isinstance(request, PlanRequest):
+            warnings.warn(
+                "FlowTimePlanner.plan(now_slot, demands, capacity) is "
+                "deprecated; pass a single PlanRequest instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if demands is None or capacity is None:
+                raise TypeError(
+                    "legacy plan() call requires now_slot, demands and capacity"
+                )
+            request = PlanRequest(
+                now_slot=request, demands=tuple(demands), capacity=capacity
+            )
+        config = request.config or self.config
+        obs = current_obs()
+        with obs.span("sched.plan"):
+            if not config.plan_cache:
+                return self._plan(request, config)
+            key = request.fingerprint(config)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                obs.counter("sched.plan.cache.hit").inc()
+                return cached.materialise(request)
+            obs.counter("sched.plan.cache.miss").inc()
+            plan = self._plan(request, config)
+            self.plan_cache.put(key, CachedPlan.from_plan(plan, request))
+            return plan
+
+    # -- warm-start memory -------------------------------------------------------
+
+    def _remember_skyline(
         self,
         now_slot: int,
-        demands: list[JobDemand],
-        capacity: ClusterCapacity,
-    ) -> AllocationPlan:
+        resources: tuple[str, ...],
+        problem: ScheduleProblem,
+        result: LexminResult,
+    ) -> None:
+        """Store the solve's utilisation skyline in absolute coordinates."""
+        if result.utilisation is None:
+            return
+        levels = {
+            (now_slot + slot, r): float(result.utilisation[k])
+            for k, (slot, r) in enumerate(problem.util_cells)
+        }
+        self._skyline = (resources, result.minimax, levels)
+
+    def _warm_hint(
+        self, now_slot: int, resources: tuple[str, ...]
+    ) -> LexminWarmHint | None:
+        """Previous skyline re-anchored at ``now_slot``, if compatible."""
+        if self._skyline is None:
+            return None
+        stored_resources, theta, levels = self._skyline
+        if stored_resources != resources:
+            return None
+        relative = {
+            (slot - now_slot, r): level
+            for (slot, r), level in levels.items()
+            if slot >= now_slot
+        }
+        if not relative:
+            return None
+        return LexminWarmHint(theta=theta, levels=relative)
+
+    def _plan(self, request: PlanRequest, config: PlannerConfig) -> AllocationPlan:
+        now_slot = request.now_slot
+        demands = request.demands
+        capacity = request.capacity
         resources = capacity.resources
         if not demands:
             return AllocationPlan.empty(now_slot, 1, resources)
@@ -173,13 +289,13 @@ class FlowTimePlanner:
             ]
 
         slacked = [
-            self._entry_for(d, now_slot, slack=self.config.slack_slots)
+            self._entry_for(d, now_slot, slack=config.slack_slots)
             for d in demands
         ]
         plain = [self._entry_for(d, now_slot, slack=0) for d in demands]
         horizon = max(entry.deadline for entry in plain)
-        if self.config.horizon_slots is not None:
-            horizon = min(horizon, self.config.horizon_slots)
+        if config.horizon_slots is not None:
+            horizon = min(horizon, config.horizon_slots)
         # An incremental relaxation ladder: drop the slack first, then — if
         # the cluster is jointly over-committed — extend *only* the windows
         # that a max-placement LP proves cannot hold their work (optimal
@@ -189,39 +305,54 @@ class FlowTimePlanner:
         # were no deadlines at all.
         stretched = int(horizon * 3 / 2) + 1
         ladder: list[tuple[list[ScheduleEntry], int]] = []
-        if self.config.slack_slots:
+        if config.slack_slots:
             ladder.append((clamp(slacked, horizon), horizon))
         ladder.append((clamp(plain, horizon), horizon))
         relaxed, relaxed_horizon = self._shortfall_relax(
-            clamp(plain, horizon), now_slot, capacity, horizon
+            clamp(plain, horizon), now_slot, capacity, horizon, config
         )
         ladder.append((relaxed, relaxed_horizon))
         relaxed2, relaxed2_horizon = self._shortfall_relax(
-            relaxed, now_slot, capacity, relaxed_horizon
+            relaxed, now_slot, capacity, relaxed_horizon, config
         )
         ladder.append((relaxed2, relaxed2_horizon))
         ladder.append(
             ([replace(e, deadline=stretched) for e in clamp(plain, stretched)], stretched)
         )
 
-        for attempt_entries, attempt_horizon in ladder:
-            caps = self._caps_array(capacity, now_slot, attempt_horizon)
+        for rung, (attempt_entries, attempt_horizon) in enumerate(ladder):
+            caps = caps_array(capacity, now_slot, attempt_horizon)
             problem = build_schedule_problem(
                 attempt_entries,
                 caps,
                 resources,
-                mode=self.config.formulation,
-                per_slot_caps=self.config.per_slot_caps,
+                mode=config.formulation,
+                per_slot_caps=config.per_slot_caps,
+            )
+            # The stored skyline came from whichever rung produced the last
+            # plan — almost always the first — so only the first rung can
+            # meaningfully reuse it; relaxed rungs see different windows.
+            hint = (
+                self._warm_hint(now_slot, resources)
+                if config.warm_start and rung == 0
+                else None
             )
             result = lexmin_schedule(
                 problem,
-                backend=self.config.backend,
-                max_rounds=self.config.max_lexmin_rounds,
-                front_load=self.config.front_load,
+                backend=config.backend,
+                max_rounds=config.max_lexmin_rounds,
+                front_load=config.front_load,
+                warm_hint=hint,
             )
             if result.is_optimal:
-                grants = self._quantize(problem, result.x)
+                grants = self._quantize(problem, result.x, config)
                 if grants is not None:
+                    if result.warm:
+                        current_obs().counter("sched.plan.warm").inc()
+                    if config.warm_start:
+                        self._remember_skyline(
+                            now_slot, resources, problem, result
+                        )
                     return AllocationPlan(
                         origin_slot=now_slot,
                         horizon=attempt_horizon,
@@ -238,7 +369,7 @@ class FlowTimePlanner:
         # absorb: EDF water-filling over the *original* windows keeps the
         # most urgent work first and always makes progress.
         current_obs().counter("sched.plan.degraded").inc()
-        caps = self._caps_array(capacity, now_slot, stretched)
+        caps = caps_array(capacity, now_slot, stretched)
         grants = greedy_fill(clamp(plain, stretched), caps, resources)
         return AllocationPlan(
             origin_slot=now_slot,
@@ -255,6 +386,7 @@ class FlowTimePlanner:
         now_slot: int,
         capacity: ClusterCapacity,
         horizon: int,
+        config: PlannerConfig | None = None,
     ) -> tuple[list[ScheduleEntry], int]:
         """Extend only the windows that provably cannot hold their work.
 
@@ -268,7 +400,8 @@ class FlowTimePlanner:
         from repro.lp.problem import LinearProgram
         from repro.lp.solver import solve_lp
 
-        caps = self._caps_array(capacity, now_slot, horizon)
+        config = config or self.config
+        caps = caps_array(capacity, now_slot, horizon)
         problem = build_schedule_problem(
             entries,
             caps,
@@ -276,9 +409,7 @@ class FlowTimePlanner:
             mode="coupled",
             per_slot_caps=True,
         )
-        cap_rows = np.array(
-            [problem.cap_of_cell(k) for k in range(len(problem.util_cells))]
-        )
+        cap_rows = problem.cell_caps()
         from scipy import sparse
 
         lp = LinearProgram(
@@ -288,7 +419,7 @@ class FlowTimePlanner:
             lb=np.zeros(problem.n_vars),
             ub=problem.var_ub,
         )
-        sol = solve_lp(lp, backend=self.config.backend)
+        sol = solve_lp(lp, backend=config.backend)
         if not sol.is_optimal:  # defensive: max-placement is always feasible
             return entries, horizon
         placed = np.asarray(problem.a_eq @ sol.x).ravel()
@@ -305,9 +436,12 @@ class FlowTimePlanner:
                 relaxed.append(entry)
         return relaxed, new_horizon
 
-    def _quantize(self, problem, x) -> dict[str, np.ndarray] | None:
+    def _quantize(
+        self, problem, x, config: PlannerConfig | None = None
+    ) -> dict[str, np.ndarray] | None:
         """Integral grants from the fractional solution, or None on failure."""
-        if self.config.formulation == "coupled":
+        config = config or self.config
+        if config.formulation == "coupled":
             try:
                 return quantize_coupled(problem, x)
             except IntegralizationError:

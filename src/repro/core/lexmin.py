@@ -27,7 +27,7 @@ vector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 from scipy import sparse
@@ -35,10 +35,33 @@ from scipy import sparse
 from repro.core.lp_formulation import ScheduleProblem
 from repro.lp.problem import LinearProgram, LPStatus
 from repro.lp.solver import solve_lp
+from repro.obs import current_obs
 
 _DUAL_TOL = 1e-7
 _THETA_TOL = 1e-9
 _FREEZE_RELAX = 1e-7  # relative slack added to frozen caps (numerical safety)
+
+
+@dataclass(frozen=True)
+class LexminWarmHint:
+    """Seed for a warm-started lexmin solve: the previous solve's skyline.
+
+    The HiGHS backend exposes no basis warm-start, so the reusable artefact
+    of a solve is its *level vector*: the per-cell normalised loads of the
+    final balanced allocation.  When consecutive solves see near-identical
+    job mixes, that skyline is already (near-)lexmin-optimal — imposing it
+    as frozen caps reduces the whole ladder to two LPs (one exact theta
+    solve, one balancing solve) instead of up to ``max_rounds + 1``.
+
+    Attributes:
+        theta: the previous solve's minimax ``max z/C``.
+        levels: per-cell utilisation ``z/C`` keyed by ``(slot, r_index)``
+            in the *problem's* relative coordinates (callers re-anchor
+            absolute slots before building the hint).
+    """
+
+    theta: float
+    levels: Mapping[tuple[int, int], float]
 
 
 @dataclass(frozen=True)
@@ -52,6 +75,9 @@ class LexminResult:
         thetas: theta value of every round, non-increasing.
         rounds: number of minimax rounds performed.
         utilisation: per-cell ``z/C`` of the returned allocation.
+        warm: True when the solve was completed from a
+            :class:`LexminWarmHint` (round-1 theta is still solved exactly;
+            the refinement rounds were replaced by the hinted skyline).
     """
 
     status: str
@@ -60,6 +86,7 @@ class LexminResult:
     thetas: tuple[float, ...] = ()
     rounds: int = 0
     utilisation: Optional[np.ndarray] = field(default=None, repr=False)
+    warm: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -67,8 +94,113 @@ class LexminResult:
 
 
 def _cell_caps(problem: ScheduleProblem) -> np.ndarray:
-    return np.array(
-        [problem.cap_of_cell(k) for k in range(len(problem.util_cells))]
+    return problem.cell_caps()
+
+
+def _balancing_solve(
+    problem: ScheduleProblem,
+    frozen_value: np.ndarray,
+    caps: np.ndarray,
+    *,
+    backend: str,
+    front_load: bool,
+):
+    """Final solve: minimise total normalised load under the frozen caps.
+
+    With time-invariant caps the total normalised load is a constant, so a
+    small *earliness* term picks the representative optimum that front-loads
+    work within the frozen skyline: the minimax value is untouched (the caps
+    bound every slot) but estimation noise and joint overload become far
+    less likely to turn into deadline misses.
+    """
+    weights = 1.0 / caps
+    c_final = np.asarray(weights @ problem.a_util).ravel()
+    if front_load:
+        horizon = max(problem.horizon, 1)
+        earliness = np.array(
+            [(slot + 1) / horizon for (_e, slot, _r) in problem.var_meta]
+        )
+        eps = 1e-3 * max(float(np.min(c_final[c_final > 0], initial=1.0)), 1e-6)
+        c_final = c_final + eps * earliness
+    lp_final = LinearProgram(
+        c=c_final,
+        a_ub=problem.a_util,
+        b_ub=frozen_value,
+        a_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        lb=np.zeros(problem.n_vars),
+        ub=problem.var_ub,
+    )
+    return solve_lp(lp_final, backend=backend)
+
+
+def _warm_frozen_caps(
+    problem: ScheduleProblem,
+    caps: np.ndarray,
+    theta: float,
+    hint: LexminWarmHint,
+    tol: float,
+) -> np.ndarray | None:
+    """Frozen caps from a warm hint, or None when the hint is unusable.
+
+    The hint only applies when the exact round-1 ``theta`` matches the
+    hinted minimax (otherwise the workload shifted enough that the previous
+    skyline is stale) and covers every utilisation cell of this problem.
+    Each cell is capped at its hinted level — never above ``theta`` or the
+    hard capacity — so accepting the warm result can never worsen the
+    minimax.
+    """
+    if not np.isfinite(theta) or not np.isfinite(hint.theta):
+        return None
+    if abs(theta - hint.theta) > tol * max(abs(theta), 1.0):
+        return None
+    cap_at_theta = theta * caps * (1.0 + _FREEZE_RELAX) + _FREEZE_RELAX
+    frozen = np.empty(len(caps))
+    for k, cell in enumerate(problem.util_cells):
+        level = hint.levels.get(cell)
+        if level is None:
+            return None
+        cap_at_level = level * caps[k] * (1.0 + _FREEZE_RELAX) + _FREEZE_RELAX
+        frozen[k] = min(cap_at_level, cap_at_theta[k], caps[k])
+    return frozen
+
+
+def _finish_warm(
+    problem: ScheduleProblem,
+    caps: np.ndarray,
+    theta: float,
+    hint: LexminWarmHint,
+    *,
+    tol: float,
+    backend: str,
+    front_load: bool,
+) -> LexminResult | None:
+    """Attempt to finish the solve from a warm hint after the exact round 1.
+
+    Returns the warm :class:`LexminResult` when the hinted skyline is
+    feasible for the current demands and exact (no cell exceeds theta), or
+    None to continue the cold ladder.
+    """
+    frozen = _warm_frozen_caps(problem, caps, theta, hint, tol)
+    if frozen is None:
+        return None
+    sol = _balancing_solve(
+        problem, frozen, caps, backend=backend, front_load=front_load
+    )
+    if sol.status is not LPStatus.OPTIMAL:
+        return None
+    x = sol.x
+    utilisation = np.asarray(problem.a_util @ x).ravel() / caps
+    if float(utilisation.max(initial=0.0)) > theta * (1.0 + tol) + tol:
+        return None  # exactness check failed: hint would worsen the minimax
+    return LexminResult(
+        status="optimal",
+        x=x,
+        minimax=theta,
+        thetas=(theta,),
+        rounds=1,
+        utilisation=utilisation,
+        warm=True,
     )
 
 
@@ -79,6 +211,7 @@ def lexmin_schedule(
     max_rounds: int | None = None,
     tol: float = 1e-6,
     front_load: bool = True,
+    warm_hint: LexminWarmHint | None = None,
 ) -> LexminResult:
     """Run the iterative lexicographic minimax on a :class:`ScheduleProblem`.
 
@@ -95,6 +228,12 @@ def lexmin_schedule(
             False reproduces the paper's formulation verbatim, which leaves
             the choice among optimal vertices to the solver — that is what
             makes the deadline-slack feature of Fig. 5 necessary.
+        warm_hint: optional :class:`LexminWarmHint` from a previous solve.
+            Round 1 (the exact minimax theta) always runs cold; if the
+            hinted theta matches, the hinted skyline replaces the remaining
+            refinement rounds and the result is checked for exactness
+            (max utilisation must not exceed theta).  Any mismatch falls
+            back to the cold ladder, counted as ``lexmin.warm.fallback``.
 
     Returns:
         A :class:`LexminResult`; ``status == "infeasible"`` means some job's
@@ -166,6 +305,20 @@ def lexmin_schedule(
         thetas.append(theta)
         rounds += 1
 
+        if rounds == 1 and warm_hint is not None:
+            warm = _finish_warm(
+                problem,
+                caps,
+                theta,
+                warm_hint,
+                tol=tol,
+                backend=backend,
+                front_load=front_load,
+            )
+            if warm is not None:
+                return warm
+            current_obs().counter("lexmin.warm.fallback").inc()
+
         loads = np.asarray(problem.a_util[active] @ x_full[:n_vars]).ravel()
         utilisation = loads / caps[active]
 
@@ -201,31 +354,9 @@ def lexmin_schedule(
                 caps[cell],
             )
 
-    # Final balancing solve: minimise total normalised load under the caps.
-    # With time-invariant caps the total normalised load is a constant, so a
-    # small *earliness* term picks the representative optimum that
-    # front-loads work within the frozen skyline: the minimax value is
-    # untouched (the caps bound every slot) but estimation noise and joint
-    # overload become far less likely to turn into deadline misses.
-    weights = 1.0 / caps
-    c_final = np.asarray(weights @ problem.a_util).ravel()
-    if front_load:
-        horizon = max(problem.horizon, 1)
-        earliness = np.array(
-            [(slot + 1) / horizon for (_e, slot, _r) in problem.var_meta]
-        )
-        eps = 1e-3 * max(float(np.min(c_final[c_final > 0], initial=1.0)), 1e-6)
-        c_final = c_final + eps * earliness
-    lp_final = LinearProgram(
-        c=c_final,
-        a_ub=problem.a_util,
-        b_ub=frozen_value,
-        a_eq=problem.a_eq,
-        b_eq=problem.b_eq,
-        lb=np.zeros(n_vars),
-        ub=problem.var_ub,
+    sol = _balancing_solve(
+        problem, frozen_value, caps, backend=backend, front_load=front_load
     )
-    sol = solve_lp(lp_final, backend=backend)
     if sol.status is not LPStatus.OPTIMAL:
         if sol.status is LPStatus.INFEASIBLE:
             return LexminResult(status="infeasible")

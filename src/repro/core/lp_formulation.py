@@ -111,11 +111,21 @@ class ScheduleProblem:
         slot, r_index = self.util_cells[cell_index]
         return float(self.caps[slot, r_index])
 
+    def cell_caps(self) -> np.ndarray:
+        """Per-utilisation-row capacity vector (vectorised ``cap_of_cell``).
+
+        The lexmin ladder reads this once per rung; a single fancy-index
+        gather replaces the per-cell Python loop on the hot path.
+        """
+        if not self.util_cells:
+            return np.zeros(0)
+        cells = np.asarray(self.util_cells)
+        return self.caps[cells[:, 0], cells[:, 1]].astype(float)
+
     def utilisation(self, x: np.ndarray) -> np.ndarray:
         """Normalised usage ``z_t^r / C_t^r`` per utilisation cell."""
         loads = np.asarray(self.a_util @ x).ravel()
-        caps = np.array([self.cap_of_cell(k) for k in range(len(self.util_cells))])
-        return loads / np.maximum(caps, 1e-12)
+        return loads / np.maximum(self.cell_caps(), 1e-12)
 
 
 def build_schedule_problem(

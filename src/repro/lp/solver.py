@@ -27,8 +27,18 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def solve_lp(problem: LinearProgram, backend: str = DEFAULT_BACKEND) -> LPSolution:
-    """Solve *problem* with the named backend ("highs" or "simplex")."""
+def solve_lp(
+    problem: LinearProgram,
+    backend: str = DEFAULT_BACKEND,
+    *,
+    tag: str | None = None,
+) -> LPSolution:
+    """Solve *problem* with the named backend ("highs" or "simplex").
+
+    ``tag`` attributes the call to a caller-chosen purpose (e.g.
+    ``"admission"``) via an extra ``lp.solve.tag.<tag>`` counter, so call
+    volume can be broken down by origin, not just by backend.
+    """
     try:
         solver = _BACKENDS[backend]
     except KeyError:
@@ -39,6 +49,8 @@ def solve_lp(problem: LinearProgram, backend: str = DEFAULT_BACKEND) -> LPSoluti
     with obs.span("lp.solve"):
         solution = solver(problem)
     obs.counter(f"lp.solve.calls.{backend}").inc()
+    if tag is not None:
+        obs.counter(f"lp.solve.tag.{tag}").inc()
     if not solution.is_optimal:
         obs.counter("lp.solve.nonoptimal").inc()
     return solution

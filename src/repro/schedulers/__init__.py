@@ -12,7 +12,13 @@ from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.flowtime_sched import FlowTimeScheduler
 from repro.schedulers.morpheus import MorpheusScheduler
-from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
+from repro.schedulers.registry import (
+    SCHEDULER_NAMES,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
 from repro.schedulers.tetrisched import TetriSchedScheduler
 
 __all__ = [
@@ -26,5 +32,8 @@ __all__ = [
     "SCHEDULER_NAMES",
     "Scheduler",
     "TetriSchedScheduler",
+    "available_schedulers",
     "make_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
 ]

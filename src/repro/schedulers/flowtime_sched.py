@@ -24,6 +24,7 @@ from repro.core.allocation import AllocationPlan
 from repro.core.decomposition import decompose_deadline
 from repro.core.decomposition_types import JobWindow
 from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
+from repro.core.replan import PlanRequest
 from repro.model.events import Event, EventKind
 from repro.schedulers.base import Assignment, Scheduler
 from repro.simulator.view import ClusterView, fit_units
@@ -112,7 +113,12 @@ class FlowTimeScheduler(Scheduler):
         if stale:
             demands = self._demands(view)
             if demands:
-                self._plan = self.planner.plan(view.slot, demands, view.capacity)
+                request = PlanRequest(
+                    now_slot=view.slot,
+                    demands=tuple(demands),
+                    capacity=view.capacity,
+                )
+                self._plan = self.planner.plan(request)
                 self.replans += 1
             else:
                 # No deadline work: a persistent empty plan (everything goes

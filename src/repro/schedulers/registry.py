@@ -1,4 +1,10 @@
-"""Scheduler factory keyed by the paper's algorithm names."""
+"""Scheduler registry: the one construction path for schedulers by name.
+
+``make_scheduler(name, **opts)`` is what the CLI, the experiment harness,
+and the examples use; :func:`register_scheduler` lets extensions (or tests)
+add policies without editing any of them — ``--scheduler`` accepts whatever
+is registered at parse time.
+"""
 
 from __future__ import annotations
 
@@ -39,8 +45,45 @@ _FACTORIES: dict[str, Callable[..., Scheduler]] = {
     "TetriSched": lambda **kw: TetriSchedScheduler(**kw),
 }
 
-#: The Fig. 4 legend, in the paper's order, plus the extras.
+#: The Fig. 4 legend, in the paper's order, plus the extras.  Frozen at
+#: import time; use :func:`available_schedulers` for the live list.
 SCHEDULER_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Every currently registered scheduler name (registration order)."""
+    return tuple(_FACTORIES)
+
+
+def register_scheduler(
+    name: str,
+    factory: Callable[..., Scheduler],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register a scheduler factory under *name*.
+
+    The factory is called as ``factory(**kwargs)`` by
+    :func:`make_scheduler`; registered names immediately work everywhere a
+    scheduler is named (CLI ``--scheduler``, ``run_comparison``, ...).
+
+    Raises:
+        ValueError: *name* is already registered and ``overwrite`` is False.
+    """
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(
+            f"scheduler {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _FACTORIES[name] = factory
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a registered scheduler (built-ins included; mostly for tests)."""
+    try:
+        del _FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}") from None
 
 
 def make_scheduler(name: str, *, history: RunHistory | None = None, **kwargs) -> Scheduler:

@@ -432,6 +432,14 @@ class Simulation:
             obs.gauge("sim.slowest_slot").set(slowest[1])
             obs.gauge("sim.slowest_slot_seconds").set(slowest[0])
             obs.gauge("sim.slowest_slot_decide_seconds").set(slowest[2])
+        # Planner-owning schedulers (duck-typed: scheduler.planner.plan_cache)
+        # get their end-of-run cache state mirrored into the metrics, so
+        # SimulationResult.metrics carries the steady-state hit rate without
+        # callers reaching into scheduler internals.
+        cache = getattr(getattr(self.scheduler, "planner", None), "plan_cache", None)
+        if cache is not None:
+            obs.gauge("sched.plan.cache.entries").set(len(cache))
+            obs.gauge("sched.plan.cache.hit_rate").set(cache.hit_rate)
         obs.event("run_end", n_slots=slot, finished=finished)
         obs.log(
             logging.INFO,

@@ -97,6 +97,13 @@ class SimulationResult:
             return None
         return stats
 
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """One counter's or gauge's recorded value (``default`` if absent)."""
+        stats = self.metrics.get(name)
+        if stats is None or stats.get("type") not in ("counter", "gauge"):
+            return default
+        return float(stats.get("value", default))
+
     def seconds(self, slots: int) -> float:
         return slots * self.slot_seconds
 

@@ -1,14 +1,26 @@
 """Tests for the one-shot reproduction report."""
 
+import importlib
+import sys
+
 import pytest
 
-from repro.analysis.report import generate_report
+from repro.analysis.reporting import run_report
 from repro.cli import main
 
 
 @pytest.fixture(scope="module")
 def report_text():
-    return generate_report(scale="quick", seed=15)
+    return run_report(scale="quick", seed=15)
+
+
+class TestDeprecatedReportModule:
+    def test_old_import_path_warns_but_works(self):
+        sys.modules.pop("repro.analysis.report", None)
+        with pytest.warns(DeprecationWarning, match="repro.analysis.reporting"):
+            legacy = importlib.import_module("repro.analysis.report")
+        assert legacy.run_report is run_report
+        assert legacy.generate_report is run_report
 
 
 class TestGenerateReport:
@@ -35,7 +47,7 @@ class TestGenerateReport:
 
     def test_scale_validation(self):
         with pytest.raises(ValueError):
-            generate_report(scale="huge")
+            run_report(scale="huge")
 
 
 class TestReportCli:

@@ -100,6 +100,38 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--trace", str(trace_path), "--scheduler", "SLURM"])
 
+    def test_no_plan_cache_flags_reach_planner(self, trace_path, monkeypatch):
+        import repro.cli as cli_mod
+
+        captured = {}
+        real_run_one = cli_mod.run_one
+
+        def spy(name, trace, cluster, **kwargs):
+            captured.update(kwargs)
+            return real_run_one(name, trace, cluster, **kwargs)
+
+        monkeypatch.setattr(cli_mod, "run_one", spy)
+        code = main(
+            ["run", "--trace", str(trace_path), "--no-plan-cache",
+             "--no-warm-start"]
+        )
+        assert code == 0
+        assert captured["scheduler_kwargs"] == {
+            "planner": {"plan_cache": False, "warm_start": False}
+        }
+
+    def test_no_plan_cache_matches_default_outcome(self, trace_path, capsys):
+        def summary(extra):
+            assert main(["run", "--trace", str(trace_path), *extra]) == 0
+            out = capsys.readouterr().out
+            return [
+                line for line in out.splitlines()
+                if line.startswith(("jobs missed", "workflows missed",
+                                    "ad-hoc turnaround"))
+            ]
+
+        assert summary(["--no-plan-cache"]) == summary([])
+
     def test_trace_out_writes_jsonl(self, trace_path, tmp_path, capsys):
         out_path = tmp_path / "run.jsonl"
         code = main(

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
+from repro.core.replan import PlanRequest
 from repro.model.cluster import ClusterCapacity
 from repro.model.resources import CPU, MEM, ResourceVector
 
@@ -10,6 +11,13 @@ from repro.model.resources import CPU, MEM, ResourceVector
 @pytest.fixture
 def cluster() -> ClusterCapacity:
     return ClusterCapacity.uniform(cpu=10, mem=20)
+
+
+def make_plan(planner, now_slot, demands, capacity):
+    request = PlanRequest(
+        now_slot=now_slot, demands=tuple(demands), capacity=capacity
+    )
+    return planner.plan(request)
 
 
 def demand(
@@ -40,31 +48,31 @@ class TestPlannerConfig:
 
 class TestBasicPlanning:
     def test_empty_demands_empty_plan(self, cluster):
-        plan = FlowTimePlanner().plan(5, [], cluster)
+        plan = make_plan(FlowTimePlanner(), 5, [], cluster)
         assert plan.load(5).is_zero()
         assert not plan.degraded
 
     def test_demand_fully_planned(self, cluster):
         planner = FlowTimePlanner(PlannerConfig(slack_slots=0))
-        plan = planner.plan(0, [demand(units=6, deadline=6)], cluster)
+        plan = make_plan(planner, 0, [demand(units=6, deadline=6)], cluster)
         assert plan.total_units("j") == 6
         assert not plan.degraded
 
     def test_grants_within_window(self, cluster):
         planner = FlowTimePlanner(PlannerConfig(slack_slots=0))
-        plan = planner.plan(0, [demand(release=2, deadline=6, units=4)], cluster)
+        plan = make_plan(planner, 0, [demand(release=2, deadline=6, units=4)], cluster)
         grant = plan.grants["j"]
         assert grant[:2].sum() == 0
         assert grant[:6].sum() == 4
 
     def test_minimax_recorded(self, cluster):
-        plan = FlowTimePlanner().plan(0, [demand()], cluster)
+        plan = make_plan(FlowTimePlanner(), 0, [demand()], cluster)
         assert 0.0 < plan.minimax <= 1.0
 
     def test_plan_is_flat(self, cluster):
         # 8 units over 4 slots with slack 0: expect 2/slot everywhere.
         planner = FlowTimePlanner(PlannerConfig(slack_slots=0))
-        plan = planner.plan(
+        plan = make_plan(planner, 
             0, [demand(units=8, deadline=4, parallel=8)], cluster
         )
         assert list(plan.grants["j"][:4]) == [2, 2, 2, 2]
@@ -73,7 +81,7 @@ class TestBasicPlanning:
 class TestDeadlineSlack:
     def test_slack_pulls_work_before_deadline(self, cluster):
         planner = FlowTimePlanner(PlannerConfig(slack_slots=3))
-        plan = planner.plan(0, [demand(units=4, deadline=10, parallel=4)], cluster)
+        plan = make_plan(planner, 0, [demand(units=4, deadline=10, parallel=4)], cluster)
         # Nothing may be planned in the slack slots [7, 10).
         assert plan.grants["j"][7:].sum() == 0
         assert plan.total_units("j") == 4
@@ -82,7 +90,7 @@ class TestDeadlineSlack:
         # units=8, parallel=2 -> needs 4 slots; window is 5 slots so a
         # 3-slot slack would make it infeasible and must be skipped.
         planner = FlowTimePlanner(PlannerConfig(slack_slots=3))
-        plan = planner.plan(0, [demand(units=8, deadline=5, parallel=2)], cluster)
+        plan = make_plan(planner, 0, [demand(units=8, deadline=5, parallel=2)], cluster)
         assert plan.total_units("j") == 8
         assert not plan.degraded
 
@@ -91,14 +99,14 @@ class TestWindowRepair:
     def test_overdue_job_gets_extended_window(self, cluster):
         # Deadline already passed at planning time.
         planner = FlowTimePlanner()
-        plan = planner.plan(20, [demand(release=0, deadline=10, units=4)], cluster)
+        plan = make_plan(planner, 20, [demand(release=0, deadline=10, units=4)], cluster)
         assert plan.total_units("j") == 4
         assert not plan.degraded
 
     def test_window_smaller_than_work_is_extended(self, cluster):
         # 10 units, parallelism 1, window 3 slots: must extend to 10 slots.
         planner = FlowTimePlanner(PlannerConfig(slack_slots=0))
-        plan = planner.plan(0, [demand(units=10, deadline=3, parallel=1)], cluster)
+        plan = make_plan(planner, 0, [demand(units=10, deadline=3, parallel=1)], cluster)
         assert plan.total_units("j") == 10
         assert plan.horizon >= 10
 
@@ -109,7 +117,7 @@ class TestWindowRepair:
             demand(job_id=f"j{i}", units=40, deadline=2, cores=10, mem=20, parallel=4)
             for i in range(4)
         ]
-        plan = FlowTimePlanner(PlannerConfig(slack_slots=0)).plan(0, demands, cluster)
+        plan = make_plan(FlowTimePlanner(PlannerConfig(slack_slots=0)), 0, demands, cluster)
         assert plan.degraded
         # Greedy still fills what fits: exactly one 10-core unit per slot.
         total = sum(plan.total_units(f"j{i}") for i in range(4))
@@ -121,7 +129,7 @@ class TestHorizonCap:
         planner = FlowTimePlanner(
             PlannerConfig(slack_slots=0, horizon_slots=5)
         )
-        plan = planner.plan(0, [demand(units=4, deadline=50)], cluster)
+        plan = make_plan(planner, 0, [demand(units=4, deadline=50)], cluster)
         assert plan.horizon == 5
         assert plan.total_units("j") == 4
 
@@ -131,7 +139,7 @@ class TestPaperFormulation:
         planner = FlowTimePlanner(
             PlannerConfig(slack_slots=0, formulation="paper")
         )
-        plan = planner.plan(0, [demand(units=6, deadline=6, parallel=3)], cluster)
+        plan = make_plan(planner, 0, [demand(units=6, deadline=6, parallel=3)], cluster)
         # Paper mode converts per-resource allocations to task units; the
         # total may fall short only when resources decouple, which cannot
         # happen for a single job on an idle cluster.
@@ -142,7 +150,27 @@ class TestPaperFormulation:
             demand(job_id=f"j{i}", units=12, deadline=6, cores=2, mem=4, parallel=6)
             for i in range(3)
         ]
-        plan = FlowTimePlanner(PlannerConfig(slack_slots=0)).plan(0, demands, cluster)
+        plan = make_plan(FlowTimePlanner(PlannerConfig(slack_slots=0)), 0, demands, cluster)
         for slot in range(plan.horizon):
             load = plan.load(slot)
             assert load.fits_in(cluster.at(slot))
+
+
+class TestDeprecatedPositionalSignature:
+    def test_positional_call_warns_and_still_plans(self, cluster):
+        planner = FlowTimePlanner(PlannerConfig(slack_slots=0))
+        with pytest.warns(DeprecationWarning, match="PlanRequest"):
+            legacy = planner.plan(0, [demand(units=6, deadline=6)], cluster)
+        assert legacy.total_units("j") == 6
+        modern = make_plan(
+            FlowTimePlanner(PlannerConfig(slack_slots=0)),
+            0,
+            [demand(units=6, deadline=6)],
+            cluster,
+        )
+        assert (legacy.grants["j"] == modern.grants["j"]).all()
+
+    def test_positional_call_requires_all_arguments(self, cluster):
+        with pytest.raises(TypeError):
+            with pytest.warns(DeprecationWarning):
+                FlowTimePlanner().plan(0, [demand()])

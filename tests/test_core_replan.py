@@ -1,0 +1,325 @@
+"""Tests for the incremental re-planning layer (plan cache + warm starts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
+from repro.core.replan import CachedPlan, PlanCache, PlanRequest
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.obs import Observability, use_obs
+
+
+@pytest.fixture
+def cluster() -> ClusterCapacity:
+    return ClusterCapacity.uniform(cpu=10, mem=20)
+
+
+def demand(
+    job_id="j", release=0, deadline=10, units=6, cores=1, mem=2, parallel=4
+) -> JobDemand:
+    return JobDemand(
+        job_id=job_id,
+        release_slot=release,
+        deadline_slot=deadline,
+        units=units,
+        unit_demand=ResourceVector({CPU: cores, MEM: mem}),
+        max_parallel=parallel,
+    )
+
+
+def request(now, demands, capacity, config=None) -> PlanRequest:
+    return PlanRequest(
+        now_slot=now, demands=tuple(demands), capacity=capacity, config=config
+    )
+
+
+def shifted(d: JobDemand, by: int, job_id: str | None = None) -> JobDemand:
+    return JobDemand(
+        job_id=job_id or d.job_id,
+        release_slot=d.release_slot + by,
+        deadline_slot=d.deadline_slot + by,
+        units=d.units,
+        unit_demand=d.unit_demand,
+        max_parallel=d.max_parallel,
+    )
+
+
+class TestFingerprint:
+    def test_time_shift_and_job_ids_are_anonymous(self, cluster):
+        config = PlannerConfig()
+        base = [demand("a", 0, 10), demand("b", 2, 8, units=4)]
+        later = [shifted(d, 50, job_id=f"other-{d.job_id}") for d in base]
+        first = request(0, base, cluster).fingerprint(config)
+        second = request(50, later, cluster).fingerprint(config)
+        assert first == second
+
+    def test_demand_order_is_canonical(self, cluster):
+        config = PlannerConfig()
+        demands = [demand("a", 0, 10), demand("b", 2, 8, units=4)]
+        assert request(0, demands, cluster).fingerprint(config) == request(
+            0, list(reversed(demands)), cluster
+        ).fingerprint(config)
+
+    def test_capacity_change_misses(self, cluster):
+        config = PlannerConfig()
+        smaller = ClusterCapacity.uniform(cpu=8, mem=20)
+        assert request(0, [demand()], cluster).fingerprint(config) != request(
+            0, [demand()], smaller
+        ).fingerprint(config)
+
+    def test_config_change_misses(self, cluster):
+        req = request(0, [demand()], cluster)
+        assert req.fingerprint(PlannerConfig()) != req.fingerprint(
+            PlannerConfig(slack_slots=0)
+        )
+
+    def test_setback_misses(self, cluster):
+        # An estimation-error setback raises believed remaining units,
+        # which must re-plan rather than reuse the stale allocation.
+        config = PlannerConfig()
+        assert request(0, [demand(units=6)], cluster).fingerprint(
+            config
+        ) != request(0, [demand(units=9)], cluster).fingerprint(config)
+
+    def test_past_capacity_overrides_are_dropped(self, cluster):
+        config = PlannerConfig()
+        half = ResourceVector({CPU: 5, MEM: 10})
+        past = ClusterCapacity(base=cluster.base, overrides={3: half})
+        future = ClusterCapacity(base=cluster.base, overrides={13: half})
+        plain = request(10, [demand(release=10, deadline=20)], cluster).fingerprint(config)
+        assert request(
+            10, [demand(release=10, deadline=20)], past
+        ).fingerprint(config) == plain
+        assert request(
+            10, [demand(release=10, deadline=20)], future
+        ).fingerprint(config) != plain
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self, cluster):
+        cache = PlanCache(maxsize=4)
+        plan = CachedPlan(
+            horizon=4, grant_rows=(np.ones(4, dtype=int),),
+            degraded=False, minimax=0.5,
+        )
+        assert cache.get("k") is None
+        cache.put("k", plan)
+        assert cache.get("k") is plan
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert cache.stats()["entries"] == 1.0
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        plans = {
+            key: CachedPlan(1, (np.zeros(1, dtype=int),), False, 0.0)
+            for key in "abc"
+        }
+        cache.put("a", plans["a"])
+        cache.put("b", plans["b"])
+        assert cache.get("a") is plans["a"]  # refresh "a": "b" is now LRU
+        cache.put("c", plans["c"])
+        assert cache.get("b") is None
+        assert cache.get("a") is plans["a"]
+        assert len(cache) == 2
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+        with pytest.raises(ValueError):
+            PlannerConfig(plan_cache_size=0)
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put("k", CachedPlan(1, (np.zeros(1, dtype=int),), False, 0.0))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPlannerCache:
+    def test_recurring_instance_hits_and_matches(self, cluster):
+        planner = FlowTimePlanner()
+        first = [demand("wf@0-a", 0, 12), demand("wf@0-b", 3, 10, units=4)]
+        later = [shifted(d, 40, job_id=d.job_id.replace("@0", "@1"))
+                 for d in first]
+        cold = planner.plan(request(0, first, cluster))
+        warm = planner.plan(request(40, later, cluster))
+        assert planner.plan_cache.hits == 1
+        assert warm.origin_slot == 40
+        for before, after in zip(first, later):
+            assert np.array_equal(
+                cold.grants[before.job_id], warm.grants[after.job_id]
+            )
+        assert warm.minimax == cold.minimax
+        assert warm.degraded == cold.degraded
+
+    def test_capacity_and_config_changes_miss(self, cluster):
+        planner = FlowTimePlanner()
+        planner.plan(request(0, [demand()], cluster))
+        planner.plan(
+            request(0, [demand()], ClusterCapacity.uniform(cpu=8, mem=20))
+        )
+        planner.plan(
+            request(
+                0, [demand()], cluster, config=PlannerConfig(slack_slots=0)
+            )
+        )
+        planner.plan(request(0, [demand(units=9)], cluster))
+        assert planner.plan_cache.hits == 0
+        assert planner.plan_cache.misses == 4
+
+    def test_cache_disabled_never_stores(self, cluster):
+        planner = FlowTimePlanner(PlannerConfig(plan_cache=False))
+        planner.plan(request(0, [demand()], cluster))
+        planner.plan(request(0, [demand()], cluster))
+        assert len(planner.plan_cache) == 0
+        assert planner.plan_cache.hits == 0
+
+    def test_cache_size_bounds_entries(self, cluster):
+        planner = FlowTimePlanner(PlannerConfig(plan_cache_size=2))
+        for units in (3, 4, 5, 6):
+            planner.plan(request(0, [demand(units=units)], cluster))
+        assert len(planner.plan_cache) == 2
+
+
+class TestWarmStart:
+    def test_repeat_solve_is_warm_and_identical(self, cluster):
+        obs = Observability()
+        planner = FlowTimePlanner(PlannerConfig(plan_cache=False))
+        demands = [demand("a", 0, 12), demand("b", 2, 10, units=4)]
+        with use_obs(obs):
+            cold = planner.plan(request(0, demands, cluster))
+            warm = planner.plan(request(0, demands, cluster))
+        assert obs.counter("sched.plan.warm").value == 1
+        for d in demands:
+            assert np.array_equal(cold.grants[d.job_id], warm.grants[d.job_id])
+        assert warm.minimax == pytest.approx(cold.minimax)
+
+    def test_changed_mix_falls_back_to_cold_ladder(self, cluster):
+        obs = Observability()
+        planner = FlowTimePlanner(PlannerConfig(plan_cache=False))
+        with use_obs(obs):
+            planner.plan(request(0, [demand("a", 0, 12)], cluster))
+            second = planner.plan(
+                request(
+                    0,
+                    [demand("a", 0, 12), demand("b", 0, 6, units=8, cores=4)],
+                    cluster,
+                )
+            )
+        # The skyline from the first solve cannot cover the heavier mix:
+        # the planner must notice and re-run the exact ladder.
+        assert obs.counter("lexmin.warm.fallback").value >= 1
+        assert second.total_units("b") == 8
+
+    def test_warm_start_disabled_records_no_warm_solves(self, cluster):
+        obs = Observability()
+        planner = FlowTimePlanner(
+            PlannerConfig(plan_cache=False, warm_start=False)
+        )
+        demands = [demand("a", 0, 12)]
+        with use_obs(obs):
+            planner.plan(request(0, demands, cluster))
+            planner.plan(request(0, demands, cluster))
+        assert obs.counter("sched.plan.warm").value == 0
+
+
+class TestCachedEqualsCold:
+    def test_fifty_random_traces_plan_identically(self, cluster):
+        """Property: cache hits and warm starts never change the plan."""
+        rng = np.random.default_rng(42)
+        incremental = FlowTimePlanner()
+        for case in range(50):
+            n_jobs = int(rng.integers(1, 5))
+            now = int(rng.integers(0, 30))
+            demands = []
+            for j in range(n_jobs):
+                release = now + int(rng.integers(0, 4))
+                demands.append(
+                    JobDemand(
+                        job_id=f"case{case}-j{j}",
+                        release_slot=release,
+                        deadline_slot=release + int(rng.integers(4, 14)),
+                        units=int(rng.integers(2, 12)),
+                        unit_demand=ResourceVector(
+                            {CPU: int(rng.integers(1, 3)),
+                             MEM: int(rng.integers(1, 5))}
+                        ),
+                        max_parallel=int(rng.integers(1, 6)),
+                    )
+                )
+            cold_planner = FlowTimePlanner(
+                PlannerConfig(plan_cache=False, warm_start=False)
+            )
+            cold = cold_planner.plan(request(now, demands, cluster))
+            primed = incremental.plan(request(now, demands, cluster))
+            hit = incremental.plan(request(now, demands, cluster))
+            for d in demands:
+                assert np.array_equal(
+                    cold.grants[d.job_id], primed.grants[d.job_id]
+                ), f"cold vs miss diverged on case {case}"
+                assert np.array_equal(
+                    cold.grants[d.job_id], hit.grants[d.job_id]
+                ), f"cold vs hit diverged on case {case}"
+            assert hit.minimax == pytest.approx(cold.minimax)
+            assert hit.degraded == cold.degraded
+        assert incremental.plan_cache.hits >= 50
+
+
+class TestEndToEndEquivalence:
+    """Cache and warm starts change latency, never scheduling outcomes."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        from repro.analysis.experiments import run_one
+        from repro.workloads.arrivals import adhoc_stream
+        from repro.workloads.dag_generators import chain_workflow
+        from repro.workloads.recurring import RecurringWorkflow
+        from repro.workloads.traces import SyntheticTrace
+
+        capacity = ClusterCapacity.uniform(cpu=16, mem=32)
+        skeleton = chain_workflow("wf", 3, 0, 15)
+        trace = SyntheticTrace(
+            workflows=tuple(RecurringWorkflow(skeleton, 20).instances(3)),
+            adhoc_jobs=tuple(
+                adhoc_stream(rate_per_slot=0.3, horizon_slots=60, seed=7)
+            ),
+        )
+        modes = {
+            "cached": {},
+            "no-cache": {"plan_cache": False},
+            "cold": {"plan_cache": False, "warm_start": False},
+        }
+        return {
+            mode: run_one(
+                "FlowTime",
+                trace,
+                capacity,
+                scheduler_kwargs={"planner": opts},
+            )
+            for mode, opts in modes.items()
+        }
+
+    def test_missed_deadlines_match(self, outcomes):
+        cold = outcomes["cold"]
+        for mode in ("cached", "no-cache"):
+            assert outcomes[mode].missed_jobs == cold.missed_jobs
+            assert outcomes[mode].missed_workflows == cold.missed_workflows
+
+    def test_adhoc_turnaround_matches(self, outcomes):
+        cold = outcomes["cold"]
+        for mode in ("cached", "no-cache"):
+            assert outcomes[mode].adhoc_turnaround_s == pytest.approx(
+                cold.adhoc_turnaround_s
+            )
+
+    def test_per_slot_usage_matches(self, outcomes):
+        cold = outcomes["cold"].result
+        cached = outcomes["cached"].result
+        assert cached.n_slots == cold.n_slots
+        assert np.array_equal(cached.usage, cold.usage)
+
+    def test_cache_actually_engaged(self, outcomes):
+        result = outcomes["cached"].result
+        assert result.counter_value("sched.plan.cache.hit") > 0

@@ -7,7 +7,13 @@ from repro.schedulers.cora import CoraScheduler
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fifo import FifoScheduler
-from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
+from repro.schedulers.registry import (
+    SCHEDULER_NAMES,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
 from repro.simulator.engine import Simulation
 from tests.conftest import adhoc_job, deadline_job
 
@@ -33,6 +39,25 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError):
             make_scheduler("SLURM")
+
+    def test_register_and_unregister_custom_scheduler(self):
+        register_scheduler("TestFifoClone", lambda **kw: FifoScheduler())
+        try:
+            assert "TestFifoClone" in available_schedulers()
+            scheduler = make_scheduler("TestFifoClone")
+            assert hasattr(scheduler, "assign")
+        finally:
+            unregister_scheduler("TestFifoClone")
+        assert "TestFifoClone" not in available_schedulers()
+
+    def test_register_duplicate_requires_overwrite(self):
+        with pytest.raises(ValueError):
+            register_scheduler("FIFO", lambda **kw: FifoScheduler())
+        with pytest.raises(ValueError):
+            unregister_scheduler("NoSuchScheduler")
+
+    def test_available_matches_frozen_names_at_import(self):
+        assert set(SCHEDULER_NAMES) <= set(available_schedulers())
 
 
 class TestFifo:
