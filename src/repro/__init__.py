@@ -76,6 +76,12 @@ from repro.schedulers import (
     MorpheusScheduler,
     make_scheduler,
 )
+from repro.service import (
+    SchedulerService,
+    ServiceConfig,
+    ServiceStatus,
+    SubmitResult,
+)
 from repro.simulator import Simulation, SimulationConfig, SimulationResult
 from repro.workloads import (
     SyntheticTrace,
@@ -86,7 +92,7 @@ from repro.workloads import (
 )
 from repro.workloads.recurring import RecurringWorkflow, record_run
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CPU",
@@ -117,9 +123,13 @@ __all__ = [
     "RecurringWorkflow",
     "ResourceVector",
     "RunHistory",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceStatus",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "SubmitResult",
     "SyntheticTrace",
     "TaskSpec",
     "Workflow",

@@ -56,7 +56,6 @@ __all__ = [
     "format_phase_table",
     "format_series",
     "format_slowest_slot",
-    "generate_report",
     "run_report",
     "turnaround_ratios",
 ]
@@ -426,6 +425,3 @@ def run_report(*, scale: str = "quick", seed: int = 15) -> str:
     lines += _phase_latency_section(seed)
     return "\n".join(lines)
 
-
-#: Backwards-compatible alias; new code should call :func:`run_report`.
-generate_report = run_report

@@ -7,6 +7,7 @@ The subcommands cover the library's workflow end to end::
     python -m repro run --trace trace.json --scheduler FlowTime --gantt
     python -m repro run --trace trace.json --trace-out run.jsonl --metrics
     python -m repro compare --trace trace.json
+    python -m repro serve --port 8080 --batch-window 0.1
 
 Cluster size is given with ``--cpu/--mem`` (every command defaults to the
 64-core / 128-GB mixed-cluster setup the examples use).  Traces are the
@@ -180,6 +181,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_cluster_args(cmp_parser)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the online scheduler service behind a JSON/HTTP API",
+        description="Start a long-running scheduler service. Submit "
+        "workflows (POST /workflows) and ad-hoc jobs (POST /jobs) in the "
+        "trace wire format; inspect GET /plan, /status, /metrics. SIGTERM "
+        "or Ctrl-C drains gracefully: admission stops, in-flight work "
+        "finishes, the trace flushes, and a run summary prints.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--scheduler", default="FlowTime", choices=sorted(available_schedulers())
+    )
+    serve.add_argument("--slot-seconds", type=float, default=10.0)
+    serve.add_argument(
+        "--realtime",
+        action="store_true",
+        help="advance one slot per --slot-seconds of wall time (live "
+        "pacing); default is virtual time (as fast as work exists)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="re-planning batch window: submissions arriving within this "
+        "window coalesce into one plan call",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max outstanding ad-hoc jobs before shedding (backpressure)",
+    )
+    serve.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="admit every workflow without the feasibility check",
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL event trace (flushed on drain) to PATH",
+    )
+    _add_cluster_args(serve)
+
     return parser
 
 
@@ -316,12 +369,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import SchedulerService, ServiceConfig, serve_http
+
+    cluster = _cluster(args)
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    obs = Observability(
+        sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
+    )
+    config = ServiceConfig(
+        scheduler=args.scheduler,
+        slot_seconds=args.slot_seconds,
+        realtime=args.realtime,
+        batch_window_s=args.batch_window,
+        adhoc_queue_limit=args.queue_limit,
+        admission=not args.no_admission,
+    )
+    service = SchedulerService(cluster, config, obs=obs).start()
+    server = serve_http(service, host=args.host, port=args.port)
+    print(f"serving {args.scheduler} on {server.url}", flush=True)
+    print(
+        "endpoints: POST /workflows  POST /jobs  GET /plan  GET /status  "
+        "GET /metrics",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    stop.wait()
+
+    # Graceful drain: stop accepting requests, finish in-flight work,
+    # flush the trace, then summarise the run.
+    print("draining...", file=sys.stderr, flush=True)
+    server.shutdown()
+    result = service.drain()
+    status = service.status()
+    missed = sum(not w.met_deadline for w in result.workflows.values())
+    print(f"drained after {result.n_slots} slots (finished={result.finished})")
+    print(
+        f"workflows: {status.accepted_workflows} accepted, "
+        f"{status.rejected_workflows} rejected, {missed} missed deadline"
+    )
+    print(
+        f"ad-hoc:    {status.accepted_adhoc} accepted, "
+        f"{status.shed_adhoc} shed"
+    )
+    if sink is not None:
+        print(f"trace:     wrote {sink.n_events} events to {args.trace_out}")
+    obs.close()
+    return 0
+
+
 _COMMANDS = {
     "generate-trace": _cmd_generate,
     "decompose": _cmd_decompose,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

@@ -79,6 +79,9 @@ class TraceSink:
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
+    def flush(self) -> None:
+        """Force buffered events to their destination (default: no-op)."""
+
     @property
     def n_events(self) -> int:
         return self._seq
@@ -134,6 +137,10 @@ class JsonlSink(TraceSink):
         if self._file is not None:
             self._file.close()
             self._file = None
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
 
 
 def read_trace(path: str | Path) -> list[dict]:

@@ -59,6 +59,16 @@ class FlowTimeScheduler(Scheduler):
         """Decomposed per-job windows (also the metrics ground truth)."""
         return dict(self._windows)
 
+    @property
+    def current_plan(self) -> Optional[AllocationPlan]:
+        """The live allocation plan (None before the first planning round).
+
+        Read-only duck-typed surface for frontends that expose plan state
+        (the service's ``GET /plan``); plans are replaced wholesale on each
+        re-plan, never mutated in place.
+        """
+        return self._plan
+
     # -- event handling -----------------------------------------------------------
 
     def on_events(self, events: Sequence[Event], view: ClusterView) -> None:

@@ -1,0 +1,30 @@
+"""The online scheduler service: FlowTime as a long-running server.
+
+The batch :class:`~repro.simulator.engine.Simulation` replays a canned
+workload; this package serves a *dynamic* one.  A single event-loop thread
+(:class:`~repro.service.core.SchedulerService`) owns the clock and the
+scheduler; submissions arrive through a thread-safe API — in-process
+(:class:`~repro.service.client.InProcessClient`) or over stdlib JSON/HTTP
+(:mod:`repro.service.http`, :class:`~repro.service.client.
+HttpServiceClient`) — and are admission-checked, batched into shared
+re-plans, and backpressured when the ad-hoc queue fills.  ``repro serve``
+is the CLI entry point; see docs/ARCHITECTURE.md for how the batch and
+service paths share the engine core.
+"""
+
+from repro.service.api import ServiceConfig, ServiceStatus, SubmitResult
+from repro.service.client import HttpServiceClient, InProcessClient, ServiceError
+from repro.service.core import SchedulerService
+from repro.service.http import ServiceHTTPServer, serve_http
+
+__all__ = [
+    "HttpServiceClient",
+    "InProcessClient",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceStatus",
+    "SubmitResult",
+    "serve_http",
+]

@@ -1,0 +1,174 @@
+"""Value objects of the scheduler service's submission/query API.
+
+Every transport (the in-process client, the JSON-over-HTTP frontend)
+speaks in these types; their ``to_dict`` forms are the HTTP response
+bodies, so the in-process and remote views of a decision are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ServiceConfig", "ServiceStatus", "SubmitResult"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`~repro.service.core.SchedulerService`.
+
+    Attributes:
+        scheduler: registry name of the scheduling policy to run.
+        scheduler_kwargs: forwarded to the registry factory (e.g.
+            ``{"planner": {"plan_cache": False}}`` for ablations).
+        slot_seconds: modelled duration of one slot (metrics conversion;
+            the paper's deployment used 10 s).
+        realtime: when True the event loop advances one slot per
+            ``slot_seconds`` of wall-clock time (a live server); when False
+            time is *virtual* — the clock advances as fast as work exists
+            and parks while the system is idle (tests, simulation serving).
+        batch_window_s: re-planning batch window in wall seconds.  After a
+            submission arrives, the loop holds the (virtual) clock open for
+            this long so a burst of N submissions coalesces into a single
+            arrival slot — and therefore one LP ladder, not N.  0 batches
+            only submissions already queued together.
+        adhoc_queue_limit: bound on outstanding (incomplete) ad-hoc jobs;
+            submissions beyond it are shed (backpressure) instead of
+            growing the queue without bound.
+        admission: run the exact max-placement admission check
+            (:func:`repro.core.admission.check_admission`) on every
+            workflow submission and reject workloads that provably cannot
+            meet their deadlines.  False admits everything (paper
+            behaviour).
+        cluster_aware_decomposition: how admission decomposes candidate
+            workflows (matches the FlowTime scheduler's default).
+        strict: engine grant validation (see
+            :class:`~repro.simulator.engine.SimulationConfig`).
+        record_execution: keep per-slot executed-unit rows (Gantt support).
+        drain_max_slots: hard stop for the graceful-drain run-out; a drain
+            not finished by then reports ``finished=False``.
+        submit_timeout_s: how long a synchronous ``submit_*`` call waits
+            for the event loop before raising ``TimeoutError``.
+    """
+
+    scheduler: str = "FlowTime"
+    scheduler_kwargs: Mapping = field(default_factory=dict)
+    slot_seconds: float = 10.0
+    realtime: bool = False
+    batch_window_s: float = 0.0
+    adhoc_queue_limit: int = 256
+    admission: bool = True
+    cluster_aware_decomposition: bool = True
+    strict: bool = True
+    record_execution: bool = False
+    drain_max_slots: int = 50_000
+    submit_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ValueError("slot_seconds must be > 0")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.adhoc_queue_limit < 1:
+            raise ValueError("adhoc_queue_limit must be >= 1")
+        if self.drain_max_slots < 1:
+            raise ValueError("drain_max_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Synchronous outcome of one submission.
+
+    ``reason`` is one of: ``admitted`` (deadline workflow passed the
+    admission check), ``queued`` (ad-hoc job accepted into the queue),
+    ``infeasible`` (admission proved a deadline shortfall), ``queue_full``
+    (ad-hoc backpressure shed), ``draining`` (service no longer admits),
+    ``invalid`` (malformed or duplicate submission).
+    """
+
+    accepted: bool
+    kind: str  # "workflow" | "adhoc"
+    id: str
+    reason: str
+    utilisation: float = math.nan
+    shortfall_units: Mapping[str, int] = field(default_factory=dict)
+    queue_depth: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "accepted": self.accepted,
+            "kind": self.kind,
+            "id": self.id,
+            "reason": self.reason,
+            "utilisation": None if math.isnan(self.utilisation) else self.utilisation,
+            "shortfall_units": dict(self.shortfall_units),
+            "queue_depth": self.queue_depth,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SubmitResult":
+        utilisation = data.get("utilisation")
+        return SubmitResult(
+            accepted=bool(data["accepted"]),
+            kind=data.get("kind", ""),
+            id=data.get("id", ""),
+            reason=data.get("reason", ""),
+            utilisation=math.nan if utilisation is None else float(utilisation),
+            shortfall_units=dict(data.get("shortfall_units", {})),
+            queue_depth=int(data.get("queue_depth", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """One consistent snapshot of the service's externally visible state."""
+
+    running: bool
+    draining: bool
+    slot: int
+    scheduler: str
+    n_workflows: int
+    n_jobs: int
+    remaining_jobs: int
+    queue_depth: int
+    accepted_workflows: int
+    rejected_workflows: int
+    accepted_adhoc: int
+    shed_adhoc: int
+    replans: int
+
+    def to_dict(self) -> dict:
+        return {
+            "running": self.running,
+            "draining": self.draining,
+            "slot": self.slot,
+            "scheduler": self.scheduler,
+            "n_workflows": self.n_workflows,
+            "n_jobs": self.n_jobs,
+            "remaining_jobs": self.remaining_jobs,
+            "queue_depth": self.queue_depth,
+            "accepted_workflows": self.accepted_workflows,
+            "rejected_workflows": self.rejected_workflows,
+            "accepted_adhoc": self.accepted_adhoc,
+            "shed_adhoc": self.shed_adhoc,
+            "replans": self.replans,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ServiceStatus":
+        return ServiceStatus(
+            running=bool(data["running"]),
+            draining=bool(data["draining"]),
+            slot=int(data["slot"]),
+            scheduler=data.get("scheduler", ""),
+            n_workflows=int(data["n_workflows"]),
+            n_jobs=int(data["n_jobs"]),
+            remaining_jobs=int(data["remaining_jobs"]),
+            queue_depth=int(data["queue_depth"]),
+            accepted_workflows=int(data["accepted_workflows"]),
+            rejected_workflows=int(data["rejected_workflows"]),
+            accepted_adhoc=int(data["accepted_adhoc"]),
+            shed_adhoc=int(data["shed_adhoc"]),
+            replans=int(data["replans"]),
+        )

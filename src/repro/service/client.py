@@ -1,0 +1,121 @@
+"""Clients for the scheduler service: in-process and JSON-over-HTTP.
+
+Both speak the same surface (submit workflow / submit ad-hoc / status /
+plan / metrics) and return the same :mod:`repro.service.api` value
+objects, so test code and tooling can swap a local service for a remote
+one by changing one constructor.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.model.job import Job
+from repro.model.workflow import Workflow
+from repro.service.api import ServiceStatus, SubmitResult
+from repro.workloads.traces import job_to_dict, workflow_to_dict
+
+__all__ = ["HttpServiceClient", "InProcessClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service could not process a request (malformed, not a reject)."""
+
+
+class InProcessClient:
+    """Thin client over a :class:`~repro.service.core.SchedulerService`
+    running in this process — the reference implementation of the client
+    surface."""
+
+    def __init__(self, service):
+        self._service = service
+
+    def submit_workflow(self, workflow: Workflow) -> SubmitResult:
+        return self._service.submit_workflow(workflow)
+
+    def submit_adhoc(self, job: Job) -> SubmitResult:
+        return self._service.submit_adhoc(job)
+
+    def status(self) -> ServiceStatus:
+        return self._service.status()
+
+    def plan(self) -> dict:
+        return self._service.plan_snapshot()
+
+    def metrics(self) -> dict:
+        return self._service.metrics_snapshot()
+
+
+class HttpServiceClient:
+    """Client for the stdlib HTTP frontend (:mod:`repro.service.http`).
+
+    Submission bodies are the trace wire format
+    (:func:`repro.workloads.traces.workflow_to_dict` /
+    :func:`~repro.workloads.traces.job_to_dict`), so any trace entry can be
+    replayed against a live server verbatim.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- submissions ----------------------------------------------------------------
+
+    def submit_workflow(self, workflow: Workflow) -> SubmitResult:
+        body = self._request("POST", "/workflows", workflow_to_dict(workflow))
+        return SubmitResult.from_dict(body)
+
+    def submit_adhoc(self, job: Job) -> SubmitResult:
+        body = self._request("POST", "/jobs", job_to_dict(job))
+        return SubmitResult.from_dict(body)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def status(self) -> ServiceStatus:
+        return ServiceStatus.from_dict(self._request("GET", "/status"))
+
+    def plan(self) -> dict:
+        return self._request("GET", "/plan")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            body = _parse_json(raw)
+            # Rejections (infeasible, queue_full, draining, invalid
+            # submission) travel as non-2xx with a full SubmitResult body —
+            # still a well-formed answer, not a transport failure.
+            if isinstance(body, dict) and "accepted" in body:
+                return body
+            detail = body.get("error") if isinstance(body, dict) else raw.decode(
+                "utf-8", "replace"
+            )
+            raise ServiceError(f"{method} {path} -> {error.code}: {detail}") from None
+        body = _parse_json(raw)
+        if not isinstance(body, dict):
+            raise ServiceError(f"{method} {path}: non-object response")
+        return body
+
+
+def _parse_json(raw: bytes) -> object:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None

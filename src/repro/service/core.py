@@ -1,0 +1,606 @@
+"""The long-running scheduler service: submissions in, plans out.
+
+FlowTime is an *online* system — workflows and ad-hoc jobs arrive
+dynamically and the scheduler re-plans on each arrival (Sec. III/V) — but
+the batch :class:`~repro.simulator.engine.Simulation` can only replay a
+canned trace.  :class:`SchedulerService` is the serving path: a single
+event-loop thread owns the clock and the scheduler, and a thread-safe
+submission API feeds it while it runs.
+
+Design points:
+
+* **One writer.**  All scheduler/engine state is touched only by the event
+  loop; submissions and lifecycle transitions travel through a command
+  queue and get their answers via futures.  Admission decisions are
+  therefore strictly serialised — two racing submissions can never both be
+  admitted against the same headroom.
+* **Batched re-planning.**  Submissions are injected into the engine the
+  moment their command is processed, but the (virtual) clock is held open
+  for ``batch_window_s`` after each arrival, so a burst of N submissions
+  lands in a single slot — one ``WORKFLOW_ARRIVED`` batch, one LP ladder,
+  not N.  The per-replan coalescing factor is recorded in the
+  ``service.replan.batch_size`` histogram.
+* **Admission + backpressure.**  Deadline workflows pass the exact
+  max-placement admission check (:func:`repro.core.admission.
+  check_admission`) synchronously at submission; ad-hoc jobs enter a
+  bounded queue and are shed once ``adhoc_queue_limit`` jobs are
+  outstanding (``service.queue.depth`` gauge, ``service.queue.shed``
+  counter).
+* **Graceful drain.**  ``drain()`` stops admitting, finishes every
+  in-flight job (running the clock out virtually), flushes the trace sink,
+  and returns the run's :class:`~repro.simulator.result.SimulationResult`
+  — the same object a batch run produces, so outcome equivalence is
+  directly checkable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional
+
+from repro.core.admission import check_admission
+from repro.core.decomposition import decompose_deadline
+from repro.core.decomposition_types import JobWindow
+from repro.core.flowtime import JobDemand, PlannerConfig
+from repro.model.cluster import ClusterCapacity
+from repro.model.job import Job, JobKind
+from repro.model.workflow import Workflow
+from repro.obs import Observability, use_obs
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import make_scheduler
+from repro.service.api import ServiceConfig, ServiceStatus, SubmitResult
+from repro.simulator.engine import SimulationConfig
+from repro.simulator.result import SimulationResult
+from repro.simulator.runtime import EngineCore
+
+__all__ = ["SchedulerService"]
+
+#: How long the loop parks on the command queue while idle (seconds).
+#: Small enough to notice lifecycle flags promptly, large enough that an
+#: idle service costs no measurable CPU.
+_IDLE_POLL_S = 0.05
+
+#: Hard cap on how long a continuous submission stream can hold the
+#: (virtual) clock open, as a multiple of the batch window — batching must
+#: never become starvation.
+_BATCH_CAP_FACTOR = 16.0
+
+
+class _Command:
+    """One queued instruction for the event loop."""
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload=None):
+        self.kind = kind
+        self.payload = payload
+        self.future: Future = Future()
+
+
+class SchedulerService:
+    """An online scheduler serving dynamic submissions over one cluster.
+
+    Typical in-process use::
+
+        service = SchedulerService(cluster)
+        service.start()
+        result = service.submit_workflow(workflow)   # sync accept/reject
+        service.submit_adhoc(job)
+        ...
+        final = service.drain()                      # graceful run-out
+
+    The HTTP frontend (:mod:`repro.service.http`) wraps exactly this
+    surface; see :class:`~repro.service.api.ServiceConfig` for the knobs.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterCapacity,
+        config: ServiceConfig | None = None,
+        *,
+        scheduler: Scheduler | None = None,
+        obs: Observability | None = None,
+    ):
+        self.cluster = cluster
+        self.config = config or ServiceConfig()
+        self.obs = obs if obs is not None else Observability()
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else make_scheduler(
+                self.config.scheduler, **dict(self.config.scheduler_kwargs)
+            )
+        )
+        self._core = EngineCore(
+            cluster,
+            self.scheduler,
+            SimulationConfig(
+                slot_seconds=self.config.slot_seconds,
+                strict=self.config.strict,
+                record_execution=self.config.record_execution,
+            ),
+            self.obs,
+        )
+        self._commands: "queue.Queue[_Command]" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._started = False
+        self._draining = False
+        self._stopped = threading.Event()
+        self._result: Optional[SimulationResult] = None
+        # Decomposed windows of every admitted workflow's jobs; the
+        # admission check's view of already-committed deadline work.
+        self._windows: dict[str, JobWindow] = {}
+        self._batch_open_since: Optional[float] = None
+        self._batch_last_arrival = 0.0
+        self._accepted_workflows = 0
+        self._rejected_workflows = 0
+        self._accepted_adhoc = 0
+        self._shed_adhoc = 0
+        self._status = self._make_status(running=False, draining=False)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> "SchedulerService":
+        """Spawn the event-loop thread (idempotent while running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        if self._stopped.is_set():
+            raise RuntimeError("service already stopped; create a new one")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler-service", daemon=True
+        )
+        self._started = True
+        self._thread.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> SimulationResult:
+        """Gracefully drain: stop admitting, finish in-flight work, flush.
+
+        Returns the final :class:`~repro.simulator.result.SimulationResult`
+        covering everything the service executed.  Safe to call more than
+        once (subsequent calls return the same result).
+        """
+        if self._stopped.is_set():
+            if self._result is None:  # pragma: no cover - defensive
+                raise RuntimeError("service stopped without a result")
+            return self._result
+        if self._thread is None or not self._thread.is_alive():
+            raise RuntimeError("service is not running")
+        command = _Command("drain")
+        self._commands.put(command)
+        result = command.future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+        return result
+
+    def stop(self, timeout: float | None = None) -> SimulationResult:
+        """Alias for :meth:`drain` (SIGTERM semantics: drain, then exit)."""
+        return self.drain(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def result(self) -> SimulationResult:
+        """The final result (only after :meth:`drain`/:meth:`stop`)."""
+        if self._result is None:
+            raise RuntimeError("service has not drained yet")
+        return self._result
+
+    # -- submission API ---------------------------------------------------------------
+
+    def submit_workflow(
+        self, workflow: Workflow, *, wait: bool = True
+    ) -> "SubmitResult | Future":
+        """Submit a deadline workflow; returns the admission decision.
+
+        With ``wait=False`` the future resolves once the event loop
+        processes the command (submissions enqueued before :meth:`start`
+        are all decided, in order, before the clock first advances).
+        """
+        return self._submit(_Command("workflow", workflow), wait)
+
+    def submit_adhoc(self, job: Job, *, wait: bool = True) -> "SubmitResult | Future":
+        """Submit an ad-hoc job into the bounded best-effort queue."""
+        return self._submit(_Command("adhoc", job), wait)
+
+    def _submit(self, command: _Command, wait: bool) -> "SubmitResult | Future":
+        if self._stopped.is_set():
+            raise RuntimeError("service is stopped")
+        self._commands.put(command)
+        if not wait:
+            return command.future
+        return command.future.result(timeout=self.config.submit_timeout_s)
+
+    # -- query API ---------------------------------------------------------------------
+
+    def status(self) -> ServiceStatus:
+        """A consistent snapshot of externally visible state."""
+        with self._lock:
+            return self._status
+
+    def plan_snapshot(self) -> dict:
+        """The live allocation plan as a JSON-friendly dict.
+
+        Empty for schedulers that do not expose a plan (duck-typed on a
+        ``current_plan`` attribute; FlowTime replaces plans wholesale on
+        each re-plan, so reading the reference cross-thread is safe).
+        """
+        plan = getattr(self.scheduler, "current_plan", None)
+        if plan is None:
+            return {"origin_slot": None, "horizon": 0, "jobs": {}}
+        jobs = {}
+        for job_id, grant in plan.grants.items():
+            nonzero = [
+                [plan.origin_slot + k, int(units)]
+                for k, units in enumerate(grant)
+                if units
+            ]
+            if nonzero:
+                jobs[job_id] = {
+                    "total_units": int(grant.sum()),
+                    "slots": nonzero,
+                }
+        return {
+            "origin_slot": plan.origin_slot,
+            "horizon": plan.horizon,
+            "degraded": plan.degraded,
+            "jobs": jobs,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Metrics registry snapshot (retried around racy registrations)."""
+        for _ in range(8):
+            try:
+                return self.obs.registry.snapshot()
+            except RuntimeError:  # registry grew mid-iteration; retry
+                continue
+        return {}
+
+    # -- event loop -----------------------------------------------------------------
+
+    def _loop(self) -> None:
+        # Everything the loop touches (scheduler, planner, admission LP)
+        # records into this service's observability handle.
+        with use_obs(self.obs):
+            self.obs.event(
+                "service_start",
+                scheduler=getattr(self.scheduler, "name", ""),
+                realtime=self.config.realtime,
+            )
+            try:
+                self._run_loop()
+            finally:
+                self._finish()
+
+    def _run_loop(self) -> None:
+        core = self._core
+        config = self.config
+        self._refresh_status()
+        next_tick = time.monotonic() + config.slot_seconds
+        while not self._draining:
+            command = self._next_command(core, next_tick)
+            drained_now = False
+            while command is not None:
+                if command.kind == "drain":
+                    self._draining = True
+                    drained_now = True
+                    drain_command = command
+                    break
+                self._handle_submission(command)
+                command = self._poll_command()
+            if drained_now:
+                self._drain_out(drain_command)
+                return
+            now = time.monotonic()
+            if config.realtime:
+                while now >= next_tick:
+                    self._step()
+                    next_tick += config.slot_seconds
+            elif not core.finished and not self._batch_window_open(now):
+                self._step()
+            self._refresh_status()
+
+    def _next_command(self, core: EngineCore, next_tick: float) -> Optional[_Command]:
+        """Fetch the next command, blocking only when there is nothing to do."""
+        config = self.config
+        if config.realtime:
+            timeout = max(next_tick - time.monotonic(), 0.0)
+            timeout = min(timeout, _IDLE_POLL_S if core.finished else timeout)
+        elif self._batch_window_open(time.monotonic()):
+            timeout = min(self._batch_window_remaining(), _IDLE_POLL_S)
+        elif core.finished:
+            timeout = _IDLE_POLL_S  # idle: park until work arrives
+        else:
+            return self._poll_command()  # work pending: never block
+        try:
+            return self._commands.get(timeout=max(timeout, 0.001))
+        except queue.Empty:
+            return None
+
+    def _poll_command(self) -> Optional[_Command]:
+        try:
+            return self._commands.get_nowait()
+        except queue.Empty:
+            return None
+
+    # -- batching -------------------------------------------------------------------
+
+    def _note_arrival(self) -> None:
+        now = time.monotonic()
+        if self._batch_open_since is None:
+            self._batch_open_since = now
+        self._batch_last_arrival = now
+
+    def _batch_window_open(self, now: float) -> bool:
+        if self._batch_open_since is None or self.config.batch_window_s <= 0:
+            return False
+        window = self.config.batch_window_s
+        if now - self._batch_open_since >= window * _BATCH_CAP_FACTOR:
+            self._batch_open_since = None  # cap: never starve the clock
+            return False
+        if now - self._batch_last_arrival >= window:
+            self._batch_open_since = None
+            return False
+        return True
+
+    def _batch_window_remaining(self) -> float:
+        if self._batch_open_since is None:
+            return 0.0
+        return max(
+            self.config.batch_window_s
+            - (time.monotonic() - self._batch_last_arrival),
+            0.0,
+        )
+
+    # -- command handling --------------------------------------------------------------
+
+    def _handle_submission(self, command: _Command) -> None:
+        try:
+            if command.kind == "workflow":
+                result = self._admit_workflow(command.payload)
+            elif command.kind == "adhoc":
+                result = self._enqueue_adhoc(command.payload)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown command {command.kind!r}")
+            # Publish the new counts before resolving the future, so a
+            # client that saw its decision also sees it in /status.
+            self._refresh_status()
+            command.future.set_result(result)
+        except Exception as error:  # surfaced to the submitting thread
+            command.future.set_exception(error)
+
+    def _planner_config(self) -> PlannerConfig:
+        planner = getattr(self.scheduler, "planner", None)
+        config = getattr(planner, "config", None)
+        return config if isinstance(config, PlannerConfig) else PlannerConfig()
+
+    def _committed_demands(self) -> list[JobDemand]:
+        """Remaining demands of every admitted, unfinished deadline job.
+
+        Built from the engine's registered runs (not the slot view) so
+        workflows admitted seconds ago but starting in the future already
+        count against headroom.
+        """
+        demands = []
+        for run in self._core.job_runs():
+            job = run.job
+            if job.kind is not JobKind.DEADLINE or run.done:
+                continue
+            window = self._windows.get(job.job_id)
+            if window is None:  # defensive: admitted => decomposed
+                continue
+            units = run.believed_remaining_units()
+            if units <= 0:
+                continue
+            demands.append(
+                JobDemand(
+                    job_id=job.job_id,
+                    release_slot=window.release_slot,
+                    deadline_slot=window.deadline_slot,
+                    units=units,
+                    unit_demand=job.tasks.demand,
+                    max_parallel=job.tasks.count,
+                )
+            )
+        return demands
+
+    def _admit_workflow(self, workflow: Workflow) -> SubmitResult:
+        core = self._core
+        obs = self.obs
+        if self._draining:
+            return self._reject_workflow(workflow, "draining")
+        if workflow.workflow_id in core.workflows:
+            return self._reject_workflow(workflow, "invalid")
+        try:
+            for job in workflow.jobs:
+                if core.has_job(job.job_id):
+                    raise ValueError(f"duplicate job id {job.job_id}")
+                core.validate_job(job)
+        except ValueError:
+            return self._reject_workflow(workflow, "invalid")
+
+        utilisation = float("nan")
+        if self.config.admission:
+            decision = check_admission(
+                workflow,
+                self._committed_demands(),
+                self.cluster,
+                now_slot=core.slot,
+                config=self._planner_config(),
+            )
+            utilisation = decision.utilisation
+            if not decision.admit:
+                self._rejected_workflows += 1
+                obs.counter("service.submit.workflow.rejected").inc()
+                return SubmitResult(
+                    accepted=False,
+                    kind="workflow",
+                    id=workflow.workflow_id,
+                    reason="infeasible",
+                    utilisation=decision.utilisation,
+                    shortfall_units=dict(decision.shortfall_units),
+                    queue_depth=core.live_adhoc_count(),
+                )
+
+        decomposition = decompose_deadline(
+            workflow,
+            self.cluster,
+            cluster_aware=self.config.cluster_aware_decomposition,
+        )
+        self._windows.update(decomposition.windows)
+        core.add_workflow(workflow)
+        self._accepted_workflows += 1
+        self._note_arrival()
+        obs.counter("service.submit.workflow.accepted").inc()
+        return SubmitResult(
+            accepted=True,
+            kind="workflow",
+            id=workflow.workflow_id,
+            reason="admitted",
+            utilisation=utilisation,
+            queue_depth=core.live_adhoc_count(),
+        )
+
+    def _reject_workflow(self, workflow: Workflow, reason: str) -> SubmitResult:
+        self._rejected_workflows += 1
+        self.obs.counter("service.submit.workflow.rejected").inc()
+        return SubmitResult(
+            accepted=False,
+            kind="workflow",
+            id=workflow.workflow_id,
+            reason=reason,
+            queue_depth=self._core.live_adhoc_count(),
+        )
+
+    def _enqueue_adhoc(self, job: Job) -> SubmitResult:
+        core = self._core
+        obs = self.obs
+        depth = core.live_adhoc_count()
+        if self._draining:
+            reason = "draining"
+        elif core.has_job(job.job_id):
+            reason = "invalid"
+        elif depth >= self.config.adhoc_queue_limit:
+            # Backpressure: shed instead of growing the queue unboundedly.
+            self._shed_adhoc += 1
+            obs.counter("service.queue.shed").inc()
+            reason = "queue_full"
+        else:
+            try:
+                core.add_adhoc(job)
+            except ValueError:
+                reason = "invalid"
+            else:
+                self._accepted_adhoc += 1
+                self._note_arrival()
+                obs.counter("service.submit.adhoc.accepted").inc()
+                depth += 1
+                obs.gauge("service.queue.depth").set(depth)
+                return SubmitResult(
+                    accepted=True,
+                    kind="adhoc",
+                    id=job.job_id,
+                    reason="queued",
+                    queue_depth=depth,
+                )
+        if reason != "queue_full":
+            obs.counter("service.submit.adhoc.rejected").inc()
+        return SubmitResult(
+            accepted=False,
+            kind="adhoc",
+            id=job.job_id,
+            reason=reason,
+            queue_depth=depth,
+        )
+
+    # -- stepping -------------------------------------------------------------------
+
+    def _step(self) -> None:
+        outcome = self._core.step()
+        arrivals = outcome.n_workflow_arrivals
+        if arrivals:
+            # The coalescing factor of this re-plan: how many workflow
+            # submissions one WORKFLOW_ARRIVED batch (= one LP ladder) paid
+            # for.  p50 > 1 under bursts is the batching win.
+            self.obs.histogram("service.replan.batch_size").observe(arrivals)
+        self.obs.gauge("service.queue.depth").set(self._core.live_adhoc_count())
+
+    def _drain_out(self, command: _Command) -> None:
+        """Finish every in-flight job, then resolve the drain future."""
+        core = self._core
+        self.obs.event("service_drain_start", slot=core.slot)
+        self._refresh_status()
+        deadline_slot = core.slot + self.config.drain_max_slots
+        while not core.finished and core.slot < deadline_slot:
+            self._step()
+        core.flush_pending_events()
+        core.finalize_metrics()
+        finished = core.finished
+        core.emit_run_end(finished)
+        self.obs.sink.flush()
+        self._result = core.result(finished)
+        self._refresh_status()
+        command.future.set_result(self._result)
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def _make_status(self, running: bool, draining: bool) -> ServiceStatus:
+        core = self._core
+        return ServiceStatus(
+            running=running,
+            draining=draining,
+            slot=core.slot,
+            scheduler=getattr(self.scheduler, "name", ""),
+            n_workflows=len(core.workflows),
+            n_jobs=core.n_jobs,
+            remaining_jobs=core.remaining_jobs,
+            queue_depth=core.live_adhoc_count(),
+            accepted_workflows=self._accepted_workflows,
+            rejected_workflows=self._rejected_workflows,
+            accepted_adhoc=self._accepted_adhoc,
+            shed_adhoc=self._shed_adhoc,
+            replans=getattr(self.scheduler, "replans", 0),
+        )
+
+    def _refresh_status(self) -> None:
+        status = self._make_status(
+            running=not self._stopped.is_set(), draining=self._draining
+        )
+        with self._lock:
+            self._status = status
+
+    def _finish(self) -> None:
+        self._stopped.set()
+        self._draining = True
+        # Unblock any submitter still waiting: the service is gone.
+        while True:
+            command = self._poll_command()
+            if command is None:
+                break
+            if not command.future.done():
+                if command.kind in ("workflow", "adhoc"):
+                    payload_id = getattr(
+                        command.payload, "workflow_id", None
+                    ) or getattr(command.payload, "job_id", "")
+                    command.future.set_result(
+                        SubmitResult(
+                            accepted=False,
+                            kind=command.kind,
+                            id=payload_id,
+                            reason="draining",
+                        )
+                    )
+                else:
+                    command.future.set_exception(
+                        RuntimeError("service stopped before drain completed")
+                    )
+        self._refresh_status()
+        self.obs.event("service_stop", slot=self._core.slot)

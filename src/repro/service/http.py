@@ -1,0 +1,173 @@
+"""Stdlib-only JSON-over-HTTP frontend for the scheduler service.
+
+A :class:`http.server.ThreadingHTTPServer` that translates five routes
+onto one :class:`~repro.service.core.SchedulerService`:
+
+====== ============ =====================================================
+Method Path         Meaning
+====== ============ =====================================================
+POST   /workflows   submit a deadline workflow (trace wire format);
+                    synchronous admission decision in the body
+POST   /jobs        submit an ad-hoc job; queued or shed (backpressure)
+GET    /plan        the live allocation plan (origin slot, horizon,
+                    per-job granted slots)
+GET    /status      service snapshot (slot, queue depth, accept counts)
+GET    /metrics     full metrics-registry snapshot (counters, gauges,
+                    histogram quantiles)
+====== ============ =====================================================
+
+Handler threads only enqueue commands and read snapshots — every
+scheduling decision still happens on the service's single event-loop
+thread, so concurrency is bounded by design, not by luck.  No third-party
+dependencies: ``http.server`` + ``json`` only.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.api import SubmitResult
+from repro.service.core import SchedulerService
+from repro.workloads.traces import job_from_dict, workflow_from_dict
+
+__all__ = ["ServiceHTTPServer", "serve_http"]
+
+#: HTTP status for each rejection reason; accepted submissions are 200.
+_REJECT_STATUS = {
+    "infeasible": 409,  # admission proved a deadline shortfall
+    "invalid": 400,
+    "queue_full": 429,  # backpressure: retry later
+    "draining": 503,
+}
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-scheduler"
+
+    # The bound service, set by ServiceHTTPServer.
+    @property
+    def service(self) -> SchedulerService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/status":
+            self._reply(200, self.service.status().to_dict())
+        elif path == "/plan":
+            self._reply(200, self.service.plan_snapshot())
+        elif path == "/metrics":
+            self._reply(200, self.service.metrics_snapshot())
+        else:
+            self._reply(404, {"error": f"no such resource: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/workflows":
+            self._submit(workflow_from_dict, self.service.submit_workflow)
+        elif path == "/jobs":
+            self._submit(job_from_dict, self.service.submit_adhoc)
+        else:
+            self._reply(404, {"error": f"no such resource: {path}"})
+
+    def _submit(self, parse, submit) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            entity = parse(body)
+        except (KeyError, TypeError, ValueError) as error:
+            self._reply(400, {"error": f"malformed submission: {error}"})
+            return
+        try:
+            result: SubmitResult = submit(entity)
+        except TimeoutError:
+            self._reply(504, {"error": "scheduler did not answer in time"})
+            return
+        except RuntimeError as error:  # service stopped
+            self._reply(503, {"error": str(error)})
+            return
+        status = 200 if result.accepted else _REJECT_STATUS.get(result.reason, 400)
+        self._reply(status, result.to_dict())
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _read_body(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._reply(400, {"error": "missing or oversized request body"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(body, dict):
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return None
+        return body
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route access logs through the service's obs layer instead of
+        # stderr so quiet runs stay quiet.
+        import logging
+
+        self.service.obs.log(
+            logging.DEBUG, "http %s " + format, self.client_address[0], *args
+        )
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one SchedulerService.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`server_port`.  ``serve_forever()`` blocks, so typical use runs
+    it on a thread (see :func:`serve_http`) and calls :meth:`shutdown` from
+    the signal handler.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: SchedulerService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def serve_http(
+    service: SchedulerService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Start an HTTP frontend on a daemon thread; returns the bound server.
+
+    The caller owns shutdown ordering: ``server.shutdown()`` first (stop
+    accepting requests), then ``service.drain()``.
+    """
+    import threading
+
+    server = ServiceHTTPServer(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server

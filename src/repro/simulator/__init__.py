@@ -17,6 +17,7 @@ experiments behave like the real system.
 
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.failures import FailureModel
+from repro.simulator.runtime import EngineCore, StepOutcome
 from repro.simulator.nodes import NodeCluster, PackResult
 from repro.simulator.metrics import (
     adhoc_turnaround_seconds,
@@ -32,6 +33,7 @@ __all__ = [
     "AdhocJobView",
     "ClusterView",
     "DeadlineJobView",
+    "EngineCore",
     "FailureModel",
     "JobRecord",
     "NodeCluster",
@@ -39,6 +41,7 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "StepOutcome",
     "WorkflowRecord",
     "adhoc_turnaround_seconds",
     "deadline_deltas_seconds",

@@ -1,7 +1,7 @@
-"""The slot-based simulation engine.
+"""The slot-based batch simulation frontend.
 
-One engine run drives one scheduler over one workload (workflows plus an
-ad-hoc stream) on one cluster.  Per slot:
+One :class:`Simulation` run drives one scheduler over one *canned* workload
+(workflows plus an ad-hoc stream) on one cluster.  Per slot:
 
 1. deliver the slot's events (workflow/job arrivals, readiness transitions,
    completions from the previous slot) to the scheduler;
@@ -16,35 +16,27 @@ ad-hoc stream) on one cluster.  Per slot:
 Tasks are preemptible at slot boundaries with retained progress, the
 executable reading of the paper's formulation (its demand constraint (2)
 treats a job as a divisible amount of work placed freely in its window).
+
+The slot machinery itself lives in :class:`~repro.simulator.runtime.
+EngineCore`, shared with the online scheduler service
+(:mod:`repro.service`): this class owns the *batch* clock — register the
+whole workload up front, then spin slots as fast as possible until every
+job completes (or ``max_slots``).
 """
 
 from __future__ import annotations
 
-import logging
-import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterable
 
 from repro.model.cluster import ClusterCapacity
-from repro.model.events import (
-    Event,
-    JobArrived,
-    JobCompleted,
-    JobReady,
-    JobSetback,
-    WorkflowArrived,
-    WorkflowCompleted,
-)
-from repro.obs import Observability, use_obs
-from repro.model.job import Job, JobKind
-from repro.model.resources import ResourceVector
+from repro.model.job import Job
 from repro.model.workflow import Workflow
+from repro.obs import Observability, use_obs
 from repro.simulator.failures import FailureModel
 from repro.simulator.nodes import NodeCluster
-from repro.simulator.result import JobRecord, SimulationResult, WorkflowRecord
-from repro.simulator.view import AdhocJobView, ClusterView, DeadlineJobView
+from repro.simulator.result import SimulationResult
+from repro.simulator.runtime import EngineCore
 
 if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.schedulers.base import Scheduler
@@ -76,57 +68,6 @@ class SimulationConfig:
     node_cluster: NodeCluster | None = None
 
 
-class _JobRun:
-    """Mutable runtime state of one job."""
-
-    __slots__ = (
-        "job",
-        "arrival_slot",
-        "ready_slot",
-        "completion_slot",
-        "executed_units",
-        "unmet_parents",
-    )
-
-    def __init__(self, job: Job, arrival_slot: int, unmet_parents: int):
-        self.job = job
-        self.arrival_slot = arrival_slot
-        self.ready_slot: Optional[int] = None
-        self.completion_slot: Optional[int] = None
-        self.executed_units = 0
-        self.unmet_parents = unmet_parents
-
-    @property
-    def true_total_units(self) -> int:
-        return self.job.execution_tasks.total_task_slots
-
-    @property
-    def true_remaining_units(self) -> int:
-        return self.true_total_units - self.executed_units
-
-    @property
-    def done(self) -> bool:
-        return self.completion_slot is not None
-
-    def ready_at(self, slot: int) -> bool:
-        return self.ready_slot is not None and self.ready_slot <= slot
-
-    def believed_remaining_units(self) -> int:
-        """What the scheduler thinks is left, from the estimated structure.
-
-        When a job overruns its estimate the scheduler cannot know the
-        remaining tail, but it *can* see the job's outstanding container
-        requests (every real resource manager does), so the belief floors
-        at the currently visible requests instead of a 1-unit trickle.
-        """
-        if self.done:
-            return 0
-        est_remaining = self.job.tasks.total_task_slots - self.executed_units
-        if est_remaining > 0:
-            return est_remaining
-        return min(self.job.execution_tasks.count, self.true_remaining_units)
-
-
 class Simulation:
     """One simulation run binding a cluster, a scheduler, and a workload."""
 
@@ -148,108 +89,16 @@ class Simulation:
         # only while ``run`` executes, so concurrent/sequential simulations
         # never share metric state.
         self.obs = obs if obs is not None else Observability()
-        self.workflows: dict[str, Workflow] = {}
-        self._runs: dict[str, _JobRun] = {}
-        self._workflow_completion: dict[str, Optional[int]] = {}
-        self._workflow_remaining: dict[str, int] = {}
-        self._fragmentation_waste = 0
-
+        self._core = EngineCore(cluster, scheduler, self.config, self.obs)
+        self._core.validate_cluster()
         for workflow in workflows:
-            if workflow.workflow_id in self.workflows:
-                raise ValueError(f"duplicate workflow {workflow.workflow_id}")
-            self.workflows[workflow.workflow_id] = workflow
-            self._workflow_completion[workflow.workflow_id] = None
-            self._workflow_remaining[workflow.workflow_id] = len(workflow)
-            for job in workflow.jobs:
-                if job.job_id in self._runs:
-                    raise ValueError(f"duplicate job id {job.job_id}")
-                self._runs[job.job_id] = _JobRun(
-                    job,
-                    arrival_slot=workflow.start_slot,
-                    unmet_parents=len(workflow.parents_of(job.job_id)),
-                )
+            self._core.add_workflow(workflow)
         for job in adhoc_jobs:
-            if job.kind is not JobKind.ADHOC:
-                raise ValueError(f"job {job.job_id} in adhoc_jobs is not ADHOC")
-            if job.job_id in self._runs:
-                raise ValueError(f"duplicate job id {job.job_id}")
-            self._runs[job.job_id] = _JobRun(
-                job, arrival_slot=job.arrival_slot, unmet_parents=0
-            )
+            self._core.add_adhoc(job)
 
-        self._validate_workload()
-
-    def _validate_workload(self) -> None:
-        base = self.cluster.base
-        nodes = self.config.node_cluster
-        if nodes is not None and not base.fits_in(nodes.aggregate()):
-            raise ValueError(
-                "aggregate cluster capacity exceeds the node cluster's total"
-            )
-        for run in self._runs.values():
-            for spec in (run.job.tasks, run.job.execution_tasks):
-                if not spec.demand.fits_in(base):
-                    raise ValueError(
-                        f"job {run.job.job_id}: one task does not fit the cluster"
-                    )
-                if nodes is not None and not any(
-                    spec.demand.fits_in(node) for node in nodes.nodes
-                ):
-                    raise ValueError(
-                        f"job {run.job.job_id}: one task does not fit any node"
-                    )
-
-    # -- views -------------------------------------------------------------------
-
-    def _view(self, slot: int) -> ClusterView:
-        deadline_views = []
-        adhoc_views = []
-        for run in self._runs.values():
-            job = run.job
-            if job.kind is JobKind.DEADLINE:
-                if run.arrival_slot > slot:
-                    continue  # workflow not submitted yet
-                deadline_views.append(
-                    DeadlineJobView(
-                        job_id=job.job_id,
-                        workflow_id=job.workflow_id or "",
-                        arrival_slot=run.arrival_slot,
-                        ready=run.ready_at(slot),
-                        completed=run.done,
-                        est_spec=job.tasks,
-                        executed_units=run.executed_units,
-                        believed_remaining_units=run.believed_remaining_units(),
-                    )
-                )
-            else:
-                if run.arrival_slot > slot:
-                    continue
-                # Ad-hoc jobs expose only their *outstanding container
-                # requests* (at most one per task), never total size.
-                pending = min(
-                    job.execution_tasks.count, run.true_remaining_units
-                )
-                adhoc_views.append(
-                    AdhocJobView(
-                        job_id=job.job_id,
-                        arrival_slot=run.arrival_slot,
-                        unit_demand=job.execution_tasks.demand,
-                        pending_units=pending,
-                        completed=run.done,
-                    )
-                )
-        visible_workflows = {
-            wid: wf
-            for wid, wf in self.workflows.items()
-            if wf.start_slot <= slot
-        }
-        return ClusterView(
-            slot=slot,
-            capacity=self.cluster,
-            deadline_jobs=tuple(deadline_views),
-            adhoc_jobs=tuple(adhoc_views),
-            workflows=visible_workflows,
-        )
+    @property
+    def workflows(self) -> dict[str, Workflow]:
+        return self._core.workflows
 
     # -- run loop --------------------------------------------------------------
 
@@ -261,335 +110,12 @@ class Simulation:
             return self._run_loop()
 
     def _run_loop(self) -> SimulationResult:
-        config = self.config
-        obs = self.obs
-        tracing = obs.tracing
-        resources = self.cluster.resources
-        usage_rows: list[list[float]] = []
-        granted_rows: list[list[float]] = []
-        execution_rows: list[dict[str, int]] = []
-        pending_events: list[Event] = []
-        planning_calls = 0
-        planning_seconds = 0.0
-        # Slowest-slot tracking for the per-phase report: which slot cost
-        # the most wall-clock time, and how much of it was the scheduler.
-        slowest = (-1.0, -1, 0.0)  # (seconds, slot, decide_seconds)
-        prev_running: set[str] = set()
-        # Prefer the span-wrapped ``decide`` of repro schedulers; duck-typed
-        # stand-ins (test doubles) only need ``assign``.
-        decide = getattr(self.scheduler, "decide", self.scheduler.assign)
-
-        failure_rng = config.failures.rng() if config.failures else None
-        remaining_jobs = sum(1 for run in self._runs.values() if not run.done)
-        slot = 0
-        finished = remaining_jobs == 0
-        obs.event(
-            "run_start",
-            scheduler=getattr(self.scheduler, "name", ""),
-            n_jobs=len(self._runs),
-            n_workflows=len(self.workflows),
-        )
-        obs.log(
-            logging.INFO,
-            "simulation start: %d jobs, %d workflows, scheduler=%s",
-            len(self._runs), len(self.workflows),
-            getattr(self.scheduler, "name", ""),
-        )
-        while not finished and slot < config.max_slots:
-            slot_span = obs.span("sim.slot")
-            slot_span.__enter__()
-            events = pending_events
-            pending_events = []
-
-            # Arrivals at this slot.
-            for workflow in self.workflows.values():
-                if workflow.start_slot == slot:
-                    events.append(
-                        WorkflowArrived(slot=slot, workflow_id=workflow.workflow_id)
-                    )
-                    for job_id in workflow.roots():
-                        run = self._runs[job_id]
-                        run.ready_slot = slot
-                        events.append(
-                            JobReady(
-                                slot=slot,
-                                job_id=job_id,
-                                workflow_id=workflow.workflow_id,
-                            )
-                        )
-            for run in self._runs.values():
-                if (
-                    run.job.kind is JobKind.ADHOC
-                    and run.arrival_slot == slot
-                ):
-                    run.ready_slot = slot
-                    events.append(JobArrived(slot=slot, job_id=run.job.job_id))
-
-            if tracing:
-                self._trace_events(events)
-
-            view = self._view(slot)
-            start = time.perf_counter()
-            if events:
-                self.scheduler.on_events(events, view)
-            assignment = decide(view)
-            decide_seconds = time.perf_counter() - start
-            planning_seconds += decide_seconds
-            planning_calls += 1
-
-            usage, granted, completions, executed = self._execute(
-                slot, assignment, view
-            )
-            usage_rows.append([usage[r] for r in resources])
-            granted_rows.append([granted[r] for r in resources])
-            if config.record_execution:
-                execution_rows.append(executed)
-
-            if tracing:
-                for job_id, units in executed.items():
-                    obs.event(
-                        "task_placement", slot=slot, job_id=job_id, units=units
-                    )
-                # Preemption at a slot boundary: a job that ran last slot,
-                # is still unfinished, and received nothing this slot.
-                running = set(executed)
-                for job_id in prev_running - running:
-                    if not self._runs[job_id].done:
-                        obs.event("job_preempted", slot=slot, job_id=job_id)
-                prev_running = running
-
-            # Failure injection: jobs that ran but did not complete may lose
-            # progress (a crashed container redoes work).  Completed jobs
-            # are safe — their outputs are materialised.
-            if failure_rng is not None:
-                done = set(completions)
-                for job_id in executed:
-                    if job_id in done:
-                        continue
-                    run = self._runs[job_id]
-                    lost = config.failures.roll(failure_rng, run.executed_units)
-                    if lost > 0:
-                        run.executed_units -= lost
-                        pending_events.append(
-                            JobSetback(
-                                slot=slot + 1,
-                                job_id=job_id,
-                                lost_units=lost,
-                                workflow_id=run.job.workflow_id,
-                            )
-                        )
-
-            # Completions propagate readiness and workflow completion events
-            # delivered at the start of the next slot.
-            for job_id in completions:
-                run = self._runs[job_id]
-                workflow_id = run.job.workflow_id
-                pending_events.append(
-                    JobCompleted(slot=slot + 1, job_id=job_id, workflow_id=workflow_id)
-                )
-                if workflow_id is not None:
-                    workflow = self.workflows[workflow_id]
-                    self._workflow_remaining[workflow_id] -= 1
-                    if self._workflow_remaining[workflow_id] == 0:
-                        self._workflow_completion[workflow_id] = slot
-                        pending_events.append(
-                            WorkflowCompleted(slot=slot + 1, workflow_id=workflow_id)
-                        )
-                        if tracing and slot >= workflow.deadline_slot:
-                            obs.event(
-                                "workflow_deadline_miss",
-                                slot=slot,
-                                workflow_id=workflow_id,
-                                deadline_slot=workflow.deadline_slot,
-                            )
-                    for child in workflow.dependents_of(job_id):
-                        child_run = self._runs[child]
-                        child_run.unmet_parents -= 1
-                        if child_run.unmet_parents == 0:
-                            child_run.ready_slot = slot + 1
-                            pending_events.append(
-                                JobReady(
-                                    slot=slot + 1,
-                                    job_id=child,
-                                    workflow_id=workflow_id,
-                                )
-                            )
-            remaining_jobs -= len(completions)
-            finished = remaining_jobs == 0
-            slot += 1
-            slot_span.__exit__(None, None, None)
-            if slot_span.elapsed > slowest[0]:
-                slowest = (slot_span.elapsed, slot - 1, decide_seconds)
-
-        if pending_events:
-            if tracing:
-                self._trace_events(pending_events)
-            # Deliver the final completion events (observability: schedulers
-            # and tests can see the run close out) without asking for work.
-            self.scheduler.on_events(pending_events, self._view(slot))
-
-        if slowest[1] >= 0:
-            obs.gauge("sim.slowest_slot").set(slowest[1])
-            obs.gauge("sim.slowest_slot_seconds").set(slowest[0])
-            obs.gauge("sim.slowest_slot_decide_seconds").set(slowest[2])
-        # Planner-owning schedulers (duck-typed: scheduler.planner.plan_cache)
-        # get their end-of-run cache state mirrored into the metrics, so
-        # SimulationResult.metrics carries the steady-state hit rate without
-        # callers reaching into scheduler internals.
-        cache = getattr(getattr(self.scheduler, "planner", None), "plan_cache", None)
-        if cache is not None:
-            obs.gauge("sched.plan.cache.entries").set(len(cache))
-            obs.gauge("sched.plan.cache.hit_rate").set(cache.hit_rate)
-        obs.event("run_end", n_slots=slot, finished=finished)
-        obs.log(
-            logging.INFO,
-            "simulation end: %d slots, finished=%s", slot, finished,
-        )
-        return self._result(slot, finished, usage_rows, granted_rows,
-                            execution_rows, planning_calls, planning_seconds)
-
-    def _trace_events(self, events: list[Event]) -> None:
-        """Mirror engine events into the trace (types match EventKind values)."""
-        obs = self.obs
-        for event in events:
-            fields = {
-                key: value
-                for key, value in vars(event).items()
-                if key != "slot" and value is not None
-            }
-            obs.event(event.kind.value, slot=event.slot, **fields)
-
-    def _execute(
-        self, slot: int, assignment, view: ClusterView
-    ) -> tuple[ResourceVector, ResourceVector, list[str], dict[str, int]]:
-        """Run one slot of granted work.
-
-        Returns (used, granted, completions, executed-units-per-job).
-        """
-        capacity = self.cluster.at(slot)
-        granted_total = ResourceVector()
-        used_total = ResourceVector()
-        completions: list[str] = []
-        executed: dict[str, int] = {}
-
-        # Pass 1: validate grants and derive how many *true* tasks the
-        # granted resources can host per job.
-        runnable: list[tuple[str, int]] = []  # (job_id, desired true tasks)
-        for job_id, units in assignment.items():
-            if units <= 0:
-                continue
-            run = self._runs.get(job_id)
-            if run is None:
-                raise ValueError(f"scheduler granted unknown job {job_id!r}")
-            if run.done or not run.ready_at(slot):
-                if self.config.strict:
-                    raise ValueError(
-                        f"scheduler granted units to job {job_id!r} which is "
-                        f"{'done' if run.done else 'not ready'} at slot {slot}"
-                    )
-                continue
-            believed_demand = run.job.tasks.demand
-            grant_vec = believed_demand * int(units)
-            granted_total = granted_total + grant_vec
-
-            # Execution uses the *true* structure: the engine runs as many
-            # true task-slots as the granted resources can host.
-            true_spec = run.job.execution_tasks
-            tasks_run = min(
-                true_spec.demand.units_fitting(grant_vec),
-                true_spec.count,
-                run.true_remaining_units,
-            )
-            if tasks_run > 0:
-                runnable.append((job_id, tasks_run))
-
-        # Node-level placement: tasks must also pack onto machines; units
-        # lost to fragmentation simply do not run this slot.
-        if self.config.node_cluster is not None and runnable:
-            pack = self.config.node_cluster.pack(
-                [
-                    (job_id, self._runs[job_id].job.execution_tasks.demand, tasks)
-                    for job_id, tasks in runnable
-                ]
-            )
-            self._fragmentation_waste += pack.total_unplaced
-            runnable = [
-                (job_id, pack.placed.get(job_id, 0)) for job_id, _ in runnable
-            ]
-
-        # Pass 2: execute.
-        for job_id, tasks_run in runnable:
-            if tasks_run <= 0:
-                continue
-            run = self._runs[job_id]
-            true_spec = run.job.execution_tasks
-            run.executed_units += tasks_run
-            executed[job_id] = tasks_run
-            used_total = used_total + true_spec.demand * tasks_run
-            if run.true_remaining_units == 0:
-                run.completion_slot = slot
-                completions.append(job_id)
-
-        if not granted_total.fits_in(capacity):
-            if self.config.strict:
-                raise ValueError(
-                    f"slot {slot}: scheduler granted {dict(granted_total)} "
-                    f"exceeding capacity {dict(capacity)}"
-                )
-        return used_total, granted_total, completions, executed
-
-    def _result(
-        self,
-        n_slots: int,
-        finished: bool,
-        usage_rows: list[list[float]],
-        granted_rows: list[list[float]],
-        execution_rows: list[dict[str, int]],
-        planning_calls: int,
-        planning_seconds: float,
-    ) -> SimulationResult:
-        resources = self.cluster.resources
-        jobs = {
-            job_id: JobRecord(
-                job_id=job_id,
-                kind=run.job.kind,
-                workflow_id=run.job.workflow_id,
-                arrival_slot=run.arrival_slot,
-                ready_slot=run.ready_slot,
-                completion_slot=run.completion_slot,
-                true_units=run.true_total_units,
-                est_units=run.job.tasks.total_task_slots,
-            )
-            for job_id, run in self._runs.items()
-        }
-        workflow_records = {
-            wid: WorkflowRecord(
-                workflow_id=wid,
-                start_slot=wf.start_slot,
-                deadline_slot=wf.deadline_slot,
-                completion_slot=self._workflow_completion[wid],
-            )
-            for wid, wf in self.workflows.items()
-        }
-        shape = (max(len(usage_rows), 1), len(resources))
-        usage = np.zeros(shape)
-        granted = np.zeros(shape)
-        if usage_rows:
-            usage[: len(usage_rows)] = np.asarray(usage_rows)
-            granted[: len(granted_rows)] = np.asarray(granted_rows)
-        return SimulationResult(
-            slot_seconds=self.config.slot_seconds,
-            n_slots=n_slots,
-            finished=finished,
-            jobs=jobs,
-            workflows=workflow_records,
-            usage=usage,
-            granted=granted,
-            resources=resources,
-            scheduler_name=getattr(self.scheduler, "name", ""),
-            planning_calls=planning_calls,
-            planning_seconds=planning_seconds,
-            execution=tuple(execution_rows),
-            fragmentation_waste_units=self._fragmentation_waste,
-            metrics=self.obs.registry.snapshot(),
-        )
+        core = self._core
+        core.emit_run_start()
+        while not core.finished and core.slot < self.config.max_slots:
+            core.step()
+        core.flush_pending_events()
+        core.finalize_metrics()
+        finished = core.finished
+        core.emit_run_end(finished)
+        return core.result(finished)

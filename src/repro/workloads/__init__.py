@@ -27,7 +27,16 @@ from repro.workloads.scientific import (
     SCIENTIFIC_SHAPES,
     make_scientific_workflow,
 )
-from repro.workloads.traces import SyntheticTrace, generate_trace, load_trace, save_trace
+from repro.workloads.traces import (
+    SyntheticTrace,
+    generate_trace,
+    job_from_dict,
+    job_to_dict,
+    load_trace,
+    save_trace,
+    workflow_from_dict,
+    workflow_to_dict,
+)
 
 __all__ = [
     "PUMA_TEMPLATES",
@@ -39,6 +48,8 @@ __all__ = [
     "diamond_workflow",
     "fork_join_workflow",
     "generate_trace",
+    "job_from_dict",
+    "job_to_dict",
     "layered_random_workflow",
     "load_trace",
     "make_mapreduce_jobs",
@@ -49,4 +60,6 @@ __all__ = [
     "random_dag_edges",
     "record_run",
     "save_trace",
+    "workflow_from_dict",
+    "workflow_to_dict",
 ]

@@ -116,6 +116,10 @@ def generate_trace(
 
 
 # -- JSON (de)serialisation ---------------------------------------------------------
+#
+# The per-entity converters are public: the trace files, the service's HTTP
+# transport, and the HTTP client all speak this one wire format, so a trace
+# entry can be replayed against a live server byte-for-byte.
 
 
 def _spec_to_dict(spec: TaskSpec) -> dict:
@@ -162,20 +166,44 @@ def _job_from_dict(data: dict) -> Job:
     )
 
 
+def job_to_dict(job: Job) -> dict:
+    """Serialise one job (either kind) to the trace wire format."""
+    return _job_to_dict(job)
+
+
+def job_from_dict(data: dict) -> Job:
+    """Parse one job from the trace wire format."""
+    return _job_from_dict(data)
+
+
+def workflow_to_dict(wf: Workflow) -> dict:
+    """Serialise one workflow (jobs + edges + window) to the wire format."""
+    return {
+        "workflow_id": wf.workflow_id,
+        "name": wf.name,
+        "start_slot": wf.start_slot,
+        "deadline_slot": wf.deadline_slot,
+        "jobs": [_job_to_dict(job) for job in wf.jobs],
+        "edges": [list(edge) for edge in wf.edges],
+    }
+
+
+def workflow_from_dict(item: dict) -> Workflow:
+    """Parse one workflow from the wire format (validates the DAG)."""
+    return Workflow.from_jobs(
+        item["workflow_id"],
+        [_job_from_dict(j) for j in item["jobs"]],
+        [tuple(edge) for edge in item["edges"]],
+        item["start_slot"],
+        item["deadline_slot"],
+        name=item.get("name", ""),
+    )
+
+
 def save_trace(trace: SyntheticTrace, path: str | Path) -> None:
     """Write a trace as JSON (replayable across machines and versions)."""
     payload = {
-        "workflows": [
-            {
-                "workflow_id": wf.workflow_id,
-                "name": wf.name,
-                "start_slot": wf.start_slot,
-                "deadline_slot": wf.deadline_slot,
-                "jobs": [_job_to_dict(job) for job in wf.jobs],
-                "edges": [list(edge) for edge in wf.edges],
-            }
-            for wf in trace.workflows
-        ],
+        "workflows": [workflow_to_dict(wf) for wf in trace.workflows],
         "adhoc_jobs": [_job_to_dict(job) for job in trace.adhoc_jobs],
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -184,15 +212,7 @@ def save_trace(trace: SyntheticTrace, path: str | Path) -> None:
 def load_trace(path: str | Path) -> SyntheticTrace:
     payload = json.loads(Path(path).read_text())
     workflows = tuple(
-        Workflow.from_jobs(
-            item["workflow_id"],
-            [_job_from_dict(j) for j in item["jobs"]],
-            [tuple(edge) for edge in item["edges"]],
-            item["start_slot"],
-            item["deadline_slot"],
-            name=item.get("name", ""),
-        )
-        for item in payload["workflows"]
+        workflow_from_dict(item) for item in payload["workflows"]
     )
     adhoc = tuple(_job_from_dict(j) for j in payload["adhoc_jobs"])
     return SyntheticTrace(workflows=workflows, adhoc_jobs=adhoc)

@@ -14,13 +14,19 @@ def report_text():
     return run_report(scale="quick", seed=15)
 
 
-class TestDeprecatedReportModule:
-    def test_old_import_path_warns_but_works(self):
+class TestRemovedReportModule:
+    def test_old_import_path_is_gone(self):
+        # The deprecated repro.analysis.report shim completed its one-release
+        # grace period; repro.analysis.reporting.run_report is the sole
+        # public entry point now.
         sys.modules.pop("repro.analysis.report", None)
-        with pytest.warns(DeprecationWarning, match="repro.analysis.reporting"):
-            legacy = importlib.import_module("repro.analysis.report")
-        assert legacy.run_report is run_report
-        assert legacy.generate_report is run_report
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.analysis.report")
+
+    def test_reporting_is_the_public_entry(self):
+        import repro.analysis
+
+        assert repro.analysis.run_report is run_report
 
 
 class TestGenerateReport:

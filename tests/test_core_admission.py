@@ -113,3 +113,83 @@ class TestPerJobInfeasibility:
         )
         assert not decision.admit
         assert decision.shortfall_units.get("w-big", 0) > 0
+
+
+# -- property: sequential admission never over-commits ------------------------------
+#
+# The online service admits workflows one at a time, folding each accepted
+# workflow's decomposed demands into the "existing" set for the next check.
+# The safety property of that bookkeeping: whatever subset the sequential
+# process accepts must still be *jointly* feasible — identical to having
+# admitted the accepted set as a single batch.  If the accounting dropped or
+# double-counted demands, a later joint check would certify a shortfall.
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.decomposition import decompose_deadline  # noqa: E402
+
+
+def _demands_of(workflow, capacity):
+    """A workflow's demands exactly as check_admission derives them."""
+    windows = decompose_deadline(workflow, capacity).windows
+    return [
+        JobDemand(
+            job_id=job.job_id,
+            release_slot=windows[job.job_id].release_slot,
+            deadline_slot=windows[job.job_id].deadline_slot,
+            units=job.tasks.total_task_slots,
+            unit_demand=job.tasks.demand,
+            max_parallel=job.tasks.count,
+        )
+        for job in workflow.jobs
+    ]
+
+
+@st.composite
+def workflow_batches(draw):
+    """2-4 small workflows with windows from hopeless to generous."""
+    k = draw(st.integers(min_value=2, max_value=4))
+    workflows = []
+    for i in range(k):
+        shape = draw(st.sampled_from(["chain", "fork"]))
+        size = draw(st.integers(min_value=1, max_value=3))
+        window = draw(st.integers(min_value=3, max_value=40))
+        if shape == "chain":
+            workflows.append(chain_workflow(f"w{i}", size, 0, window))
+        else:
+            workflows.append(fork_join_workflow(f"w{i}", size, 0, window))
+    return workflows
+
+
+class TestSequentialAdmissionProperty:
+    @given(workflow_batches())
+    @settings(deadline=None, max_examples=25)
+    def test_one_at_a_time_never_over_commits(self, workflows):
+        capacity = ClusterCapacity.uniform(cpu=8, mem=16)
+        config = PlannerConfig(slack_slots=0)
+        committed: list[JobDemand] = []
+        accepted = []
+        for workflow in workflows:
+            decision = check_admission(
+                workflow, committed, capacity, now_slot=0, config=config
+            )
+            if decision.admit:
+                accepted.append(workflow)
+                committed.extend(_demands_of(workflow, capacity))
+        if not accepted:
+            return
+        # Joint feasibility of the accepted set, checked as one batch: the
+        # first accepted workflow against everything else that got in.  One
+        # max-placement over the union either places all work or refutes
+        # the sequential bookkeeping.
+        head, rest = accepted[0], accepted[1:]
+        others: list[JobDemand] = []
+        for workflow in rest:
+            others.extend(_demands_of(workflow, capacity))
+        joint = check_admission(head, others, capacity, now_slot=0, config=config)
+        assert joint.admit, (
+            f"sequential admission over-committed: accepted "
+            f"{[w.workflow_id for w in accepted]} but the batch check "
+            f"certifies shortfall {dict(joint.shortfall_units)}"
+        )
