@@ -1,0 +1,142 @@
+"""Chaos harness: seeded fault injection for robustness testing.
+
+The fault-tolerance claims of this codebase (docs/ROBUSTNESS.md) are only
+worth anything if they are *exercised*: a degraded-mode path nobody ever
+enters is a degraded-mode path that does not work.  This module turns the
+solver's fault-injection hook (:func:`repro.lp.solver.
+install_fault_injector`) into a reproducible chaos experiment:
+
+* **Seeded.**  Every roll comes from one ``random.Random(seed)`` — the
+  same :class:`ChaosConfig` produces the same fault sequence, so a chaos
+  failure found in CI replays locally from its config alone.
+* **Bursty by design.**  The solver retries a failed attempt once on the
+  alternate backend, so independent per-attempt faults at probability *p*
+  only fail a *solve* at ~*p²* — chaos at 10% would almost never reach
+  degraded mode.  ``fault_burst`` makes each triggered fault also fail
+  the next ``fault_burst - 1`` attempts, modelling realistic correlated
+  failures (a wedged solver library fails on whatever backend you try)
+  and making the injected rate the *observed* solve-failure rate.
+* **Slow faults too.**  ``solver_slow_prob`` injects sleeps instead of
+  exceptions, which trips the wall-time budget path
+  (``SolverFailure(reason="budget")``) rather than the error path.
+
+Typical use::
+
+    with chaos_solver(ChaosConfig(solver_fault_prob=0.1, seed=7)) as chaos:
+        result = run_simulation(...)      # or drive a SchedulerService
+    assert chaos.n_faults > 0             # the experiment actually bit
+
+The kill/restart half of a chaos experiment lives on the service:
+:meth:`repro.service.core.SchedulerService.kill` plus a journal
+(``journal_path``) simulate SIGKILL + recovery; ``scripts/chaos_smoke.py``
+composes both into the CI chaos gate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lp.problem import LinearProgram
+from repro.lp.solver import install_fault_injector
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "InjectedSolverError",
+    "chaos_solver",
+]
+
+
+class InjectedSolverError(RuntimeError):
+    """A chaos-injected solver fault (distinguishable from real bugs)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos experiment's fault plan.
+
+    Attributes:
+        solver_fault_prob: per-solve-attempt probability of raising
+            :class:`InjectedSolverError` (before the backend runs).
+        solver_slow_prob: per-attempt probability of sleeping
+            ``solver_slow_s`` before the backend runs (budget-path chaos).
+        solver_slow_s: the injected delay in seconds.
+        fault_burst: attempts failed per triggered fault (>= 1).  With the
+            solver's one alternate-backend retry, a burst of 2 turns each
+            triggered fault into one failed *solve*; 1 gives independent
+            attempts (a retry usually saves the solve).
+        seed: RNG seed; same config, same fault sequence.
+    """
+
+    solver_fault_prob: float = 0.0
+    solver_slow_prob: float = 0.0
+    solver_slow_s: float = 0.05
+    fault_burst: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("solver_fault_prob", "solver_slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.solver_slow_s < 0:
+            raise ValueError("solver_slow_s must be >= 0")
+        if self.fault_burst < 1:
+            raise ValueError("fault_burst must be >= 1")
+
+
+class ChaosInjector:
+    """The callable installed into the solver; counts what it did.
+
+    Attributes:
+        n_calls: solve attempts seen.
+        n_faults: attempts failed with :class:`InjectedSolverError`.
+        n_slow: attempts delayed by ``solver_slow_s``.
+    """
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._burst_left = 0
+        self.n_calls = 0
+        self.n_faults = 0
+        self.n_slow = 0
+
+    def __call__(self, backend: str, problem: LinearProgram) -> None:
+        self.n_calls += 1
+        if self._burst_left > 0:
+            # Correlated failure: the retry hits the same wedged state.
+            self._burst_left -= 1
+            self.n_faults += 1
+            raise InjectedSolverError(
+                f"injected solver fault (burst) on backend {backend!r}"
+            )
+        if self._rng.random() < self.config.solver_slow_prob:
+            self.n_slow += 1
+            time.sleep(self.config.solver_slow_s)
+        if self._rng.random() < self.config.solver_fault_prob:
+            self._burst_left = self.config.fault_burst - 1
+            self.n_faults += 1
+            raise InjectedSolverError(
+                f"injected solver fault on backend {backend!r}"
+            )
+
+
+@contextmanager
+def chaos_solver(config: ChaosConfig) -> Iterator[ChaosInjector]:
+    """Install a seeded solver-fault injector for the duration of the block.
+
+    The injector is process-global (it rides the module-level solver
+    hook), so do not nest or run chaos experiments concurrently; the hook
+    is removed on exit either way.
+    """
+    injector = ChaosInjector(config)
+    install_fault_injector(injector)
+    try:
+        yield injector
+    finally:
+        install_fault_injector(None)

@@ -63,6 +63,67 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mem", type=int, default=128, help="cluster memory (GB)")
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Failure/estimation-error injection flags shared by run and serve."""
+    fault = parser.add_argument_group(
+        "fault injection",
+        "seeded robustness knobs (docs/ROBUSTNESS.md); all off by default",
+    )
+    fault.add_argument(
+        "--setback-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-job/slot probability of a progress setback (lost work)",
+    )
+    fault.add_argument(
+        "--max-setback",
+        type=int,
+        default=4,
+        metavar="UNITS",
+        help="a setback destroys 1..UNITS executed task-slots (uniform)",
+    )
+    fault.add_argument(
+        "--error-low",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="lower bound of the multiplicative duration-error factor "
+        "(true = estimate * factor)",
+    )
+    fault.add_argument(
+        "--error-high",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="upper bound of the duration-error factor",
+    )
+    fault.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for setback and duration-error draws",
+    )
+
+
+def _fault_models(args: argparse.Namespace):
+    """(FailureModel | None, ErrorModel | None) from the fault flags."""
+    from repro.estimation.errors import ErrorModel
+    from repro.simulator.failures import FailureModel
+
+    failures = None
+    if args.setback_prob > 0.0:
+        failures = FailureModel(
+            setback_prob=args.setback_prob,
+            max_setback_units=args.max_setback,
+            seed=args.fault_seed,
+        )
+    error_model = None
+    if (args.error_low, args.error_high) != (1.0, 1.0):
+        error_model = ErrorModel(low=args.error_low, high=args.error_high)
+    return failures, error_model
+
+
 def _cluster(args: argparse.Namespace) -> ClusterCapacity:
     return ClusterCapacity.uniform(cpu=args.cpu, mem=args.mem)
 
@@ -160,7 +221,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the per-phase timing table (decompose, lp.build, "
         "lp.solve, sched.decide, sim.slot, ...)",
     )
+    run.add_argument(
+        "--solve-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-LP-solve wall-time budget; a blown budget triggers the "
+        "scheduler's degraded mode instead of stalling the loop "
+        "(FlowTime only)",
+    )
     _add_cluster_args(run)
+    _add_fault_args(run)
 
     report = sub.add_parser(
         "report", help="regenerate the core paper figures as one Markdown file"
@@ -231,7 +302,52 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSONL event trace (flushed on drain) to PATH",
     )
+    serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="write-ahead journal of accepted submissions (JSONL, fsync on "
+        "accept); an existing journal is replayed on start, so a killed "
+        "service restarts with zero lost accepted work",
+    )
+    serve.add_argument(
+        "--solve-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-LP-solve wall-time budget; a blown budget triggers "
+        "degraded mode instead of stalling the loop (FlowTime only)",
+    )
+    chaos = serve.add_argument_group(
+        "chaos injection",
+        "seeded solver-fault injection for robustness experiments "
+        "(scripts/chaos_smoke.py drives these)",
+    )
+    chaos.add_argument(
+        "--chaos-fault-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-solve-attempt probability of an injected solver fault",
+    )
+    chaos.add_argument(
+        "--chaos-slow-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-attempt probability of an injected slow solve",
+    )
+    chaos.add_argument(
+        "--chaos-slow-s",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="duration of an injected slow solve",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos fault-plan seed"
+    )
     _add_cluster_args(serve)
+    _add_fault_args(serve)
 
     return parser
 
@@ -291,8 +407,34 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
     cluster = _cluster(args)
     trace = load_trace(args.trace)
+    failures, error_model = _fault_models(args)
+    if error_model is not None:
+        # Estimates stay put; the true structure deviates per the model —
+        # the scheduler plans against erroneous estimates while the engine
+        # executes reality (EXT-1 style robustness runs).
+        from repro.estimation.errors import (
+            apply_estimation_errors,
+            apply_workflow_estimation_errors,
+        )
+
+        trace = dc_replace(
+            trace,
+            workflows=tuple(
+                apply_workflow_estimation_errors(
+                    wf, error_model, seed=args.fault_seed + i
+                )
+                for i, wf in enumerate(trace.workflows)
+            ),
+            adhoc_jobs=tuple(
+                apply_estimation_errors(
+                    trace.adhoc_jobs, error_model, seed=args.fault_seed
+                )
+            ),
+        )
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     obs = Observability(
         sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
@@ -302,6 +444,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         planner_opts["plan_cache"] = False
     if args.no_warm_start:
         planner_opts["warm_start"] = False
+    if args.solve_budget is not None:
+        planner_opts["solve_budget_s"] = args.solve_budget
     scheduler_kwargs = (
         {"planner": planner_opts}
         if planner_opts and args.scheduler.startswith("FlowTime")
@@ -313,7 +457,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace,
             cluster,
             config=SimulationConfig(
-                slot_seconds=args.slot_seconds, record_execution=args.gantt
+                slot_seconds=args.slot_seconds,
+                record_execution=args.gantt,
+                failures=failures,
             ),
             scheduler_kwargs=scheduler_kwargs,
             obs=obs,
@@ -372,54 +518,88 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
+    from contextlib import ExitStack
 
     from repro.service import SchedulerService, ServiceConfig, serve_http
 
     cluster = _cluster(args)
+    failures, error_model = _fault_models(args)
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     obs = Observability(
         sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
     )
+    scheduler_kwargs = {}
+    if args.solve_budget is not None and args.scheduler.startswith("FlowTime"):
+        scheduler_kwargs["planner"] = {"solve_budget_s": args.solve_budget}
     config = ServiceConfig(
         scheduler=args.scheduler,
+        scheduler_kwargs=scheduler_kwargs,
         slot_seconds=args.slot_seconds,
         realtime=args.realtime,
         batch_window_s=args.batch_window,
         adhoc_queue_limit=args.queue_limit,
         admission=not args.no_admission,
+        journal_path=args.journal,
+        failures=failures,
+        error_model=error_model,
+        fault_seed=args.fault_seed,
     )
-    service = SchedulerService(cluster, config, obs=obs).start()
-    server = serve_http(service, host=args.host, port=args.port)
-    print(f"serving {args.scheduler} on {server.url}", flush=True)
-    print(
-        "endpoints: POST /workflows  POST /jobs  GET /plan  GET /status  "
-        "GET /metrics",
-        flush=True,
-    )
+    with ExitStack() as stack:
+        if args.chaos_fault_prob > 0.0 or args.chaos_slow_prob > 0.0:
+            from repro.chaos import ChaosConfig, chaos_solver
 
-    stop = threading.Event()
-    signal.signal(signal.SIGTERM, lambda *_: stop.set())
-    signal.signal(signal.SIGINT, lambda *_: stop.set())
-    stop.wait()
+            chaos = stack.enter_context(
+                chaos_solver(
+                    ChaosConfig(
+                        solver_fault_prob=args.chaos_fault_prob,
+                        solver_slow_prob=args.chaos_slow_prob,
+                        solver_slow_s=args.chaos_slow_s,
+                        seed=args.chaos_seed,
+                    )
+                )
+            )
+            print(
+                f"chaos: fault_prob={args.chaos_fault_prob} "
+                f"slow_prob={args.chaos_slow_prob} seed={args.chaos_seed}",
+                flush=True,
+            )
+        service = SchedulerService(cluster, config, obs=obs).start()
+        server = serve_http(service, host=args.host, port=args.port)
+        print(f"serving {args.scheduler} on {server.url}", flush=True)
+        print(
+            "endpoints: POST /workflows  POST /jobs  GET /plan  GET /status  "
+            "GET /metrics  GET /healthz  GET /readyz",
+            flush=True,
+        )
+        if args.journal:
+            print(f"journal:   {args.journal}", flush=True)
 
-    # Graceful drain: stop accepting requests, finish in-flight work,
-    # flush the trace, then summarise the run.
-    print("draining...", file=sys.stderr, flush=True)
-    server.shutdown()
-    result = service.drain()
-    status = service.status()
-    missed = sum(not w.met_deadline for w in result.workflows.values())
-    print(f"drained after {result.n_slots} slots (finished={result.finished})")
-    print(
-        f"workflows: {status.accepted_workflows} accepted, "
-        f"{status.rejected_workflows} rejected, {missed} missed deadline"
-    )
-    print(
-        f"ad-hoc:    {status.accepted_adhoc} accepted, "
-        f"{status.shed_adhoc} shed"
-    )
-    if sink is not None:
-        print(f"trace:     wrote {sink.n_events} events to {args.trace_out}")
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        stop.wait()
+
+        # Graceful drain: stop accepting requests, finish in-flight work,
+        # flush the trace, then summarise the run.
+        print("draining...", file=sys.stderr, flush=True)
+        server.shutdown()
+        result = service.drain()
+        status = service.status()
+        missed = sum(not w.met_deadline for w in result.workflows.values())
+        print(f"drained after {result.n_slots} slots (finished={result.finished})")
+        print(
+            f"workflows: {status.accepted_workflows} accepted, "
+            f"{status.rejected_workflows} rejected, {missed} missed deadline"
+        )
+        print(
+            f"ad-hoc:    {status.accepted_adhoc} accepted, "
+            f"{status.shed_adhoc} shed"
+        )
+        plan_failures = getattr(service.scheduler, "plan_failures", 0)
+        if plan_failures:
+            print(f"degraded:  {plan_failures} plan failures survived")
+        if sink is not None:
+            print(f"trace:     wrote {sink.n_events} events to {args.trace_out}")
     obs.close()
     return 0
 

@@ -96,6 +96,12 @@ class PlannerConfig:
             :class:`repro.core.lexmin.LexminWarmHint`).  The minimax theta
             is still solved exactly and a failed exactness check falls back
             to the cold ladder, so plans stay minimax-optimal.
+        solve_budget_s: optional wall-time budget per LP solve (the solver
+            guardrail).  A solve that exceeds it — or fails on every
+            backend — raises :class:`~repro.lp.solver.SolverFailure` out of
+            :meth:`FlowTimePlanner.plan`; the FlowTime scheduler catches it
+            and enters degraded mode.  None (default) never times out,
+            which is the pre-guardrail behaviour.
     """
 
     slack_slots: int = 6
@@ -108,6 +114,7 @@ class PlannerConfig:
     plan_cache: bool = True
     plan_cache_size: int = 128
     warm_start: bool = True
+    solve_budget_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.slack_slots < 0:
@@ -343,6 +350,7 @@ class FlowTimePlanner:
                 max_rounds=config.max_lexmin_rounds,
                 front_load=config.front_load,
                 warm_hint=hint,
+                solve_budget_s=config.solve_budget_s,
             )
             if result.is_optimal:
                 grants = self._quantize(problem, result.x, config)
@@ -398,7 +406,7 @@ class FlowTimePlanner:
         relaxed entries and the (possibly grown) horizon.
         """
         from repro.lp.problem import LinearProgram
-        from repro.lp.solver import solve_lp
+        from repro.lp.solver import SolverFailure, solve_lp
 
         config = config or self.config
         caps = caps_array(capacity, now_slot, horizon)
@@ -419,7 +427,15 @@ class FlowTimePlanner:
             lb=np.zeros(problem.n_vars),
             ub=problem.var_ub,
         )
-        sol = solve_lp(lp, backend=config.backend)
+        try:
+            sol = solve_lp(
+                lp, backend=config.backend, time_budget_s=config.solve_budget_s
+            )
+        except SolverFailure:
+            # Window relaxation is best-effort triage: without the shortfall
+            # oracle we keep the windows as-is and let the ladder's blanket
+            # stretch (or degraded mode) take over.
+            return entries, horizon
         if not sol.is_optimal:  # defensive: max-placement is always feasible
             return entries, horizon
         placed = np.asarray(problem.a_eq @ sol.x).ravel()

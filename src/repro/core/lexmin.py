@@ -34,7 +34,7 @@ from scipy import sparse
 
 from repro.core.lp_formulation import ScheduleProblem
 from repro.lp.problem import LinearProgram, LPStatus
-from repro.lp.solver import solve_lp
+from repro.lp.solver import SolverFailure, solve_lp
 from repro.obs import current_obs
 
 _DUAL_TOL = 1e-7
@@ -104,6 +104,7 @@ def _balancing_solve(
     *,
     backend: str,
     front_load: bool,
+    solve_budget_s: float | None = None,
 ):
     """Final solve: minimise total normalised load under the frozen caps.
 
@@ -131,7 +132,7 @@ def _balancing_solve(
         lb=np.zeros(problem.n_vars),
         ub=problem.var_ub,
     )
-    return solve_lp(lp_final, backend=backend)
+    return solve_lp(lp_final, backend=backend, time_budget_s=solve_budget_s)
 
 
 def _warm_frozen_caps(
@@ -174,6 +175,7 @@ def _finish_warm(
     tol: float,
     backend: str,
     front_load: bool,
+    solve_budget_s: float | None = None,
 ) -> LexminResult | None:
     """Attempt to finish the solve from a warm hint after the exact round 1.
 
@@ -185,7 +187,12 @@ def _finish_warm(
     if frozen is None:
         return None
     sol = _balancing_solve(
-        problem, frozen, caps, backend=backend, front_load=front_load
+        problem,
+        frozen,
+        caps,
+        backend=backend,
+        front_load=front_load,
+        solve_budget_s=solve_budget_s,
     )
     if sol.status is not LPStatus.OPTIMAL:
         return None
@@ -212,6 +219,7 @@ def lexmin_schedule(
     tol: float = 1e-6,
     front_load: bool = True,
     warm_hint: LexminWarmHint | None = None,
+    solve_budget_s: float | None = None,
 ) -> LexminResult:
     """Run the iterative lexicographic minimax on a :class:`ScheduleProblem`.
 
@@ -234,6 +242,11 @@ def lexmin_schedule(
             refinement rounds and the result is checked for exactness
             (max utilisation must not exceed theta).  Any mismatch falls
             back to the cold ladder, counted as ``lexmin.warm.fallback``.
+        solve_budget_s: optional per-LP wall-time budget forwarded to
+            :func:`repro.lp.solver.solve_lp`; a blown budget (or a solver
+            that fails on every backend) raises
+            :class:`~repro.lp.solver.SolverFailure`, which propagates to
+            the caller — the FlowTime scheduler's degraded mode handles it.
 
     Returns:
         A :class:`LexminResult`; ``status == "infeasible"`` means some job's
@@ -295,11 +308,16 @@ def lexmin_schedule(
             lb=lb,
             ub=ub,
         )
-        sol = solve_lp(lp, backend=backend)
+        sol = solve_lp(lp, backend=backend, time_budget_s=solve_budget_s)
         if sol.status is not LPStatus.OPTIMAL:
             if sol.status is LPStatus.INFEASIBLE:
                 return LexminResult(status="infeasible")
-            raise RuntimeError(f"lexmin round failed: {sol.message}")
+            raise SolverFailure(  # pragma: no cover - solve_lp raises first
+                f"lexmin round failed: {sol.message}",
+                backend=backend,
+                reason="error",
+                elapsed=0.0,
+            )
         x_full = sol.x
         theta = float(x_full[-1])
         thetas.append(theta)
@@ -314,6 +332,7 @@ def lexmin_schedule(
                 tol=tol,
                 backend=backend,
                 front_load=front_load,
+                solve_budget_s=solve_budget_s,
             )
             if warm is not None:
                 return warm
@@ -355,12 +374,22 @@ def lexmin_schedule(
             )
 
     sol = _balancing_solve(
-        problem, frozen_value, caps, backend=backend, front_load=front_load
+        problem,
+        frozen_value,
+        caps,
+        backend=backend,
+        front_load=front_load,
+        solve_budget_s=solve_budget_s,
     )
     if sol.status is not LPStatus.OPTIMAL:
         if sol.status is LPStatus.INFEASIBLE:
             return LexminResult(status="infeasible")
-        raise RuntimeError(f"lexmin final solve failed: {sol.message}")
+        raise SolverFailure(  # pragma: no cover - solve_lp raises first
+            f"lexmin final solve failed: {sol.message}",
+            backend=backend,
+            reason="error",
+            elapsed=0.0,
+        )
 
     x = sol.x
     utilisation = np.asarray(problem.a_util @ x).ravel() / caps

@@ -15,7 +15,12 @@ generated instances.
 
 from repro.lp.presolve import presolve, solve_with_presolve
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
-from repro.lp.solver import available_backends, solve_lp
+from repro.lp.solver import (
+    SolverFailure,
+    available_backends,
+    install_fault_injector,
+    solve_lp,
+)
 from repro.lp.unimodular import (
     is_interval_matrix,
     is_totally_unimodular,
@@ -25,7 +30,9 @@ __all__ = [
     "LPSolution",
     "LPStatus",
     "LinearProgram",
+    "SolverFailure",
     "available_backends",
+    "install_fault_injector",
     "is_interval_matrix",
     "is_totally_unimodular",
     "presolve",

@@ -52,6 +52,8 @@ EVENT_TYPES: tuple[str, ...] = (
     "workflow_deadline_miss",
     "admission_accept",
     "admission_reject",
+    "plan_fallback",
+    "plan_recovered",
     "run_end",
 )
 

@@ -14,6 +14,17 @@ Two work-conserving touches beyond the plan column (both optional):
   ad-hoc queue was served (never at ad-hoc jobs' expense);
 * grants are capped by believed remaining work, so estimate overruns shrink
   to a 1-unit trickle until completion (re-planning handles the rest).
+
+**Degraded mode** (fault tolerance): when the LP planner raises
+:class:`~repro.lp.solver.SolverFailure` (backend broke on every attempt, or
+a solve blew its wall-time budget), the scheduler does not crash the slot.
+It keeps the last feasible plan for already-admitted work and tops up with
+an EDF-greedy decision for the current slot — deadline jobs by decomposed
+deadline, then ad-hoc leftovers as usual — and re-attempts the LP on every
+subsequent slot, recovering automatically on the first successful solve.
+Counters: ``sched.plan.failures`` (failed plan attempts),
+``sched.degraded.slots`` (slots decided without a fresh plan); trace
+events: ``plan_fallback`` / ``plan_recovered``.
 """
 
 from __future__ import annotations
@@ -25,7 +36,9 @@ from repro.core.decomposition import decompose_deadline
 from repro.core.decomposition_types import JobWindow
 from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
 from repro.core.replan import PlanRequest
+from repro.lp.solver import SolverFailure
 from repro.model.events import Event, EventKind
+from repro.obs import current_obs
 from repro.schedulers.base import Assignment, Scheduler
 from repro.simulator.view import ClusterView, fit_units
 
@@ -53,6 +66,8 @@ class FlowTimeScheduler(Scheduler):
         self._plan: Optional[AllocationPlan] = None
         self._needs_replan = False
         self.replans = 0
+        self.plan_failures = 0
+        self._degraded_mode = False
 
     @property
     def windows(self) -> dict[str, JobWindow]:
@@ -68,6 +83,11 @@ class FlowTimeScheduler(Scheduler):
         re-plan, never mutated in place.
         """
         return self._plan
+
+    @property
+    def degraded(self) -> bool:
+        """True while the last plan attempt failed (serving EDF fallback)."""
+        return self._degraded_mode
 
     # -- event handling -----------------------------------------------------------
 
@@ -128,14 +148,41 @@ class FlowTimeScheduler(Scheduler):
                     demands=tuple(demands),
                     capacity=view.capacity,
                 )
-                self._plan = self.planner.plan(request)
+                try:
+                    self._plan = self.planner.plan(request)
+                except SolverFailure as failure:
+                    # Degraded mode: keep the last feasible plan (stale but
+                    # safe for already-admitted work); assign() adds an EDF
+                    # greedy decision for the current slot.  _needs_replan
+                    # stays True, so every subsequent slot re-attempts the
+                    # LP and the first success restores normal planning.
+                    self.plan_failures += 1
+                    self._degraded_mode = True
+                    obs = current_obs()
+                    obs.counter("sched.plan.failures").inc()
+                    obs.event(
+                        "plan_fallback",
+                        slot=view.slot,
+                        reason=failure.reason,
+                        backend=failure.backend,
+                        detail=str(failure),
+                    )
+                    if self._plan is None:
+                        return AllocationPlan.empty(
+                            view.slot, 1, view.capacity.resources
+                        )
+                    return self._plan
                 self.replans += 1
+                if self._degraded_mode:
+                    self._degraded_mode = False
+                    current_obs().event("plan_recovered", slot=view.slot)
             else:
                 # No deadline work: a persistent empty plan (everything goes
                 # to ad-hoc jobs) until the next deadline event.
                 self._plan = AllocationPlan.empty(
                     view.slot, 2**30, view.capacity.resources
                 )
+                self._degraded_mode = False
             self._needs_replan = False
         return self._plan
 
@@ -148,12 +195,19 @@ class FlowTimeScheduler(Scheduler):
         # A job that overran its estimate generates no completion event, so
         # a stale plan could leave it starving; detecting the overrun is the
         # "task/job completes" trigger of Sec. VII-4 for the tail case.
-        for job_id, job in runnable.items():
-            overrun = job.executed_units >= job.est_spec.total_task_slots
-            if overrun and plan.units_for(job_id, view.slot) == 0:
-                self._needs_replan = True
-                plan = self._ensure_plan(view)
-                break
+        # (Skipped in degraded mode: the plan attempt already failed this
+        # slot and the EDF fallback serves overrun jobs anyway.)
+        if not self._degraded_mode:
+            for job_id, job in runnable.items():
+                overrun = job.executed_units >= job.est_spec.total_task_slots
+                if overrun and plan.units_for(job_id, view.slot) == 0:
+                    self._needs_replan = True
+                    plan = self._ensure_plan(view)
+                    break
+
+        degraded = self._degraded_mode
+        if degraded:
+            current_obs().counter("sched.degraded.slots").inc()
 
         leftover = view.capacity_now()
         grants: dict[str, int] = {}
@@ -168,6 +222,30 @@ class FlowTimeScheduler(Scheduler):
             if units > 0:
                 grants[job_id] = units
                 leftover = leftover.saturating_sub(job.unit_demand * units)
+
+        if degraded:
+            # EDF greedy for the current slot: the stale plan may not cover
+            # this slot at all (new arrivals, horizon run-out), so deadline
+            # work is topped up by urgency *before* ad-hoc jobs — in a
+            # fault, meeting deadlines outranks ad-hoc turnaround.
+            ordered = sorted(
+                runnable.values(),
+                key=lambda j: (
+                    self._windows[j.job_id].deadline_slot
+                    if j.job_id in self._windows
+                    else view.slot,
+                    j.job_id,
+                ),
+            )
+            for job in ordered:
+                already = grants.get(job.job_id, 0)
+                room = (
+                    min(job.believed_remaining_units, job.max_parallel) - already
+                )
+                units = fit_units(leftover, job.unit_demand, room)
+                if units > 0:
+                    grants[job.job_id] = already + units
+                    leftover = leftover.saturating_sub(job.unit_demand * units)
 
         # Everything the flattened deadline skyline does not use goes to
         # ad-hoc jobs *now* — this is how FlowTime wins Fig. 4(c).  The

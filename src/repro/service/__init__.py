@@ -10,21 +10,45 @@ HttpServiceClient`) — and are admission-checked, batched into shared
 re-plans, and backpressured when the ad-hoc queue fills.  ``repro serve``
 is the CLI entry point; see docs/ARCHITECTURE.md for how the batch and
 service paths share the engine core.
+
+Fault tolerance (docs/ROBUSTNESS.md): accepted submissions are journaled
+write-ahead (:mod:`repro.service.journal`) and replayed on restart;
+clients retry transient failures with idempotency keys; saturation and
+shedding surface as typed errors (:class:`~repro.service.api.
+ServiceSaturatedError`, :class:`~repro.service.api.QueueFullError`).
 """
 
-from repro.service.api import ServiceConfig, ServiceStatus, SubmitResult
-from repro.service.client import HttpServiceClient, InProcessClient, ServiceError
+from repro.service.api import (
+    QueueFullError,
+    ServiceConfig,
+    ServiceSaturatedError,
+    ServiceStatus,
+    SubmitResult,
+)
+from repro.service.client import (
+    HttpServiceClient,
+    InProcessClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service.core import SchedulerService
 from repro.service.http import ServiceHTTPServer, serve_http
+from repro.service.journal import JournalRecord, SubmissionJournal, read_journal
 
 __all__ = [
     "HttpServiceClient",
     "InProcessClient",
+    "JournalRecord",
+    "QueueFullError",
     "SchedulerService",
     "ServiceConfig",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceSaturatedError",
     "ServiceStatus",
+    "ServiceUnavailableError",
+    "SubmissionJournal",
     "SubmitResult",
+    "read_journal",
     "serve_http",
 ]

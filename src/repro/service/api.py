@@ -9,9 +9,50 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
-__all__ = ["ServiceConfig", "ServiceStatus", "SubmitResult"]
+if TYPE_CHECKING:  # imported lazily to keep the value-object module light
+    from repro.estimation.errors import ErrorModel
+    from repro.simulator.failures import FailureModel
+
+__all__ = [
+    "QueueFullError",
+    "ServiceConfig",
+    "ServiceSaturatedError",
+    "ServiceStatus",
+    "SubmitResult",
+]
+
+
+class QueueFullError(RuntimeError):
+    """An ad-hoc submission was shed because the bounded queue is full.
+
+    Raised by clients (not by the service core, which answers every
+    command) so callers can distinguish *shed* from *accepted* without
+    inspecting reason strings.  Carries the queue depth at shed time and
+    the server's retry hint.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+
+
+class ServiceSaturatedError(RuntimeError):
+    """The submission command queue is saturated; retry after a backoff.
+
+    The HTTP frontend translates this to ``503`` + ``Retry-After``; the
+    in-process client lets it propagate.  Distinct from
+    :class:`QueueFullError`: saturation is the *control* path (commands
+    not yet looked at), shedding is the *work* queue (jobs admitted but
+    bounded).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -50,6 +91,29 @@ class ServiceConfig:
             not finished by then reports ``finished=False``.
         submit_timeout_s: how long a synchronous ``submit_*`` call waits
             for the event loop before raising ``TimeoutError``.
+        command_queue_limit: bound on *pending* commands (submissions and
+            queries not yet picked up by the event loop).  Beyond it,
+            submission raises :class:`ServiceSaturatedError` (HTTP: ``503``
+            + ``Retry-After``) instead of queueing without bound behind a
+            stalled loop.
+        journal_path: when set, accepted submissions are appended to this
+            write-ahead JSONL journal (fsync before the client sees the
+            decision) and replayed on service start, so a crashed service
+            restarts with zero lost accepted work.
+        journal_fsync: fsync every journal append (durability); turn off
+            only in tests/benchmarks where the journal is about replay
+            mechanics, not crash safety.
+        failures: optional :class:`~repro.simulator.failures.FailureModel`
+            injecting progress setbacks into served slots (mirrors
+            ``repro run --setback-prob``).
+        error_model: optional :class:`~repro.estimation.errors.ErrorModel`;
+            when set, submitted workflows are perturbed at admission time —
+            the scheduler plans against erroneous estimates while the
+            engine executes true demands (mirrors ``repro run
+            --error-low/--error-high``).  Perturbation is seeded per
+            workflow id (``fault_seed``), so a journal replay reproduces
+            the same believed estimates.
+        fault_seed: base seed for ``error_model`` perturbation.
     """
 
     scheduler: str = "FlowTime"
@@ -64,6 +128,12 @@ class ServiceConfig:
     record_execution: bool = False
     drain_max_slots: int = 50_000
     submit_timeout_s: float = 30.0
+    command_queue_limit: int = 1024
+    journal_path: Optional[str] = None
+    journal_fsync: bool = True
+    failures: Optional["FailureModel"] = None
+    error_model: Optional["ErrorModel"] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.slot_seconds <= 0:
@@ -74,6 +144,8 @@ class ServiceConfig:
             raise ValueError("adhoc_queue_limit must be >= 1")
         if self.drain_max_slots < 1:
             raise ValueError("drain_max_slots must be >= 1")
+        if self.command_queue_limit < 1:
+            raise ValueError("command_queue_limit must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -84,7 +156,8 @@ class SubmitResult:
     admission check), ``queued`` (ad-hoc job accepted into the queue),
     ``infeasible`` (admission proved a deadline shortfall), ``queue_full``
     (ad-hoc backpressure shed), ``draining`` (service no longer admits),
-    ``invalid`` (malformed or duplicate submission).
+    ``invalid`` (malformed or duplicate submission), ``unavailable``
+    (the admission LP solver failed — a retryable condition, HTTP 503).
     """
 
     accepted: bool

@@ -4,24 +4,60 @@ Both speak the same surface (submit workflow / submit ad-hoc / status /
 plan / metrics) and return the same :mod:`repro.service.api` value
 objects, so test code and tooling can swap a local service for a remote
 one by changing one constructor.
+
+Robustness semantics shared by both clients (docs/ROBUSTNESS.md):
+
+* A shed ad-hoc submission (``queue_full``) raises the typed
+  :class:`~repro.service.api.QueueFullError` — backpressure is an
+  exceptional outcome the caller must handle, not a decision to eyeball
+  out of a reason string.
+* The HTTP client retries *transient* failures — connection errors,
+  ``503`` saturation/unavailable answers — with capped exponential
+  backoff plus jitter, honouring the server's ``Retry-After`` when one is
+  sent.  Every submission carries an ``Idempotency-Key`` header
+  (auto-generated unless the caller supplies one), so a retry whose
+  original attempt actually landed returns the original decision instead
+  of double-admitting.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
+import uuid
 
 from repro.model.job import Job
 from repro.model.workflow import Workflow
-from repro.service.api import ServiceStatus, SubmitResult
+from repro.service.api import QueueFullError, ServiceStatus, SubmitResult
 from repro.workloads.traces import job_to_dict, workflow_to_dict
 
-__all__ = ["HttpServiceClient", "InProcessClient", "ServiceError"]
+__all__ = [
+    "HttpServiceClient",
+    "InProcessClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+]
 
 
 class ServiceError(RuntimeError):
     """The service could not process a request (malformed, not a reject)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Transient failure that outlived the client's retry budget."""
+
+
+def _raise_if_shed(result: SubmitResult) -> SubmitResult:
+    if not result.accepted and result.reason == "queue_full":
+        raise QueueFullError(
+            f"ad-hoc job {result.id!r} shed: queue full "
+            f"(depth {result.queue_depth})",
+            queue_depth=result.queue_depth,
+        )
+    return result
 
 
 class InProcessClient:
@@ -32,11 +68,19 @@ class InProcessClient:
     def __init__(self, service):
         self._service = service
 
-    def submit_workflow(self, workflow: Workflow) -> SubmitResult:
-        return self._service.submit_workflow(workflow)
+    def submit_workflow(
+        self, workflow: Workflow, *, idempotency_key: str | None = None
+    ) -> SubmitResult:
+        return self._service.submit_workflow(
+            workflow, idempotency_key=idempotency_key
+        )
 
-    def submit_adhoc(self, job: Job) -> SubmitResult:
-        return self._service.submit_adhoc(job)
+    def submit_adhoc(
+        self, job: Job, *, idempotency_key: str | None = None
+    ) -> SubmitResult:
+        return _raise_if_shed(
+            self._service.submit_adhoc(job, idempotency_key=idempotency_key)
+        )
 
     def status(self) -> ServiceStatus:
         return self._service.status()
@@ -55,21 +99,57 @@ class HttpServiceClient:
     (:func:`repro.workloads.traces.workflow_to_dict` /
     :func:`~repro.workloads.traces.job_to_dict`), so any trace entry can be
     replayed against a live server verbatim.
+
+    Args:
+        base_url: the server root, e.g. ``http://127.0.0.1:8080``.
+        timeout: per-request socket timeout in seconds.
+        max_retries: transient-failure retries per request (0 disables).
+        backoff_s: base of the exponential backoff.
+        backoff_cap_s: ceiling on any single sleep (a ``Retry-After``
+            above the cap is trusted over it — the server knows best).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        max_retries: int = 4,
+        backoff_s: float = 0.2,
+        backoff_cap_s: float = 10.0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random()
 
     # -- submissions ----------------------------------------------------------------
 
-    def submit_workflow(self, workflow: Workflow) -> SubmitResult:
-        body = self._request("POST", "/workflows", workflow_to_dict(workflow))
+    def submit_workflow(
+        self, workflow: Workflow, *, idempotency_key: str | None = None
+    ) -> SubmitResult:
+        body = self._request(
+            "POST",
+            "/workflows",
+            workflow_to_dict(workflow),
+            idempotency_key=idempotency_key or str(uuid.uuid4()),
+        )
         return SubmitResult.from_dict(body)
 
-    def submit_adhoc(self, job: Job) -> SubmitResult:
-        body = self._request("POST", "/jobs", job_to_dict(job))
-        return SubmitResult.from_dict(body)
+    def submit_adhoc(
+        self, job: Job, *, idempotency_key: str | None = None
+    ) -> SubmitResult:
+        body = self._request(
+            "POST",
+            "/jobs",
+            job_to_dict(job),
+            idempotency_key=idempotency_key or str(uuid.uuid4()),
+        )
+        return _raise_if_shed(SubmitResult.from_dict(body))
 
     # -- queries -----------------------------------------------------------------------
 
@@ -82,14 +162,68 @@ class HttpServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def healthy(self) -> bool:
+        """GET /healthz; False on any transport failure (liveness probe)."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceError, OSError):
+            return False
+
+    def ready(self) -> bool:
+        """GET /readyz; False when not admitting (readiness probe)."""
+        try:
+            return bool(self._request("GET", "/readyz").get("ready"))
+        except (ServiceError, OSError):
+            return False
+
     # -- plumbing -------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _backoff(self, attempt: int, retry_after: float | None) -> float:
+        """Sleep duration before retry *attempt* (0-based), with jitter."""
+        base = min(self.backoff_s * (2**attempt), self.backoff_cap_s)
+        delay = base * (0.5 + 0.5 * self._rng.random())
+        if retry_after is not None:
+            # The server's hint is a floor: never come back earlier than
+            # asked, even if our own backoff would.
+            delay = max(delay, retry_after)
+        return delay
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._request_once(method, path, payload, idempotency_key)
+            except _TransientFailure as failure:
+                last_error = failure.cause
+                if attempt >= self.max_retries:
+                    break
+                time.sleep(self._backoff(attempt, failure.retry_after))
+        raise ServiceUnavailableError(
+            f"{method} {path}: no answer after {self.max_retries + 1} "
+            f"attempts: {last_error}"
+        ) from last_error
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        idempotency_key: str | None,
+    ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -101,17 +235,46 @@ class HttpServiceClient:
             body = _parse_json(raw)
             # Rejections (infeasible, queue_full, draining, invalid
             # submission) travel as non-2xx with a full SubmitResult body —
-            # still a well-formed answer, not a transport failure.
+            # still a well-formed answer, not a transport failure...
             if isinstance(body, dict) and "accepted" in body:
+                # ...except a transient "unavailable": that one is worth
+                # retrying (the idempotency key makes the retry safe).
+                if body.get("reason") == "unavailable":
+                    raise _TransientFailure(error, _retry_after_of(error))
                 return body
+            if error.code == 503:
+                # Saturation / stopped frontends answer 503 without a
+                # decision body: transient by definition.
+                raise _TransientFailure(error, _retry_after_of(error))
             detail = body.get("error") if isinstance(body, dict) else raw.decode(
                 "utf-8", "replace"
             )
             raise ServiceError(f"{method} {path} -> {error.code}: {detail}") from None
+        except urllib.error.URLError as error:
+            # Connection refused/reset, DNS, timeout: the request may or
+            # may not have landed — exactly what idempotency keys are for.
+            raise _TransientFailure(error, None)
         body = _parse_json(raw)
         if not isinstance(body, dict):
             raise ServiceError(f"{method} {path}: non-object response")
         return body
+
+
+class _TransientFailure(Exception):
+    """Internal: a failed attempt the retry loop may try again."""
+
+    def __init__(self, cause: Exception, retry_after: float | None):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.retry_after = retry_after
+
+
+def _retry_after_of(error: urllib.error.HTTPError) -> float | None:
+    value = error.headers.get("Retry-After") if error.headers else None
+    try:
+        return float(value) if value is not None else None
+    except ValueError:
+        return None
 
 
 def _parse_json(raw: bytes) -> object:

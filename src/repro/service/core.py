@@ -31,6 +31,15 @@ Design points:
   and returns the run's :class:`~repro.simulator.result.SimulationResult`
   — the same object a batch run produces, so outcome equivalence is
   directly checkable.
+* **Crash safety.**  With ``journal_path`` set, every accepted submission
+  is fsync'd to a write-ahead JSONL journal *before* the client sees the
+  decision, and a restarting service replays the journal — re-admitting
+  every previously accepted workflow and ad-hoc job without re-running
+  admission (accepted stays accepted).  Idempotency keys submitted with
+  HTTP retries are also journaled, so a client that never saw its
+  pre-crash answer can safely retry the same key after the restart.
+  ``kill()`` simulates the crash itself (no drain, no flush) for chaos
+  testing.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import zlib
 from concurrent.futures import Future
 from typing import Optional
 
@@ -45,13 +55,24 @@ from repro.core.admission import check_admission
 from repro.core.decomposition import decompose_deadline
 from repro.core.decomposition_types import JobWindow
 from repro.core.flowtime import JobDemand, PlannerConfig
+from repro.estimation.errors import (
+    apply_estimation_errors,
+    apply_workflow_estimation_errors,
+)
+from repro.lp.solver import SolverFailure
 from repro.model.cluster import ClusterCapacity
 from repro.model.job import Job, JobKind
 from repro.model.workflow import Workflow
 from repro.obs import Observability, use_obs
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
-from repro.service.api import ServiceConfig, ServiceStatus, SubmitResult
+from repro.service.api import (
+    ServiceConfig,
+    ServiceSaturatedError,
+    ServiceStatus,
+    SubmitResult,
+)
+from repro.service.journal import SubmissionJournal
 from repro.simulator.engine import SimulationConfig
 from repro.simulator.result import SimulationResult
 from repro.simulator.runtime import EngineCore
@@ -72,11 +93,12 @@ _BATCH_CAP_FACTOR = 16.0
 class _Command:
     """One queued instruction for the event loop."""
 
-    __slots__ = ("kind", "payload", "future")
+    __slots__ = ("kind", "payload", "key", "future")
 
-    def __init__(self, kind: str, payload=None):
+    def __init__(self, kind: str, payload=None, key: Optional[str] = None):
         self.kind = kind
         self.payload = payload
+        self.key = key  # idempotency key, if the client sent one
         self.future: Future = Future()
 
 
@@ -121,6 +143,7 @@ class SchedulerService:
                 slot_seconds=self.config.slot_seconds,
                 strict=self.config.strict,
                 record_execution=self.config.record_execution,
+                failures=self.config.failures,
             ),
             self.obs,
         )
@@ -130,6 +153,7 @@ class SchedulerService:
         self._started = False
         self._draining = False
         self._stopped = threading.Event()
+        self._killed = threading.Event()
         self._result: Optional[SimulationResult] = None
         # Decomposed windows of every admitted workflow's jobs; the
         # admission check's view of already-committed deadline work.
@@ -140,7 +164,107 @@ class SchedulerService:
         self._rejected_workflows = 0
         self._accepted_adhoc = 0
         self._shed_adhoc = 0
+        # Decisions of accepted keyed submissions: a retried idempotency
+        # key returns its original decision instead of double-admitting.
+        self._idempotency: dict[str, SubmitResult] = {}
+        self._journal: Optional[SubmissionJournal] = None
+        if self.config.journal_path:
+            with use_obs(self.obs):
+                self._recover_from_journal(self.config.journal_path)
+            self._journal = SubmissionJournal(
+                self.config.journal_path, fsync=self.config.journal_fsync
+            )
         self._status = self._make_status(running=False, draining=False)
+
+    # -- durability -----------------------------------------------------------------
+
+    def _entity_seed(self, entity_id: str) -> int:
+        """Per-entity deterministic seed for estimation-error perturbation.
+
+        Derived from the entity id (not submission order), so a journal
+        replay — which may interleave with new submissions — reproduces
+        exactly the same believed-vs-true structure per job.
+        """
+        return zlib.crc32(entity_id.encode("utf-8")) ^ (
+            self.config.fault_seed & 0xFFFFFFFF
+        )
+
+    def _perturb_workflow(self, workflow: Workflow) -> Workflow:
+        model = self.config.error_model
+        if model is None:
+            return workflow
+        return apply_workflow_estimation_errors(
+            workflow, model, seed=self._entity_seed(workflow.workflow_id)
+        )
+
+    def _perturb_adhoc(self, job: Job) -> Job:
+        model = self.config.error_model
+        if model is None:
+            return job
+        return apply_estimation_errors(
+            [job], model, seed=self._entity_seed(job.job_id)
+        )[0]
+
+    def _recover_from_journal(self, path: str) -> None:
+        """Replay accepted submissions from a pre-crash journal.
+
+        Admission is *not* re-run: an accepted submission stays accepted —
+        the service owes it completion, not a second opinion.  Execution
+        progress was never journaled, so recovered jobs restart from zero
+        executed units (conservative, never lossy).  Idempotency keys are
+        restored so pre-crash client retries still deduplicate.
+        """
+        records, skipped = SubmissionJournal.read(path)
+        recovered = 0
+        for record in records:
+            if record.kind == "workflow":
+                workflow = record.entity
+                if workflow.workflow_id in self._core.workflows:
+                    continue  # older journal generation already replayed it
+                try:
+                    decomposition = decompose_deadline(
+                        workflow,
+                        self.cluster,
+                        cluster_aware=self.config.cluster_aware_decomposition,
+                    )
+                    self._core.add_workflow(self._perturb_workflow(workflow))
+                except ValueError:
+                    skipped += 1
+                    continue
+                self._windows.update(decomposition.windows)
+                self._accepted_workflows += 1
+                result = SubmitResult(
+                    accepted=True,
+                    kind="workflow",
+                    id=workflow.workflow_id,
+                    reason="admitted",
+                )
+            else:
+                job = record.entity
+                if self._core.has_job(job.job_id):
+                    continue
+                try:
+                    self._core.add_adhoc(self._perturb_adhoc(job))
+                except ValueError:
+                    skipped += 1
+                    continue
+                self._accepted_adhoc += 1
+                result = SubmitResult(
+                    accepted=True, kind="adhoc", id=job.job_id, reason="queued"
+                )
+            recovered += 1
+            if record.key:
+                self._idempotency[record.key] = result
+        if recovered or skipped:
+            self.obs.counter("service.journal.recovered").inc(recovered)
+            if skipped:
+                self.obs.counter("service.journal.skipped").inc(skipped)
+            self.obs.event(
+                "service_recovered",
+                journal=str(path),
+                n_recovered=recovered,
+                n_skipped=skipped,
+            )
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -165,8 +289,11 @@ class SchedulerService:
         once (subsequent calls return the same result).
         """
         if self._stopped.is_set():
-            if self._result is None:  # pragma: no cover - defensive
-                raise RuntimeError("service stopped without a result")
+            if self._result is None:
+                raise RuntimeError(
+                    "service stopped without a result (killed?); restart a "
+                    "new service on the same journal to recover accepted work"
+                )
             return self._result
         if self._thread is None or not self._thread.is_alive():
             raise RuntimeError("service is not running")
@@ -179,6 +306,23 @@ class SchedulerService:
     def stop(self, timeout: float | None = None) -> SimulationResult:
         """Alias for :meth:`drain` (SIGTERM semantics: drain, then exit)."""
         return self.drain(timeout=timeout)
+
+    def kill(self, timeout: float | None = None) -> None:
+        """Simulate a crash (SIGKILL semantics): stop without draining.
+
+        The event loop exits at the next opportunity — no drain, no final
+        result, in-flight work abandoned mid-slot.  Exists for chaos
+        testing the journal recovery path: everything a client was told
+        was accepted is already fsync'd, so a new service started on the
+        same ``journal_path`` must recover all of it.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            self._killed.set()
+            return
+        self._killed.set()
+        # Unblock a loop parked on the command queue so death is prompt.
+        self._commands.put(_Command("kill"))
+        self._thread.join(timeout=timeout)
 
     @property
     def running(self) -> bool:
@@ -197,23 +341,44 @@ class SchedulerService:
     # -- submission API ---------------------------------------------------------------
 
     def submit_workflow(
-        self, workflow: Workflow, *, wait: bool = True
+        self,
+        workflow: Workflow,
+        *,
+        wait: bool = True,
+        idempotency_key: str | None = None,
     ) -> "SubmitResult | Future":
         """Submit a deadline workflow; returns the admission decision.
 
         With ``wait=False`` the future resolves once the event loop
         processes the command (submissions enqueued before :meth:`start`
         are all decided, in order, before the clock first advances).
+        A repeated ``idempotency_key`` whose original submission was
+        accepted returns the original decision instead of re-admitting.
         """
-        return self._submit(_Command("workflow", workflow), wait)
+        return self._submit(_Command("workflow", workflow, idempotency_key), wait)
 
-    def submit_adhoc(self, job: Job, *, wait: bool = True) -> "SubmitResult | Future":
+    def submit_adhoc(
+        self,
+        job: Job,
+        *,
+        wait: bool = True,
+        idempotency_key: str | None = None,
+    ) -> "SubmitResult | Future":
         """Submit an ad-hoc job into the bounded best-effort queue."""
-        return self._submit(_Command("adhoc", job), wait)
+        return self._submit(_Command("adhoc", job, idempotency_key), wait)
 
     def _submit(self, command: _Command, wait: bool) -> "SubmitResult | Future":
         if self._stopped.is_set():
             raise RuntimeError("service is stopped")
+        if self._commands.qsize() >= self.config.command_queue_limit:
+            # Control-path backpressure: a stalled loop must not accumulate
+            # unbounded blocked submitters; tell them to retry instead.
+            self.obs.counter("service.saturated").inc()
+            raise ServiceSaturatedError(
+                f"command queue saturated "
+                f"({self.config.command_queue_limit} pending)",
+                retry_after_s=max(self.config.batch_window_s, 1.0),
+            )
         self._commands.put(command)
         if not wait:
             return command.future
@@ -286,9 +451,14 @@ class SchedulerService:
         self._refresh_status()
         next_tick = time.monotonic() + config.slot_seconds
         while not self._draining:
+            if self._killed.is_set():
+                return  # crash simulation: no drain, no flush, no result
             command = self._next_command(core, next_tick)
             drained_now = False
             while command is not None:
+                if command.kind == "kill":
+                    command.future.set_result(None)
+                    return
                 if command.kind == "drain":
                     self._draining = True
                     drained_now = True
@@ -364,12 +534,24 @@ class SchedulerService:
 
     def _handle_submission(self, command: _Command) -> None:
         try:
+            key = command.key
+            if key is not None and key in self._idempotency:
+                # Client retry of an already-accepted submission (e.g. the
+                # answer was lost to a crash or connection reset): return
+                # the original decision; never double-admit.
+                self.obs.counter("service.idempotent.hits").inc()
+                command.future.set_result(self._idempotency[key])
+                return
             if command.kind == "workflow":
-                result = self._admit_workflow(command.payload)
+                result = self._admit_workflow(command.payload, key)
             elif command.kind == "adhoc":
-                result = self._enqueue_adhoc(command.payload)
+                result = self._enqueue_adhoc(command.payload, key)
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown command {command.kind!r}")
+            if key is not None and result.accepted:
+                # Only accepted decisions are pinned: a rejection (full
+                # queue, infeasible now) may legitimately succeed on retry.
+                self._idempotency[key] = result
             # Publish the new counts before resolving the future, so a
             # client that saw its decision also sees it in /status.
             self._refresh_status()
@@ -412,7 +594,9 @@ class SchedulerService:
             )
         return demands
 
-    def _admit_workflow(self, workflow: Workflow) -> SubmitResult:
+    def _admit_workflow(
+        self, workflow: Workflow, key: str | None = None
+    ) -> SubmitResult:
         core = self._core
         obs = self.obs
         if self._draining:
@@ -429,13 +613,27 @@ class SchedulerService:
 
         utilisation = float("nan")
         if self.config.admission:
-            decision = check_admission(
-                workflow,
-                self._committed_demands(),
-                self.cluster,
-                now_slot=core.slot,
-                config=self._planner_config(),
-            )
+            try:
+                decision = check_admission(
+                    workflow,
+                    self._committed_demands(),
+                    self.cluster,
+                    now_slot=core.slot,
+                    config=self._planner_config(),
+                )
+            except SolverFailure:
+                # The admission LP itself failed — a transient solver
+                # condition, not a verdict on the workflow.  Answer
+                # "unavailable" (HTTP 503, retryable), never a silent
+                # admit that skipped the feasibility proof.
+                obs.counter("service.submit.workflow.unavailable").inc()
+                return SubmitResult(
+                    accepted=False,
+                    kind="workflow",
+                    id=workflow.workflow_id,
+                    reason="unavailable",
+                    queue_depth=core.live_adhoc_count(),
+                )
             utilisation = decision.utilisation
             if not decision.admit:
                 self._rejected_workflows += 1
@@ -456,7 +654,12 @@ class SchedulerService:
             cluster_aware=self.config.cluster_aware_decomposition,
         )
         self._windows.update(decomposition.windows)
-        core.add_workflow(workflow)
+        # The engine executes the (possibly error-perturbed) true structure;
+        # the journal records the *original* submission — replay re-derives
+        # the same perturbation from the id-keyed seed.
+        core.add_workflow(self._perturb_workflow(workflow))
+        if self._journal is not None:
+            self._journal.append_workflow(workflow, key=key)
         self._accepted_workflows += 1
         self._note_arrival()
         obs.counter("service.submit.workflow.accepted").inc()
@@ -480,7 +683,7 @@ class SchedulerService:
             queue_depth=self._core.live_adhoc_count(),
         )
 
-    def _enqueue_adhoc(self, job: Job) -> SubmitResult:
+    def _enqueue_adhoc(self, job: Job, key: str | None = None) -> SubmitResult:
         core = self._core
         obs = self.obs
         depth = core.live_adhoc_count()
@@ -495,10 +698,12 @@ class SchedulerService:
             reason = "queue_full"
         else:
             try:
-                core.add_adhoc(job)
+                core.add_adhoc(self._perturb_adhoc(job))
             except ValueError:
                 reason = "invalid"
             else:
+                if self._journal is not None:
+                    self._journal.append_adhoc(job, key=key)
                 self._accepted_adhoc += 1
                 self._note_arrival()
                 obs.counter("service.submit.adhoc.accepted").inc()
@@ -598,9 +803,15 @@ class SchedulerService:
                             reason="draining",
                         )
                     )
+                elif command.kind == "kill":
+                    command.future.set_result(None)
                 else:
                     command.future.set_exception(
                         RuntimeError("service stopped before drain completed")
                     )
+        if self._journal is not None:
+            self._journal.close()
         self._refresh_status()
-        self.obs.event("service_stop", slot=self._core.slot)
+        self.obs.event(
+            "service_stop", slot=self._core.slot, killed=self._killed.is_set()
+        )

@@ -1,6 +1,6 @@
 """Stdlib-only JSON-over-HTTP frontend for the scheduler service.
 
-A :class:`http.server.ThreadingHTTPServer` that translates five routes
+A :class:`http.server.ThreadingHTTPServer` that translates these routes
 onto one :class:`~repro.service.core.SchedulerService`:
 
 ====== ============ =====================================================
@@ -14,20 +14,31 @@ GET    /plan        the live allocation plan (origin slot, horizon,
 GET    /status      service snapshot (slot, queue depth, accept counts)
 GET    /metrics     full metrics-registry snapshot (counters, gauges,
                     histogram quantiles)
+GET    /healthz     liveness: 200 while the process serves requests
+GET    /readyz      readiness: 200 only while the event loop is running
+                    and admitting (503 when stopped or draining)
 ====== ============ =====================================================
 
 Handler threads only enqueue commands and read snapshots — every
 scheduling decision still happens on the service's single event-loop
 thread, so concurrency is bounded by design, not by luck.  No third-party
 dependencies: ``http.server`` + ``json`` only.
+
+Robustness affordances (docs/ROBUSTNESS.md): submissions may carry an
+``Idempotency-Key`` header — a retried key whose original submission was
+accepted returns the original decision, so client retries never
+double-admit.  Backpressure answers carry ``Retry-After``: ``429`` when
+the ad-hoc queue sheds, ``503`` when the command queue is saturated or
+the admission solver is temporarily unavailable.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.service.api import SubmitResult
+from repro.service.api import ServiceSaturatedError, SubmitResult
 from repro.service.core import SchedulerService
 from repro.workloads.traces import job_from_dict, workflow_from_dict
 
@@ -39,8 +50,16 @@ _REJECT_STATUS = {
     "invalid": 400,
     "queue_full": 429,  # backpressure: retry later
     "draining": 503,
+    "unavailable": 503,  # admission solver failed; transient, retry
 }
+#: Rejection reasons that are transient — the answer carries Retry-After.
+_RETRYABLE_REASONS = {"queue_full", "unavailable"}
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _retry_after(seconds: float) -> str:
+    """Retry-After header value: whole seconds, at least 1."""
+    return str(max(int(math.ceil(seconds)), 1))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -62,6 +81,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, self.service.plan_snapshot())
         elif path == "/metrics":
             self._reply(200, self.service.metrics_snapshot())
+        elif path == "/healthz":
+            # Liveness: answering at all is the signal.
+            self._reply(200, {"ok": True})
+        elif path == "/readyz":
+            ready = self.service.running and not self.service.draining
+            self._reply(
+                200 if ready else 503,
+                {
+                    "ready": ready,
+                    "running": self.service.running,
+                    "draining": self.service.draining,
+                },
+            )
         else:
             self._reply(404, {"error": f"no such resource: {path}"})
 
@@ -83,8 +115,18 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError) as error:
             self._reply(400, {"error": f"malformed submission: {error}"})
             return
+        key = self.headers.get("Idempotency-Key") or None
         try:
-            result: SubmitResult = submit(entity)
+            result: SubmitResult = submit(entity, idempotency_key=key)
+        except ServiceSaturatedError as error:
+            # Control-path backpressure: the command queue is full.  Tell
+            # the client when to come back instead of queueing it blind.
+            self._reply(
+                503,
+                {"error": str(error), "retry_after_s": error.retry_after_s},
+                headers={"Retry-After": _retry_after(error.retry_after_s)},
+            )
+            return
         except TimeoutError:
             self._reply(504, {"error": "scheduler did not answer in time"})
             return
@@ -92,7 +134,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(503, {"error": str(error)})
             return
         status = 200 if result.accepted else _REJECT_STATUS.get(result.reason, 400)
-        self._reply(status, result.to_dict())
+        headers = None
+        if not result.accepted and result.reason in _RETRYABLE_REASONS:
+            headers = {"Retry-After": _retry_after(1.0)}
+        self._reply(status, result.to_dict(), headers=headers)
 
     # -- plumbing -------------------------------------------------------------------
 
@@ -115,11 +160,15 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return body
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 

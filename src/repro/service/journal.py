@@ -1,0 +1,166 @@
+"""Write-ahead submission journal: accepted work survives a crash.
+
+The scheduler service is long-running; before this journal existed, a
+process crash lost every accepted workflow and queued ad-hoc job.  The
+journal is the durability layer:
+
+* **Append-only JSONL.**  One JSON object per line, written the moment a
+  submission is *accepted* (admitted workflow / queued ad-hoc job) and
+  before the client sees the decision, then ``flush`` + ``os.fsync`` — a
+  positive answer implies the submission is on disk (write-ahead
+  semantics).  Rejected submissions are not journaled: they admitted
+  nothing, so there is nothing to recover.
+* **Public wire format.**  The ``entity`` payload of each record is exactly
+  the trace wire format (:func:`repro.workloads.traces.workflow_to_dict` /
+  :func:`~repro.workloads.traces.job_to_dict`) — the same bytes a client
+  POSTs — so a journal can be inspected, replayed against another service,
+  or even spliced into a trace file with standard tooling.
+* **Idempotency keys.**  Each record carries the submission's idempotency
+  key (when the client sent one); recovery restores the key set, so a
+  client that never saw its pre-crash answer can retry the same key
+  against the restarted service and get the original decision instead of
+  a double admission.
+
+Recovery (:meth:`SubmissionJournal.read` + ``SchedulerService`` replay)
+re-registers every journaled submission at service start: admission is
+*not* re-run — an accepted submission stays accepted; the service owes it
+completion, not a second opinion.  Execution progress is not journaled
+(this is a submission log, not a state-machine checkpoint), so recovered
+jobs restart from zero executed units — conservative, never lossy.
+
+Records are versioned (``"v": 1``); unknown versions and trailing
+truncated lines (a crash mid-append) are skipped with a count, never a
+crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Optional
+
+from repro.model.job import Job
+from repro.model.workflow import Workflow
+from repro.workloads.traces import (
+    job_from_dict,
+    job_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+__all__ = ["JournalRecord", "SubmissionJournal", "read_journal"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One recovered journal entry."""
+
+    kind: str  # "workflow" | "adhoc"
+    key: Optional[str]  # idempotency key, if the client sent one
+    entity: "Workflow | Job"
+    ts: float
+
+
+class SubmissionJournal:
+    """Append-only, fsync-on-accept JSONL journal of accepted submissions.
+
+    Opened in append mode: restarting a service on an existing journal
+    keeps the old records (they are what recovery replays) and appends new
+    accepts after them.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: IO[str] = open(self.path, "a", encoding="utf-8")
+        self.n_appended = 0
+
+    # -- writing -----------------------------------------------------------------
+
+    def append_workflow(self, workflow: Workflow, key: str | None = None) -> None:
+        self._append("workflow", workflow_to_dict(workflow), key)
+
+    def append_adhoc(self, job: Job, key: str | None = None) -> None:
+        self._append("adhoc", job_to_dict(job), key)
+
+    def _append(self, kind: str, entity: dict, key: str | None) -> None:
+        record = {
+            "v": _VERSION,
+            "type": kind,
+            "key": key,
+            "ts": time.time(),
+            "entity": entity,
+        }
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.n_appended += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "SubmissionJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------------
+
+    @staticmethod
+    def read(path: str | Path) -> tuple[list[JournalRecord], int]:
+        """Parse a journal file into records.
+
+        Returns ``(records, n_skipped)``: malformed lines (typically one
+        truncated trailing line from a crash mid-append) and
+        unknown-version records are skipped, not fatal — recovery must
+        never be blocked by the tail of the very crash it recovers from.
+        A missing file is simply an empty journal.
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], 0
+        records: list[JournalRecord] = []
+        skipped = 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                    if raw.get("v") != _VERSION:
+                        skipped += 1
+                        continue
+                    kind = raw["type"]
+                    if kind == "workflow":
+                        entity = workflow_from_dict(raw["entity"])
+                    elif kind == "adhoc":
+                        entity = job_from_dict(raw["entity"])
+                    else:
+                        skipped += 1
+                        continue
+                    records.append(
+                        JournalRecord(
+                            kind=kind,
+                            key=raw.get("key"),
+                            entity=entity,
+                            ts=float(raw.get("ts", 0.0)),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError):
+                    skipped += 1
+        return records, skipped
+
+
+def read_journal(path: str | Path) -> tuple[list[JournalRecord], int]:
+    """Module-level alias for :meth:`SubmissionJournal.read`."""
+    return SubmissionJournal.read(path)
