@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the golden-trace regression corpus.
+
+The corpus under ``tests/golden/`` pins full normalised event traces and
+reported metrics for a few small deterministic workloads (see
+:mod:`repro.verify.golden` and docs/VERIFICATION.md).  After an
+*intentional* scheduler/engine behaviour change, regenerate and review
+the diff like any other code change:
+
+    PYTHONPATH=src python scripts/regen_golden.py
+    git diff tests/golden/
+
+CI runs the check mode, which re-runs every case and diffs against the
+pinned files without writing anything:
+
+    PYTHONPATH=src python scripts/regen_golden.py --check
+
+Exits 1 on any drift (check) or validator violation (both modes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.verify.golden import (  # noqa: E402
+    GOLDEN_CASES,
+    check_corpus,
+    write_corpus,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "cases",
+        nargs="*",
+        choices=[[], *sorted(GOLDEN_CASES)],
+        help="cases to regenerate/check (default: all)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run and diff against the pinned corpus; write nothing",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="corpus directory (default: tests/golden)",
+    )
+    args = parser.parse_args(argv)
+    names = args.cases or None
+
+    if args.check:
+        problems = check_corpus(args.root, names)
+        if problems:
+            for problem in problems:
+                print(f"DRIFT {problem}", file=sys.stderr)
+            return 1
+        print(f"golden: {len(names or GOLDEN_CASES)} case(s) match the corpus")
+        return 0
+
+    written = write_corpus(args.root, names)
+    for case_dir in written:
+        print(f"wrote {case_dir}")
+    print("review with: git diff tests/golden/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

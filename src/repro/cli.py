@@ -6,6 +6,8 @@ The subcommands cover the library's workflow end to end::
     python -m repro decompose --trace trace.json --workflow wf0
     python -m repro run --trace trace.json --scheduler FlowTime --gantt
     python -m repro run --trace trace.json --trace-out run.jsonl --metrics
+    python -m repro run --trace trace.json --verify
+    python -m repro verify run.jsonl --workload trace.json
     python -m repro compare --trace trace.json
     python -m repro serve --port 8080 --batch-window 0.1
 
@@ -230,8 +232,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "scheduler's degraded mode instead of stalling the loop "
         "(FlowTime only)",
     )
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the independent verification layer (docs/VERIFICATION.md): "
+        "per-slot runtime assertions plus a full end-of-run validation and "
+        "reported-metric recomputation; exits 1 on any violation",
+    )
     _add_cluster_args(run)
     _add_fault_args(run)
+
+    ver = sub.add_parser(
+        "verify",
+        help="independently validate a JSONL run trace",
+        description="Re-derive correctness from a run's JSONL event trace "
+        "(written by `repro run --trace-out` or `repro serve --trace-out`): "
+        "lifecycle ordering, unique completions, placement windows. Given "
+        "the workload (--workload) the full set applies: per-slot capacity, "
+        "DAG precedence, demand conservation, and recomputed headline "
+        "metrics. Exits 1 on any violation.",
+    )
+    ver.add_argument("run_trace", metavar="RUN_JSONL", help="JSONL event trace")
+    ver.add_argument(
+        "--workload",
+        metavar="TRACE_JSON",
+        help="the workload trace the run executed (enables capacity, "
+        "precedence, and conservation checks plus metric recomputation)",
+    )
+    ver.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=None,
+        help="slot length for metric conversion (default: the run_start "
+        "event's recorded value)",
+    )
+    _add_cluster_args(ver)
 
     report = sub.add_parser(
         "report", help="regenerate the core paper figures as one Markdown file"
@@ -451,20 +486,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if planner_opts and args.scheduler.startswith("FlowTime")
         else None
     )
-    with obs:
-        outcome = run_one(
-            args.scheduler,
-            trace,
-            cluster,
-            config=SimulationConfig(
-                slot_seconds=args.slot_seconds,
-                record_execution=args.gantt,
-                failures=failures,
-            ),
-            scheduler_kwargs=scheduler_kwargs,
-            obs=obs,
-        )
+    from repro.verify import VerificationError
+
+    try:
+        with obs:
+            outcome = run_one(
+                args.scheduler,
+                trace,
+                cluster,
+                config=SimulationConfig(
+                    slot_seconds=args.slot_seconds,
+                    record_execution=args.gantt,
+                    failures=failures,
+                    verify=args.verify,
+                ),
+                scheduler_kwargs=scheduler_kwargs,
+                obs=obs,
+            )
+    except VerificationError as error:
+        print(error.report.render(), file=sys.stderr)
+        return 1
     result = outcome.result
+    if args.verify:
+        report = result.verification
+        # The runtime layer passed; also cross-check the reported metrics
+        # against an independent recomputation from the raw records.
+        from repro.analysis.experiments import canonical_windows
+        from repro.simulator.metrics import summarize
+        from repro.verify import ScheduleValidator
+
+        windows = canonical_windows(trace, cluster)
+        validator = ScheduleValidator(
+            cluster,
+            workflows=trace.workflows,
+            jobs=trace.adhoc_jobs,
+            windows=windows,
+            allow_setbacks=failures is not None,
+        )
+        validator.check_windows(result, report)
+        validator.check_reported(result, summarize(result, windows), report)
+        if not report.ok:
+            print(report.render(), file=sys.stderr)
+            return 1
+        print(report.summary())
     turnaround = outcome.adhoc_turnaround_s
     turnaround_text = (
         "n/a (no ad-hoc jobs)" if turnaround != turnaround else f"{turnaround:.1f} s"
@@ -487,6 +551,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(render_gantt(result))
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace
+    from repro.verify import recompute_trace_metrics, validate_trace
+
+    events = read_trace(args.run_trace)
+    if not events:
+        print(f"error: {args.run_trace} contains no events", file=sys.stderr)
+        return 2
+    trace = windows = capacity = None
+    if args.workload:
+        from repro.analysis.experiments import canonical_windows
+
+        trace = load_trace(args.workload)
+        capacity = _cluster(args)
+        windows = canonical_windows(trace, capacity)
+    report = validate_trace(
+        events, trace=trace, capacity=capacity, windows=windows
+    )
+    print(report.render())
+    try:
+        metrics = recompute_trace_metrics(
+            events, trace=trace, windows=windows, slot_seconds=args.slot_seconds
+        )
+    except ValueError as error:
+        print(f"metrics: not recomputable ({error})")
+    else:
+        turnaround = metrics["adhoc_turnaround_s"]
+        print("recomputed from the trace:")
+        if windows:
+            print(f"  jobs missed:        {int(metrics['jobs_missed'])}")
+            print(f"  max delta:          {metrics['max_delta_s']:.1f} s")
+        print(f"  workflows missed:   {int(metrics['workflows_missed'])}")
+        print(
+            "  ad-hoc turnaround:  "
+            + ("n/a" if turnaround is None else f"{turnaround:.1f} s")
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -608,6 +711,7 @@ _COMMANDS = {
     "generate-trace": _cmd_generate,
     "decompose": _cmd_decompose,
     "run": _cmd_run,
+    "verify": _cmd_verify,
     "compare": _cmd_compare,
     "report": _cmd_report,
     "serve": _cmd_serve,

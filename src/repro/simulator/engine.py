@@ -58,6 +58,14 @@ class SimulationConfig:
         node_cluster: optional node-level topology; when set, granted task
             units must also *pack* onto individual nodes, and units lost to
             fragmentation are recorded (schedulers keep the aggregate view).
+        verify: run the independent runtime assertion layer
+            (:mod:`repro.verify`): every slot is re-checked against
+            capacity/readiness/completion invariants as it executes, the
+            full :class:`~repro.verify.ScheduleValidator` runs over the
+            final result, and the run raises
+            :class:`~repro.verify.VerificationError` on any violation
+            (``repro run --verify``).  Off by default — it costs a
+            per-slot recheck and turns on execution recording.
     """
 
     slot_seconds: float = 10.0
@@ -66,6 +74,7 @@ class SimulationConfig:
     record_execution: bool = False
     failures: FailureModel | None = None
     node_cluster: NodeCluster | None = None
+    verify: bool = False
 
 
 class Simulation:
@@ -118,4 +127,36 @@ class Simulation:
         core.finalize_metrics()
         finished = core.finished
         core.emit_run_end(finished)
-        return core.result(finished)
+        result = core.result(finished)
+        if self.config.verify:
+            result.verification = self._verify(core, result)
+        return result
+
+    def _verify(self, core: EngineCore, result: SimulationResult):
+        """Full end-of-run validation of a ``verify=True`` run.
+
+        Merges the per-slot runtime report with a fresh independent pass of
+        the :class:`~repro.verify.ScheduleValidator` over the final result
+        and raises :class:`~repro.verify.VerificationError` on any
+        violation (the assertion-layer contract of ``run --verify``).
+        """
+        from repro.verify import ScheduleValidator
+
+        report = (
+            core.verifier.report
+            if core.verifier is not None
+            else None
+        )
+        validator = ScheduleValidator(
+            self.cluster,
+            workflows=core.workflows.values(),
+            jobs=[run.job for run in core.job_runs()],
+            allow_setbacks=self.config.failures is not None,
+        )
+        full = validator.validate(result)
+        if report is not None:
+            report.merge(full)
+        else:
+            report = full
+        report.raise_if_violations()
+        return report

@@ -89,6 +89,10 @@ class SimulationResult:
     #: histograms like ``sim.slot``/``sched.decide``, counters, gauges) —
     #: see :meth:`repro.obs.MetricsRegistry.snapshot` for the shape.
     metrics: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    #: The :class:`repro.verify.VerificationReport` of a ``verify=True``
+    #: run (None otherwise; typed loosely because the verify package
+    #: depends on this module).
+    verification: object | None = None
 
     def phase_stats(self, name: str) -> Optional[Mapping[str, float]]:
         """Timing-histogram snapshot of one phase (``None`` if unrecorded)."""

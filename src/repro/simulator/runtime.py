@@ -169,6 +169,20 @@ class EngineCore:
         # stand-ins (test doubles) only need ``assign``.
         self._decide = getattr(scheduler, "decide", scheduler.assign)
         self._failure_rng = config.failures.rng() if config.failures else None
+        # The independent runtime assertion layer (repro.verify), enabled
+        # by config.verify: each executed slot is re-checked from the raw
+        # executed units, never from the scheduler's own bookkeeping.
+        # Imported lazily — verification is opt-in and the verify package
+        # depends on this module's result types.
+        self.verifier = None
+        self._record_execution = config.record_execution
+        if getattr(config, "verify", False):
+            from repro.verify import RuntimeVerifier
+
+            self.verifier = RuntimeVerifier(cluster)
+            # The end-of-run conservation checks need per-slot execution
+            # rows, so a verified run always records them.
+            self._record_execution = True
 
     # -- registration -------------------------------------------------------------
 
@@ -374,8 +388,10 @@ class EngineCore:
         resources = self.cluster.resources
         self._usage_rows.append([usage[r] for r in resources])
         self._granted_rows.append([granted[r] for r in resources])
-        if config.record_execution:
+        if self._record_execution:
             self._execution_rows.append(executed)
+        if self.verifier is not None:
+            self.verifier.check_slot(slot, executed, completions, self._runs)
 
         if tracing:
             for job_id, units in executed.items():
@@ -385,7 +401,10 @@ class EngineCore:
             # Preemption at a slot boundary: a job that ran last slot,
             # is still unfinished, and received nothing this slot.
             running = set(executed)
-            for job_id in self._prev_running - running:
+            # Sorted so traces are byte-stable across processes (set
+            # order varies with the interpreter's hash seed; the golden
+            # corpus diffs traces exactly).
+            for job_id in sorted(self._prev_running - running):
                 if not self._runs[job_id].done:
                     obs.event("job_preempted", slot=slot, job_id=job_id)
             self._prev_running = running
@@ -635,6 +654,7 @@ class EngineCore:
             scheduler=getattr(self.scheduler, "name", ""),
             n_jobs=len(self._runs),
             n_workflows=len(self.workflows),
+            slot_seconds=self.config.slot_seconds,
         )
         self.obs.log(
             logging.INFO,

@@ -1,0 +1,35 @@
+"""Independent verification subsystem (docs/VERIFICATION.md).
+
+Re-derives scheduler correctness from raw outputs with no code shared with
+the planner: an independent :class:`ScheduleValidator` over simulation
+results, trace-only validation and metric recomputation over JSONL event
+streams, a brute-force differential oracle for tiny instances
+(:mod:`repro.verify.oracle`), a seeded fuzz harness driving the batch,
+re-planning, degraded, and journal-replay paths
+(:mod:`repro.verify.fuzz`), and the golden-trace corpus tooling
+(:mod:`repro.verify.golden`).
+"""
+
+from repro.verify.trace_check import (
+    TraceIndex,
+    recompute_trace_metrics,
+    validate_trace,
+)
+from repro.verify.validator import (
+    RuntimeVerifier,
+    ScheduleValidator,
+    VerificationError,
+    VerificationReport,
+    Violation,
+)
+
+__all__ = [
+    "RuntimeVerifier",
+    "ScheduleValidator",
+    "TraceIndex",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "recompute_trace_metrics",
+    "validate_trace",
+]

@@ -1,0 +1,398 @@
+"""Seeded fuzz harness: random workloads through every production path.
+
+Each fuzz case draws a seeded random workload (cluster size, workflow
+DAGs, ad-hoc stream) and pushes it through one production path —
+
+* ``batch``: a cold batch simulation (:func:`repro.analysis.run_one`);
+* ``replan``: the same with the plan cache and warm-started lexmin on;
+* ``degraded``: with injected solver faults (:mod:`repro.chaos`), so the
+  fallback ladder and EDF degraded mode are exercised;
+* ``journal``: through the online service with a write-ahead journal, a
+  mid-run kill, and a journal-replay restart.
+
+Every result is checked by the independent :class:`~repro.verify.
+ScheduleValidator` (capacity, precedence, conservation, windows) and its
+reported metrics are recomputed from the records (``check_reported``).
+A failing case is *shrunk* — workflows and ad-hoc jobs are dropped while
+the failure reproduces — and persisted as a self-contained JSON repro
+(wire-format workload + capacity + violations) for the seed corpus.
+
+Entry points: :func:`run_fuzz` (budget- or case-bounded loop, used by
+``scripts/fuzz_smoke.py``), :func:`run_case` (one seed x path),
+:func:`persist_failure` / :func:`load_failure` (repro files).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import ResourceVector
+from repro.workloads.traces import (
+    SyntheticTrace,
+    generate_trace,
+    job_from_dict,
+    job_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+__all__ = [
+    "FUZZ_PATHS",
+    "FuzzFailure",
+    "FuzzResult",
+    "load_failure",
+    "make_workload",
+    "persist_failure",
+    "run_case",
+    "run_fuzz",
+    "shrink_workload",
+]
+
+#: Production paths a fuzz case can exercise.
+FUZZ_PATHS: tuple[str, ...] = ("batch", "replan", "degraded", "journal")
+
+#: Bound on reproduction runs spent minimising one failing workload.
+_MAX_SHRINK_RUNS = 40
+
+
+@dataclass
+class FuzzFailure:
+    """One failing fuzz case, shrunk and ready to persist."""
+
+    seed: int
+    path: str
+    violations: list[str]
+    trace: SyntheticTrace
+    capacity: ClusterCapacity
+    #: (workflows, adhoc jobs) of the original workload before shrinking.
+    original_size: tuple[int, int] = (0, 0)
+
+    def describe(self) -> str:
+        return (
+            f"seed {self.seed} via {self.path}: "
+            f"{len(self.violations)} violation(s), shrunk to "
+            f"{len(self.trace.workflows)} workflow(s) + "
+            f"{len(self.trace.adhoc_jobs)} ad-hoc job(s) "
+            f"from {self.original_size[0]}+{self.original_size[1]}"
+        )
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz session."""
+
+    cases: int = 0
+    seeds_run: list[int] = field(default_factory=list)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"fuzz: {self.cases} cases over {len(self.seeds_run)} seeds "
+            f"in {self.elapsed_s:.1f}s — {verdict}"
+        )
+
+
+# -- workload generation ------------------------------------------------------------
+
+
+def make_workload(seed: int) -> tuple[SyntheticTrace, ClusterCapacity]:
+    """A seeded small random workload plus a seeded random cluster.
+
+    Sized so one case runs in well under a second: the point is path
+    coverage across many seeds, not scale (the examples cover scale).
+    """
+    rng = np.random.default_rng(seed)
+    cpu = int(rng.integers(16, 49))
+    capacity = ClusterCapacity(base=ResourceVector({"cpu": cpu, "mem": 2 * cpu}))
+    trace = generate_trace(
+        n_workflows=int(rng.integers(1, 4)),
+        jobs_per_workflow=int(rng.integers(3, 8)),
+        n_adhoc=int(rng.integers(0, 10)),
+        capacity=capacity,
+        looseness=(2.0, 6.0),
+        adhoc_rate_per_slot=float(rng.uniform(0.2, 0.8)),
+        workflow_spread_slots=int(rng.integers(1, 20)),
+        scientific=bool(rng.integers(0, 2)),
+        seed=seed,
+    )
+    return trace, capacity
+
+
+# -- one case -----------------------------------------------------------------------
+
+
+def _validate_outcome(trace, capacity, result) -> list[str]:
+    """Independent validation of one run's result; violation strings."""
+    from repro.analysis.experiments import canonical_windows
+    from repro.simulator.metrics import summarize
+    from repro.verify import ScheduleValidator
+
+    windows = canonical_windows(trace, capacity)
+    jobs = [job for wf in trace.workflows for job in wf.jobs] + list(
+        trace.adhoc_jobs
+    )
+    validator = ScheduleValidator(
+        capacity, workflows=trace.workflows, jobs=jobs, windows=windows
+    )
+    report = validator.validate(result)
+    validator.check_reported(result, summarize(result, windows), report)
+    return [str(v) for v in report.violations]
+
+
+def _run_batch(trace, capacity, seed: int, *, replan: bool) -> list[str]:
+    from repro.analysis.experiments import run_one
+    from repro.simulator.engine import SimulationConfig
+
+    kwargs = (
+        {"planner": {"plan_cache": True, "warm_start": True}} if replan else None
+    )
+    outcome = run_one(
+        "FlowTime",
+        trace,
+        capacity,
+        config=SimulationConfig(record_execution=True),
+        scheduler_kwargs=kwargs,
+    )
+    return _validate_outcome(trace, capacity, outcome.result)
+
+
+def _run_degraded(trace, capacity, seed: int) -> list[str]:
+    from repro.analysis.experiments import run_one
+    from repro.chaos import ChaosConfig, chaos_solver
+    from repro.simulator.engine import SimulationConfig
+
+    with chaos_solver(ChaosConfig(solver_fault_prob=0.25, seed=seed)):
+        outcome = run_one(
+            "FlowTime",
+            trace,
+            capacity,
+            config=SimulationConfig(record_execution=True),
+        )
+    return _validate_outcome(trace, capacity, outcome.result)
+
+
+def _run_journal(trace, capacity, seed: int) -> list[str]:
+    """Submit, kill, journal-replay restart, drain — then validate."""
+    from repro.service import SchedulerService, ServiceConfig
+
+    with tempfile.TemporaryDirectory(prefix="fuzz-journal-") as tmp:
+        journal = str(Path(tmp) / "journal.jsonl")
+        config = ServiceConfig(
+            admission=False,
+            record_execution=True,
+            journal_path=journal,
+            journal_fsync=False,
+        )
+        service = SchedulerService(capacity, config).start()
+        try:
+            for workflow in trace.workflows:
+                if not service.submit_workflow(workflow).accepted:
+                    return [f"journal: workflow {workflow.workflow_id} rejected"]
+            for job in trace.adhoc_jobs:
+                if not service.submit_adhoc(job).accepted:
+                    return [f"journal: ad-hoc {job.job_id} rejected"]
+            service.kill(timeout=60)
+            service = SchedulerService(capacity, config).start()
+            result = service.drain(timeout=300)
+        finally:
+            if not service.draining:
+                service.kill(timeout=60)
+    return _validate_outcome(trace, capacity, result)
+
+
+def run_case(
+    trace: SyntheticTrace,
+    capacity: ClusterCapacity,
+    path: str,
+    seed: int,
+) -> list[str]:
+    """Run one workload through one production path; violation strings.
+
+    An unexpected exception counts as a failure too — the harness's
+    contract is "every path completes and validates clean".
+    """
+    runners: dict[str, Callable[[], list[str]]] = {
+        "batch": lambda: _run_batch(trace, capacity, seed, replan=False),
+        "replan": lambda: _run_batch(trace, capacity, seed, replan=True),
+        "degraded": lambda: _run_degraded(trace, capacity, seed),
+        "journal": lambda: _run_journal(trace, capacity, seed),
+    }
+    if path not in runners:
+        raise ValueError(f"unknown fuzz path {path!r}; known: {FUZZ_PATHS}")
+    try:
+        return runners[path]()
+    except Exception as error:  # noqa: BLE001 - any crash is a finding
+        return [f"{path}: raised {type(error).__name__}: {error}"]
+
+
+# -- shrinking ----------------------------------------------------------------------
+
+
+def shrink_workload(
+    trace: SyntheticTrace,
+    capacity: ClusterCapacity,
+    path: str,
+    seed: int,
+) -> SyntheticTrace:
+    """Greedily drop workflows/ad-hoc jobs while the failure reproduces."""
+    budget = _MAX_SHRINK_RUNS
+
+    def still_fails(candidate: SyntheticTrace) -> bool:
+        nonlocal budget
+        if budget <= 0:
+            return False
+        budget -= 1
+        return bool(run_case(candidate, capacity, path, seed))
+
+    current = trace
+    progress = True
+    while progress and budget > 0:
+        progress = False
+        for i in range(len(current.workflows)):
+            candidate = SyntheticTrace(
+                workflows=current.workflows[:i] + current.workflows[i + 1 :],
+                adhoc_jobs=current.adhoc_jobs,
+            )
+            if (candidate.workflows or candidate.adhoc_jobs) and still_fails(
+                candidate
+            ):
+                current = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # Halve the ad-hoc stream from the back, then drop stragglers.
+        n = len(current.adhoc_jobs)
+        for keep in (n // 2, n - 1):
+            if keep < 0 or keep >= n:
+                continue
+            candidate = SyntheticTrace(
+                workflows=current.workflows,
+                adhoc_jobs=current.adhoc_jobs[:keep],
+            )
+            if (candidate.workflows or candidate.adhoc_jobs) and still_fails(
+                candidate
+            ):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+# -- persistence --------------------------------------------------------------------
+
+
+def persist_failure(failure: FuzzFailure, out_dir: str | Path) -> Path:
+    """Write one failing case as a self-contained JSON repro file."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"fuzz-{failure.path}-seed{failure.seed}.json"
+    payload = {
+        "seed": failure.seed,
+        "path": failure.path,
+        "violations": failure.violations,
+        "original_size": list(failure.original_size),
+        "capacity": dict(failure.capacity.base),
+        "workflows": [workflow_to_dict(wf) for wf in failure.trace.workflows],
+        "adhoc_jobs": [job_to_dict(job) for job in failure.trace.adhoc_jobs],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_failure(path: str | Path) -> FuzzFailure:
+    """Reload a persisted repro file (``run_case`` re-runs it)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    trace = SyntheticTrace(
+        workflows=tuple(workflow_from_dict(item) for item in data["workflows"]),
+        adhoc_jobs=tuple(job_from_dict(item) for item in data["adhoc_jobs"]),
+    )
+    return FuzzFailure(
+        seed=int(data["seed"]),
+        path=str(data["path"]),
+        violations=list(data.get("violations", [])),
+        trace=trace,
+        capacity=ClusterCapacity(base=ResourceVector(data["capacity"])),
+        original_size=tuple(data.get("original_size", (0, 0))),
+    )
+
+
+# -- the fuzz loop ------------------------------------------------------------------
+
+
+def run_fuzz(
+    *,
+    budget_s: Optional[float] = None,
+    max_seeds: Optional[int] = None,
+    corpus_seeds: Sequence[int] = (),
+    start_seed: int = 1000,
+    paths: Iterable[str] = FUZZ_PATHS,
+    out_dir: str | Path | None = None,
+    shrink: bool = True,
+    log: Callable[[str], None] = lambda _msg: None,
+) -> FuzzResult:
+    """The fuzz session: corpus seeds first, then fresh seeds until done.
+
+    Stops when ``budget_s`` wall seconds elapse or ``max_seeds`` seeds
+    ran, whichever comes first (at least the corpus always runs).  With
+    ``out_dir`` set, every failure is shrunk (unless ``shrink=False``)
+    and persisted there as a repro JSON.
+    """
+    paths = tuple(paths)
+    result = FuzzResult()
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if budget_s is not None and time.monotonic() - started >= budget_s:
+            return True
+        return max_seeds is not None and len(result.seeds_run) >= max_seeds
+
+    corpus = list(dict.fromkeys(int(s) for s in corpus_seeds))
+    fresh = (s for s in itertools.count(start_seed) if s not in set(corpus))
+    for from_corpus, seed in itertools.chain(
+        ((True, s) for s in corpus), ((False, s) for s in fresh)
+    ):
+        if not from_corpus and out_of_budget():
+            break
+        trace, capacity = make_workload(seed)
+        result.seeds_run.append(seed)
+        for path in paths:
+            violations = run_case(trace, capacity, path, seed)
+            result.cases += 1
+            if not violations:
+                continue
+            log(f"fuzz failure: seed {seed} path {path}: {violations[0]}")
+            original = (len(trace.workflows), len(trace.adhoc_jobs))
+            small = (
+                shrink_workload(trace, capacity, path, seed)
+                if shrink
+                else trace
+            )
+            failure = FuzzFailure(
+                seed=seed,
+                path=path,
+                violations=violations,
+                trace=small,
+                capacity=capacity,
+                original_size=original,
+            )
+            result.failures.append(failure)
+            if out_dir is not None:
+                persist_failure(failure, out_dir)
+    result.elapsed_s = time.monotonic() - started
+    return result

@@ -1,0 +1,469 @@
+"""Trace-only verification: invariants recomputed from a JSONL event stream.
+
+The structured trace (docs/OBSERVABILITY.md) is the run's raw evidence:
+arrivals, readiness transitions, per-slot task placements, setbacks,
+completions.  This module re-derives correctness and the headline metrics
+from those events alone — it never looks at a ``SimulationResult`` — which
+is what ``repro verify <run.jsonl>`` runs.
+
+Without the workload, only trace-internal lifecycle invariants can be
+checked (ordering, unique completions, placement windows).  Given the
+workload trace (and a cluster), the full set applies: capacity per slot,
+precedence along the DAG edges, and demand conservation against every
+job's true task structure.
+
+Event-slot convention: a ``job_completed`` / ``workflow_completed`` event
+carries ``slot = completion_slot + 1`` (it is delivered at the start of
+the next slot), so an event's slot *is* the job's exclusive end boundary —
+deadline deltas and turnaround fall straight out of the event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+from repro.verify.validator import _EPS, VerificationReport
+
+if TYPE_CHECKING:
+    from repro.core.decomposition_types import JobWindow
+    from repro.model.cluster import ClusterCapacity
+    from repro.workloads.traces import SyntheticTrace
+
+__all__ = ["TraceIndex", "recompute_trace_metrics", "validate_trace"]
+
+
+@dataclass
+class TraceIndex:
+    """Per-entity view of a flat event stream (one pass, order preserved)."""
+
+    placements: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    ready: dict[str, int] = field(default_factory=dict)
+    arrived: dict[str, int] = field(default_factory=dict)
+    completed: dict[str, list[int]] = field(default_factory=dict)
+    setback_units: dict[str, int] = field(default_factory=dict)
+    workflow_arrived: dict[str, int] = field(default_factory=dict)
+    workflow_completed: dict[str, list[int]] = field(default_factory=dict)
+    workflow_of: dict[str, str] = field(default_factory=dict)
+    run_start: list[dict] = field(default_factory=list)
+    run_end: list[dict] = field(default_factory=list)
+    seqs: list[int] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, events: Iterable[Mapping]) -> "TraceIndex":
+        index = cls()
+        for event in events:
+            kind = event.get("type")
+            slot = event.get("slot")
+            job_id = event.get("job_id")
+            workflow_id = event.get("workflow_id")
+            if "seq" in event:
+                index.seqs.append(int(event["seq"]))
+            if job_id is not None and workflow_id is not None:
+                index.workflow_of.setdefault(job_id, workflow_id)
+            if kind == "task_placement":
+                index.placements.setdefault(job_id, []).append(
+                    (int(slot), int(event.get("units", 0)))
+                )
+            elif kind == "job_ready":
+                index.ready.setdefault(job_id, int(slot))
+            elif kind == "job_arrived":
+                index.arrived.setdefault(job_id, int(slot))
+            elif kind == "job_completed":
+                index.completed.setdefault(job_id, []).append(int(slot))
+            elif kind == "job_setback":
+                index.setback_units[job_id] = index.setback_units.get(
+                    job_id, 0
+                ) + int(event.get("lost_units", 0))
+            elif kind == "workflow_arrived":
+                index.workflow_arrived.setdefault(workflow_id, int(slot))
+            elif kind == "workflow_completed":
+                index.workflow_completed.setdefault(workflow_id, []).append(
+                    int(slot)
+                )
+            elif kind == "run_start":
+                index.run_start.append(dict(event))
+            elif kind == "run_end":
+                index.run_end.append(dict(event))
+        return index
+
+    def completion_of(self, job_id: str) -> Optional[int]:
+        slots = self.completed.get(job_id)
+        return slots[0] if slots else None
+
+    def first_seen(self, job_id: str) -> Optional[int]:
+        """Earliest readiness/arrival slot known for a job."""
+        candidates = [
+            s
+            for s in (self.ready.get(job_id), self.arrived.get(job_id))
+            if s is not None
+        ]
+        return min(candidates) if candidates else None
+
+    @property
+    def n_slots(self) -> Optional[int]:
+        if not self.run_end:
+            return None
+        return int(self.run_end[0].get("n_slots", 0))
+
+    @property
+    def slot_seconds(self) -> Optional[float]:
+        if self.run_start and "slot_seconds" in self.run_start[0]:
+            return float(self.run_start[0]["slot_seconds"])
+        return None
+
+
+def validate_trace(
+    events: Sequence[Mapping],
+    *,
+    trace: "SyntheticTrace | None" = None,
+    capacity: "ClusterCapacity | None" = None,
+    windows: Mapping[str, "JobWindow"] | None = None,
+) -> VerificationReport:
+    """Check a parsed event stream; deeper checks need workload context.
+
+    Args:
+        events: parsed trace events (:func:`repro.obs.read_trace`).
+        trace: the workload that produced the run (enables precedence,
+            conservation, and — with *capacity* — per-slot capacity checks).
+        capacity: the cluster the run claimed to respect.
+        windows: decomposed per-job windows; when given, completed jobs'
+            end boundaries are checked against their windows only via
+            :func:`recompute_trace_metrics` (metrics, not violations) —
+            missing a deadline is an outcome, not an invariant violation.
+    """
+    report = VerificationReport()
+    index = TraceIndex.build(events)
+
+    report.check(
+        "trace.run_markers",
+        len(index.run_start) <= 1 and len(index.run_end) <= 1,
+        f"{len(index.run_start)} run_start / {len(index.run_end)} run_end "
+        "events (expected at most one each)",
+    )
+    report.check(
+        "trace.seq",
+        all(b > a for a, b in zip(index.seqs, index.seqs[1:])),
+        "event sequence numbers are not strictly increasing",
+    )
+
+    _check_lifecycles(index, report)
+    _check_workflow_events(index, report, trace)
+    if trace is not None:
+        _check_conservation(index, report, trace)
+        _check_precedence(index, report, trace)
+        if capacity is not None:
+            _check_capacity(index, report, trace, capacity)
+    return report
+
+
+def _check_lifecycles(index: TraceIndex, report: VerificationReport) -> None:
+    for job_id, slots in index.completed.items():
+        report.check(
+            "trace.unique_completion",
+            len(slots) == 1,
+            f"{len(slots)} job_completed events",
+            subject=job_id,
+        )
+    for job_id, placements in index.placements.items():
+        slots = [s for s, _ in placements]
+        report.check(
+            "trace.placement_units",
+            all(units > 0 for _, units in placements),
+            "a placement with non-positive units",
+            subject=job_id,
+        )
+        report.check(
+            "trace.placement_unique",
+            len(set(slots)) == len(slots),
+            "duplicate placement events in one slot",
+            subject=job_id,
+        )
+        seen = index.first_seen(job_id)
+        report.check(
+            "trace.placed_when_ready",
+            seen is not None and seen <= min(slots),
+            f"first placement at slot {min(slots)} but job first "
+            f"ready/arrived at {seen}",
+            subject=job_id,
+        )
+        completion = index.completion_of(job_id)
+        if completion is not None:
+            report.check(
+                "trace.completion_boundary",
+                completion == max(slots) + 1,
+                f"job_completed at slot {completion} but last placement "
+                f"was slot {max(slots)}",
+                subject=job_id,
+            )
+    for job_id in index.completed:
+        report.check(
+            "trace.completed_ran",
+            job_id in index.placements,
+            "completed without any recorded placement",
+            subject=job_id,
+        )
+
+
+def _check_workflow_events(
+    index: TraceIndex,
+    report: VerificationReport,
+    trace: "SyntheticTrace | None",
+) -> None:
+    members: dict[str, list[str]] = {}
+    if trace is not None:
+        for workflow in trace.workflows:
+            members[workflow.workflow_id] = [j.job_id for j in workflow.jobs]
+    else:
+        for job_id, wid in index.workflow_of.items():
+            members.setdefault(wid, []).append(job_id)
+
+    for wid, slots in index.workflow_completed.items():
+        report.check(
+            "trace.workflow_unique_completion",
+            len(slots) == 1,
+            f"{len(slots)} workflow_completed events",
+            subject=wid,
+        )
+        jobs = members.get(wid, [])
+        ends = [index.completion_of(j) for j in jobs]
+        if trace is not None:
+            report.check(
+                "trace.workflow_members_done",
+                all(end is not None for end in ends),
+                "workflow_completed with unfinished member jobs",
+                subject=wid,
+            )
+        known = [end for end in ends if end is not None]
+        if known:
+            report.check(
+                "trace.workflow_completion_boundary",
+                slots[0] == max(known),
+                f"workflow_completed at slot {slots[0]} but the last member "
+                f"completed at slot {max(known)}",
+                subject=wid,
+            )
+    if trace is not None:
+        for workflow in trace.workflows:
+            arrived = index.workflow_arrived.get(workflow.workflow_id)
+            if arrived is not None:
+                report.check(
+                    "trace.workflow_arrival",
+                    arrived >= workflow.start_slot,
+                    f"arrived at slot {arrived}, before its start slot "
+                    f"{workflow.start_slot}",
+                    subject=workflow.workflow_id,
+                )
+
+
+def _workload_jobs(trace: "SyntheticTrace"):
+    for workflow in trace.workflows:
+        yield from workflow.jobs
+    yield from trace.adhoc_jobs
+
+
+def _check_conservation(
+    index: TraceIndex, report: VerificationReport, trace: "SyntheticTrace"
+) -> None:
+    for job in _workload_jobs(trace):
+        spec = job.execution_tasks
+        placements = index.placements.get(job.job_id, [])
+        report.check(
+            "trace.parallelism",
+            all(units <= spec.count for _, units in placements),
+            f"a slot placed more than the job's {spec.count} tasks",
+            subject=job.job_id,
+        )
+        gross = sum(units for _, units in placements)
+        net = gross - index.setback_units.get(job.job_id, 0)
+        total = spec.total_task_slots
+        if index.completion_of(job.job_id) is not None:
+            report.check(
+                "trace.conservation",
+                net == total,
+                f"completed with {net} net executed units of {total} "
+                f"({gross} placed, {gross - net} lost to setbacks)",
+                subject=job.job_id,
+            )
+        else:
+            report.check(
+                "trace.conservation",
+                net < total,
+                f"never completed yet {net} net units cover its {total}",
+                subject=job.job_id,
+            )
+
+
+def _check_precedence(
+    index: TraceIndex, report: VerificationReport, trace: "SyntheticTrace"
+) -> None:
+    for workflow in trace.workflows:
+        for parent_id, child_id in workflow.edges:
+            subject = f"{parent_id} -> {child_id}"
+            barrier = index.completion_of(parent_id)
+            child_slots = [s for s, _ in index.placements.get(child_id, [])]
+            if barrier is None:
+                report.check(
+                    "trace.precedence",
+                    not child_slots
+                    and index.completion_of(child_id) is None,
+                    "child ran although its parent never completed",
+                    subject=subject,
+                )
+                continue
+            # The parent's completion event slot is the first slot the
+            # child may run in (events deliver at the start of that slot).
+            report.check(
+                "trace.precedence",
+                all(s >= barrier for s in child_slots),
+                f"child placed at slot {min(child_slots)} before the "
+                f"parent's completion boundary {barrier}"
+                if child_slots
+                else "",
+                subject=subject,
+            )
+            ready = index.ready.get(child_id)
+            if ready is not None and len(workflow.parents_of(child_id)) > 0:
+                report.check(
+                    "trace.precedence_ready",
+                    ready >= barrier,
+                    f"child ready at slot {ready} before the parent's "
+                    f"completion boundary {barrier}",
+                    subject=subject,
+                )
+
+
+def _check_capacity(
+    index: TraceIndex,
+    report: VerificationReport,
+    trace: "SyntheticTrace",
+    capacity: "ClusterCapacity",
+) -> None:
+    demands = {
+        job.job_id: job.execution_tasks.demand for job in _workload_jobs(trace)
+    }
+    per_slot: dict[int, dict[str, float]] = {}
+    for job_id, placements in index.placements.items():
+        demand = demands.get(job_id)
+        if demand is None:
+            report.check(
+                "trace.known_job",
+                False,
+                "placements for a job absent from the workload",
+                subject=job_id,
+            )
+            continue
+        for slot, units in placements:
+            row = per_slot.setdefault(slot, {})
+            for name, amount in demand.items():
+                row[name] = row.get(name, 0.0) + amount * units
+    for slot in sorted(per_slot):
+        cap = capacity.at(slot)
+        for name, amount in per_slot[slot].items():
+            report.check(
+                "trace.capacity",
+                amount <= cap[name] + _EPS,
+                f"{name} usage {amount:g} exceeds capacity {cap[name]:g}",
+                slot=slot,
+                subject=name,
+            )
+
+
+def recompute_trace_metrics(
+    events: Sequence[Mapping],
+    *,
+    trace: "SyntheticTrace | None" = None,
+    windows: Mapping[str, "JobWindow"] | None = None,
+    slot_seconds: float | None = None,
+) -> dict:
+    """The headline metrics, re-derived purely from the event stream.
+
+    Mirrors the shape of ``repro.simulator.metrics.summarize`` for the keys
+    it can recompute (``jobs_missed``, ``workflows_missed``,
+    ``adhoc_turnaround_s``, ``max_delta_s``, ``mean_delta_s``) without
+    importing the metrics module.  ``slot_seconds`` defaults to the value
+    recorded in the ``run_start`` event.
+    """
+    index = TraceIndex.build(events)
+    if slot_seconds is None:
+        slot_seconds = index.slot_seconds
+    if slot_seconds is None:
+        raise ValueError(
+            "slot_seconds not in the trace's run_start event; pass it explicitly"
+        )
+    n_slots = index.n_slots
+    if n_slots is None:
+        raise ValueError("trace has no run_end event; cannot size the run")
+
+    member_of: dict[str, str] = dict(index.workflow_of)
+    if trace is not None:
+        for workflow in trace.workflows:
+            for job in workflow.jobs:
+                member_of.setdefault(job.job_id, workflow.workflow_id)
+
+    windows = windows or {}
+    deltas: dict[str, float] = {}
+    missed: list[str] = []
+    for job_id, window in windows.items():
+        end = index.completion_of(job_id)
+        if end is None:
+            arrived = (
+                index.first_seen(job_id) is not None
+                or member_of.get(job_id) in index.workflow_arrived
+            )
+            if not arrived:
+                continue  # job never appeared in this trace
+            end = n_slots + 1
+        delta = (end - window.deadline_slot) * slot_seconds
+        deltas[job_id] = delta
+        if delta > 0:
+            missed.append(job_id)
+
+    if trace is not None:
+        workflow_deadlines = {
+            wf.workflow_id: wf.deadline_slot for wf in trace.workflows
+        }
+    else:
+        workflow_deadlines = {}
+        for event in events:
+            if event.get("type") == "workflow_deadline_miss":
+                workflow_deadlines[event["workflow_id"]] = event.get(
+                    "deadline_slot", 0
+                )
+        for wid in index.workflow_arrived:
+            workflow_deadlines.setdefault(wid, None)
+    workflows_missed = []
+    for wid, deadline in workflow_deadlines.items():
+        completion = index.workflow_completed.get(wid)
+        if completion is None:
+            if wid in index.workflow_arrived or trace is not None:
+                workflows_missed.append(wid)
+        elif deadline is not None and completion[0] > deadline:
+            # completion event slot == completion_slot + 1; missed iff
+            # completion_slot >= deadline, i.e. event slot > deadline.
+            workflows_missed.append(wid)
+
+    # Ad-hoc jobs are exactly the ones announced by job_arrived events.
+    turnarounds = []
+    for job_id, arrival in index.arrived.items():
+        end = index.completion_of(job_id)
+        if end is not None:
+            turnarounds.append(end - arrival)
+        else:
+            turnarounds.append(n_slots - arrival)
+    turnaround_s = (
+        sum(turnarounds) / len(turnarounds) * slot_seconds
+        if turnarounds
+        else None
+    )
+    return {
+        "n_deadline_jobs": float(len(windows)),
+        "jobs_missed": float(len(missed)),
+        "missed_job_ids": tuple(sorted(missed)),
+        "workflows_missed": float(len(workflows_missed)),
+        "missed_workflow_ids": tuple(sorted(workflows_missed)),
+        "adhoc_turnaround_s": turnaround_s,
+        "max_delta_s": max(deltas.values(), default=0.0),
+        "mean_delta_s": sum(deltas.values()) / len(deltas) if deltas else 0.0,
+        "deltas_s": deltas,
+    }

@@ -1,0 +1,697 @@
+"""Independent schedule validation: re-derive correctness from raw outputs.
+
+Every layer of the stack — LP, planner, scheduler, engine, service — has
+its own tests, but each checks only what that layer promises.  This module
+checks what the *system* promises, from the outputs alone:
+
+* **capacity**: no slot consumes (or is granted) more than the cluster had;
+* **precedence**: a child never becomes ready, runs, or completes before
+  its parent completed;
+* **conservation**: every completed job received exactly its true task
+  slot-units of execution, in-window placements only;
+* **window consistency**: decomposed per-job windows sit inside their
+  workflow's [start, deadline) and respect the DAG order;
+* **metric recomputation**: the reported deadline-miss / delta / turnaround
+  numbers match what the raw records imply.
+
+The checks deliberately share no code with the planner or the metrics
+module: everything is recomputed here from the data containers
+(:class:`~repro.simulator.result.SimulationResult`, the model types), so a
+bug in the production path cannot hide itself in its own verifier.
+
+Observability: every check bumps ``verify.checks``; every failed check
+bumps ``verify.violations`` (counters on the ambient
+:func:`~repro.obs.current_obs` handle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
+
+from repro.model.job import Job, JobKind
+from repro.model.workflow import Workflow
+from repro.obs import current_obs
+
+if TYPE_CHECKING:
+    from repro.core.decomposition_types import JobWindow
+    from repro.model.cluster import ClusterCapacity
+    from repro.simulator.result import SimulationResult
+
+__all__ = [
+    "RuntimeVerifier",
+    "ScheduleValidator",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which check, where, and what went wrong."""
+
+    check: str
+    message: str
+    slot: Optional[int] = None
+    subject: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.subject is not None:
+            where.append(self.subject)
+        if self.slot is not None:
+            where.append(f"slot {self.slot}")
+        location = f" [{', '.join(where)}]" if where else ""
+        return f"{self.check}{location}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a validation pass: checks performed and violations found."""
+
+    checks: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(
+        self,
+        check: str,
+        passed: bool,
+        message: str = "",
+        *,
+        slot: Optional[int] = None,
+        subject: Optional[str] = None,
+    ) -> bool:
+        """Record one check; on failure also record a :class:`Violation`."""
+        self.checks += 1
+        obs = current_obs()
+        obs.counter("verify.checks").inc()
+        if not passed:
+            self.violations.append(
+                Violation(check=check, message=message, slot=slot, subject=subject)
+            )
+            obs.counter("verify.violations").inc()
+        return passed
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        self.checks += other.checks
+        self.violations.extend(other.violations)
+        return self
+
+    def summary(self) -> str:
+        return f"verify: {self.checks} checks, {len(self.violations)} violations"
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable report: the summary plus up to *limit* violations."""
+        lines = [self.summary()]
+        for violation in self.violations[:limit]:
+            lines.append(f"  - {violation}")
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+    def raise_if_violations(self) -> None:
+        if self.violations:
+            raise VerificationError(self)
+
+
+class VerificationError(ValueError):
+    """A verified run violated an invariant; carries the full report."""
+
+    def __init__(self, report: VerificationReport):
+        super().__init__(report.render())
+        self.report = report
+
+
+# A slot-unit accounting tolerance: all quantities checked here are sums of
+# integers stored as floats, so anything beyond rounding noise is real.
+_EPS = 1e-6
+
+
+def _job_index(
+    workflows: Iterable[Workflow], jobs: Iterable[Job] | None
+) -> dict[str, Job]:
+    index: dict[str, Job] = {}
+    for workflow in workflows:
+        for job in workflow.jobs:
+            index[job.job_id] = job
+    for job in jobs or ():
+        index.setdefault(job.job_id, job)
+    return index
+
+
+class ScheduleValidator:
+    """Validates a :class:`SimulationResult` against the raw workload.
+
+    Args:
+        cluster: the capacity the run claimed to respect.
+        workflows: the workload's workflows (enables precedence and
+            workflow-completion checks; their jobs seed the job index).
+        jobs: additional jobs (the ad-hoc stream) for the conservation and
+            placement checks.
+        windows: the decomposed per-job deadline windows used as metric
+            ground truth (enables the window-consistency and deadline
+            recomputation checks).  Windows are an *input* here — the
+            validator never re-runs the decomposition.
+        allow_setbacks: the run injected progress setbacks (failure model),
+            so gross executed units may exceed a job's true size; demand
+            conservation is then checked as a lower bound.
+    """
+
+    def __init__(
+        self,
+        cluster: "ClusterCapacity",
+        *,
+        workflows: Iterable[Workflow] = (),
+        jobs: Iterable[Job] | None = None,
+        windows: Mapping[str, "JobWindow"] | None = None,
+        allow_setbacks: bool = False,
+    ):
+        self.cluster = cluster
+        self.workflows = {wf.workflow_id: wf for wf in workflows}
+        self.jobs = _job_index(self.workflows.values(), jobs)
+        self.windows = dict(windows) if windows else {}
+        self.allow_setbacks = allow_setbacks
+
+    # -- entry points --------------------------------------------------------------
+
+    def validate(self, result: "SimulationResult") -> VerificationReport:
+        """Run every applicable check family over one result."""
+        report = VerificationReport()
+        self.check_capacity(result, report)
+        self.check_records(result, report)
+        self.check_precedence(result, report)
+        self.check_conservation(result, report)
+        self.check_windows(result, report)
+        return report
+
+    # -- capacity ------------------------------------------------------------------
+
+    def check_capacity(
+        self, result: "SimulationResult", report: VerificationReport
+    ) -> None:
+        """No slot consumed or was granted more than the cluster had."""
+        for slot in range(min(result.n_slots, len(result.usage))):
+            cap = self.cluster.at(slot)
+            for r, name in enumerate(result.resources):
+                limit = cap[name]
+                used = float(result.usage[slot, r])
+                report.check(
+                    "capacity.used",
+                    used <= limit + _EPS,
+                    f"{name} usage {used:g} exceeds capacity {limit:g}",
+                    slot=slot,
+                    subject=name,
+                )
+                granted = float(result.granted[slot, r])
+                report.check(
+                    "capacity.granted",
+                    granted <= limit + _EPS,
+                    f"{name} grants {granted:g} exceed capacity {limit:g}",
+                    slot=slot,
+                    subject=name,
+                )
+
+    # -- record self-consistency ----------------------------------------------------
+
+    def check_records(
+        self, result: "SimulationResult", report: VerificationReport
+    ) -> None:
+        """Per-job lifecycle ordering and per-workflow completion bookkeeping."""
+        for job_id, record in result.jobs.items():
+            report.check(
+                "record.arrival",
+                record.arrival_slot >= 0,
+                f"negative arrival slot {record.arrival_slot}",
+                subject=job_id,
+            )
+            if record.ready_slot is not None:
+                report.check(
+                    "record.ready",
+                    record.ready_slot >= record.arrival_slot,
+                    f"ready at {record.ready_slot} before arrival "
+                    f"{record.arrival_slot}",
+                    subject=job_id,
+                )
+            if record.completion_slot is not None:
+                report.check(
+                    "record.completion",
+                    record.ready_slot is not None
+                    and record.ready_slot <= record.completion_slot
+                    and record.completion_slot < result.n_slots,
+                    f"completion at {record.completion_slot} outside "
+                    f"[ready={record.ready_slot}, n_slots={result.n_slots})",
+                    subject=job_id,
+                )
+            job = self.jobs.get(job_id)
+            if job is not None:
+                report.check(
+                    "record.units",
+                    record.true_units == job.execution_tasks.total_task_slots
+                    and record.est_units == job.tasks.total_task_slots,
+                    f"recorded units ({record.true_units} true, "
+                    f"{record.est_units} est) do not match the workload "
+                    f"({job.execution_tasks.total_task_slots} true, "
+                    f"{job.tasks.total_task_slots} est)",
+                    subject=job_id,
+                )
+
+        for wid, workflow in self.workflows.items():
+            record = result.workflows.get(wid)
+            if record is None:
+                report.check(
+                    "record.workflow",
+                    False,
+                    "workflow missing from the result",
+                    subject=wid,
+                )
+                continue
+            members = [
+                result.jobs[j.job_id]
+                for j in workflow.jobs
+                if j.job_id in result.jobs
+            ]
+            report.check(
+                "record.workflow",
+                len(members) == len(workflow.jobs),
+                "some workflow jobs are missing from the result",
+                subject=wid,
+            )
+            completions = [m.completion_slot for m in members]
+            if members and all(c is not None for c in completions):
+                expected = max(completions)
+                report.check(
+                    "record.workflow_completion",
+                    record.completion_slot == expected,
+                    f"workflow completion {record.completion_slot} != last "
+                    f"job completion {expected}",
+                    subject=wid,
+                )
+            else:
+                report.check(
+                    "record.workflow_completion",
+                    record.completion_slot is None,
+                    f"workflow completed at {record.completion_slot} with "
+                    "unfinished jobs",
+                    subject=wid,
+                )
+
+    # -- precedence ------------------------------------------------------------------
+
+    def check_precedence(
+        self, result: "SimulationResult", report: VerificationReport
+    ) -> None:
+        """DAG order: a child starts strictly after its parent completes."""
+        first_run = self._first_execution_slots(result)
+        for workflow in self.workflows.values():
+            for parent_id, child_id in workflow.edges:
+                parent = result.jobs.get(parent_id)
+                child = result.jobs.get(child_id)
+                if parent is None or child is None:
+                    continue  # flagged by check_records already
+                subject = f"{parent_id} -> {child_id}"
+                if parent.completion_slot is None:
+                    report.check(
+                        "precedence.blocked",
+                        child.ready_slot is None
+                        and child.completion_slot is None
+                        and child_id not in first_run,
+                        "child progressed although its parent never completed",
+                        subject=subject,
+                    )
+                    continue
+                barrier = parent.completion_slot + 1
+                if child.ready_slot is not None:
+                    report.check(
+                        "precedence.ready",
+                        child.ready_slot >= barrier,
+                        f"child ready at {child.ready_slot}, parent completed "
+                        f"at end of slot {parent.completion_slot}",
+                        subject=subject,
+                    )
+                if child.completion_slot is not None:
+                    report.check(
+                        "precedence.completion",
+                        child.completion_slot >= barrier,
+                        f"child completed at {child.completion_slot}, before "
+                        f"its parent ({parent.completion_slot})",
+                        subject=subject,
+                    )
+                started = first_run.get(child_id)
+                if started is not None:
+                    report.check(
+                        "precedence.execution",
+                        started >= barrier,
+                        f"child first ran at slot {started}, parent completed "
+                        f"at end of slot {parent.completion_slot}",
+                        subject=subject,
+                    )
+
+    @staticmethod
+    def _first_execution_slots(result: "SimulationResult") -> dict[str, int]:
+        first: dict[str, int] = {}
+        for slot, row in enumerate(result.execution):
+            for job_id in row:
+                first.setdefault(job_id, slot)
+        return first
+
+    # -- demand conservation ----------------------------------------------------------
+
+    def check_conservation(
+        self, result: "SimulationResult", report: VerificationReport
+    ) -> None:
+        """Every task slot-unit delivered: totals, bounds, and usage rows.
+
+        Requires ``record_execution=True`` runs (``result.execution``); with
+        no execution rows only the record-level totals can be implied, so
+        the check family is skipped silently.
+        """
+        if not result.execution:
+            return
+        totals: dict[str, float] = {}
+        for slot, row in enumerate(result.execution):
+            recomputed: dict[str, float] = {}
+            for job_id, units in row.items():
+                record = result.jobs.get(job_id)
+                report.check(
+                    "conservation.known",
+                    record is not None,
+                    "execution recorded for a job missing from the result",
+                    slot=slot,
+                    subject=job_id,
+                )
+                if record is None:
+                    continue
+                totals[job_id] = totals.get(job_id, 0.0) + units
+                report.check(
+                    "conservation.positive",
+                    units > 0,
+                    f"non-positive execution amount {units}",
+                    slot=slot,
+                    subject=job_id,
+                )
+                ready = record.ready_slot
+                in_window = ready is not None and ready <= slot
+                if record.completion_slot is not None:
+                    in_window = in_window and slot <= record.completion_slot
+                report.check(
+                    "conservation.placement",
+                    in_window,
+                    f"executed outside its lifetime (ready={ready}, "
+                    f"completed={record.completion_slot})",
+                    slot=slot,
+                    subject=job_id,
+                )
+                job = self.jobs.get(job_id)
+                if job is not None:
+                    spec = job.execution_tasks
+                    report.check(
+                        "conservation.parallelism",
+                        units <= spec.count,
+                        f"{units} units in one slot exceeds the job's "
+                        f"{spec.count} tasks",
+                        slot=slot,
+                        subject=job_id,
+                    )
+                    for name, amount in spec.demand.items():
+                        recomputed[name] = recomputed.get(name, 0.0) + amount * units
+            know_all = all(job_id in self.jobs for job_id in row)
+            if slot < len(result.usage) and know_all:
+                for r, name in enumerate(result.resources):
+                    expect = recomputed.get(name, 0.0)
+                    have = float(result.usage[slot, r])
+                    report.check(
+                        "conservation.usage",
+                        abs(expect - have) <= _EPS,
+                        f"{name} usage row {have:g} != {expect:g} recomputed "
+                        "from executed units",
+                        slot=slot,
+                        subject=name,
+                    )
+
+        for job_id, record in result.jobs.items():
+            if record.arrival_slot >= result.n_slots:
+                continue  # registered but never arrived within the run
+            total = totals.get(job_id, 0.0)
+            if record.completion_slot is not None:
+                if self.allow_setbacks:
+                    ok = total >= record.true_units - _EPS
+                    detail = "at least"
+                else:
+                    ok = abs(total - record.true_units) <= _EPS
+                    detail = "exactly"
+                report.check(
+                    "conservation.total",
+                    ok,
+                    f"completed job executed {total:g} units, expected "
+                    f"{detail} {record.true_units}",
+                    subject=job_id,
+                )
+            elif not self.allow_setbacks:
+                report.check(
+                    "conservation.total",
+                    total < record.true_units - _EPS or record.true_units == 0,
+                    f"unfinished job already executed {total:g} of "
+                    f"{record.true_units} units",
+                    subject=job_id,
+                )
+
+    # -- decomposed-deadline windows ---------------------------------------------------
+
+    def check_windows(
+        self, result: "SimulationResult", report: VerificationReport
+    ) -> None:
+        """Per-job windows nest inside the workflow deadline and DAG order."""
+        if not self.windows:
+            return
+        for workflow in self.workflows.values():
+            record = result.workflows.get(workflow.workflow_id)
+            start = record.start_slot if record is not None else workflow.start_slot
+            for job in workflow.jobs:
+                window = self.windows.get(job.job_id)
+                if window is None:
+                    report.check(
+                        "window.covered",
+                        False,
+                        "deadline job has no decomposed window",
+                        subject=job.job_id,
+                    )
+                    continue
+                report.check(
+                    "window.bounds",
+                    start <= window.release_slot
+                    and window.deadline_slot <= workflow.deadline_slot,
+                    f"window [{window.release_slot}, {window.deadline_slot}) "
+                    f"outside the workflow's [{start}, "
+                    f"{workflow.deadline_slot})",
+                    subject=job.job_id,
+                )
+            for parent_id, child_id in workflow.edges:
+                parent = self.windows.get(parent_id)
+                child = self.windows.get(child_id)
+                if parent is None or child is None:
+                    continue
+                report.check(
+                    "window.order",
+                    parent.release_slot <= child.release_slot
+                    and parent.deadline_slot <= child.deadline_slot,
+                    f"parent window [{parent.release_slot}, "
+                    f"{parent.deadline_slot}) not before child's "
+                    f"[{child.release_slot}, {child.deadline_slot})",
+                    subject=f"{parent_id} -> {child_id}",
+                )
+
+    # -- metric recomputation ----------------------------------------------------------
+
+    def recompute_metrics(self, result: "SimulationResult") -> dict:
+        """Re-derive the headline metrics from the raw records alone.
+
+        A job completing in slot ``s`` ends at boundary ``s + 1``; an
+        unfinished job's end boundary is at least ``n_slots + 1``; a job is
+        late iff its end boundary strictly exceeds its (exclusive) window
+        deadline.  This mirrors the documented convention of the metrics
+        module without importing it.
+        """
+        deltas: dict[str, float] = {}
+        missed: list[str] = []
+        for job_id, window in self.windows.items():
+            record = result.jobs.get(job_id)
+            if record is None:
+                continue
+            if record.completion_slot is not None:
+                end = record.completion_slot + 1
+            else:
+                end = result.n_slots + 1
+            delta = (end - window.deadline_slot) * result.slot_seconds
+            deltas[job_id] = delta
+            if delta > 0:
+                missed.append(job_id)
+
+        workflows_missed = []
+        for wid, record in result.workflows.items():
+            if (
+                record.completion_slot is None
+                or record.completion_slot >= record.deadline_slot
+            ):
+                workflows_missed.append(wid)
+
+        turnarounds = []
+        for record in result.jobs.values():
+            if record.kind is not JobKind.ADHOC:
+                continue
+            if record.completion_slot is not None:
+                turnarounds.append(record.completion_slot + 1 - record.arrival_slot)
+            else:
+                turnarounds.append(result.n_slots - record.arrival_slot)
+        turnaround_s = (
+            sum(turnarounds) / len(turnarounds) * result.slot_seconds
+            if turnarounds
+            else None
+        )
+        mean_delta = sum(deltas.values()) / len(deltas) if deltas else 0.0
+        return {
+            "n_deadline_jobs": float(len(self.windows)),
+            "jobs_missed": float(len(missed)),
+            "missed_job_ids": tuple(sorted(missed)),
+            "workflows_missed": float(len(workflows_missed)),
+            "missed_workflow_ids": tuple(sorted(workflows_missed)),
+            "adhoc_turnaround_s": turnaround_s,
+            "max_delta_s": max(deltas.values(), default=0.0),
+            "mean_delta_s": mean_delta,
+            "deltas_s": deltas,
+        }
+
+    def check_reported(
+        self,
+        result: "SimulationResult",
+        reported: Mapping[str, object],
+        report: VerificationReport | None = None,
+    ) -> VerificationReport:
+        """Compare a reported summary against the independent recomputation.
+
+        *reported* is a summary mapping (the shape of
+        ``repro.simulator.metrics.summarize``); only keys the recomputation
+        covers are compared.
+        """
+        if report is None:
+            report = VerificationReport()
+        recomputed = self.recompute_metrics(result)
+        for key in (
+            "n_deadline_jobs",
+            "jobs_missed",
+            "workflows_missed",
+            "adhoc_turnaround_s",
+            "max_delta_s",
+            "mean_delta_s",
+        ):
+            if key not in reported:
+                continue
+            want = recomputed[key]
+            have = reported[key]
+            if want is None or (isinstance(want, float) and math.isnan(want)):
+                passed = have is None or (
+                    isinstance(have, float) and math.isnan(have)
+                )
+            elif have is None or not isinstance(have, (int, float)):
+                passed = False
+            else:
+                passed = abs(float(have) - float(want)) <= 1e-6
+            report.check(
+                "metrics.reported",
+                passed,
+                f"reported {key}={have!r} but the records imply {want!r}",
+                subject=key,
+            )
+        return report
+
+
+class RuntimeVerifier:
+    """Per-slot assertion layer for a verified run (``run --verify``).
+
+    The engine calls :meth:`check_slot` after executing each slot; the
+    verifier recomputes the slot's resource footprint from the executed
+    units and the jobs' true task specs and checks it against capacity,
+    plus readiness/completion sanity for every job that ran.  Violations
+    accumulate in :attr:`report`; the run raises at the end (the engine
+    keeps stepping so the report covers the whole run, not just the first
+    bad slot).
+    """
+
+    def __init__(self, cluster: "ClusterCapacity"):
+        self.cluster = cluster
+        self.report = VerificationReport()
+
+    def check_slot(
+        self,
+        slot: int,
+        executed: Mapping[str, int],
+        completions: Iterable[str],
+        runs: Mapping[str, object],
+    ) -> None:
+        report = self.report
+        cap = self.cluster.at(slot)
+        used: dict[str, float] = {}
+        for job_id, units in executed.items():
+            run = runs.get(job_id)
+            report.check(
+                "runtime.known",
+                run is not None,
+                "executed a job the engine does not track",
+                slot=slot,
+                subject=job_id,
+            )
+            if run is None:
+                continue
+            report.check(
+                "runtime.ready",
+                run.arrival_slot <= slot
+                and run.ready_slot is not None
+                and run.ready_slot <= slot,
+                f"ran while not ready (arrival={run.arrival_slot}, "
+                f"ready={run.ready_slot})",
+                slot=slot,
+                subject=job_id,
+            )
+            report.check(
+                "runtime.not_done",
+                run.completion_slot is None or run.completion_slot == slot,
+                f"ran after completing at slot {run.completion_slot}",
+                slot=slot,
+                subject=job_id,
+            )
+            spec = run.job.execution_tasks
+            report.check(
+                "runtime.parallelism",
+                0 < units <= spec.count,
+                f"{units} units outside (0, {spec.count}]",
+                slot=slot,
+                subject=job_id,
+            )
+            for name, amount in spec.demand.items():
+                used[name] = used.get(name, 0.0) + amount * units
+        for name, amount in used.items():
+            report.check(
+                "runtime.capacity",
+                amount <= cap[name] + _EPS,
+                f"{name} usage {amount:g} exceeds capacity {cap[name]:g}",
+                slot=slot,
+                subject=name,
+            )
+        for job_id in completions:
+            run = runs.get(job_id)
+            if run is None:
+                continue
+            report.check(
+                "runtime.completion",
+                run.completion_slot == slot
+                and run.executed_units >= run.true_total_units,
+                f"completion with {run.executed_units} of "
+                f"{run.true_total_units} units executed",
+                slot=slot,
+                subject=job_id,
+            )

@@ -323,3 +323,84 @@ class TestEndToEndEquivalence:
     def test_cache_actually_engaged(self, outcomes):
         result = outcomes["cached"].result
         assert result.counter_value("sched.plan.cache.hit") > 0
+
+
+class TestReplanPathsVerified:
+    """The verification subsystem's differential check: cached and
+    warm-started runs are validator-clean and identical in outcome
+    metrics to a cold batch run (docs/VERIFICATION.md)."""
+
+    @pytest.fixture(scope="class")
+    def verified_outcomes(self):
+        from repro.analysis.experiments import canonical_windows, run_one
+        from repro.simulator.engine import SimulationConfig
+        from repro.workloads.traces import generate_trace
+
+        capacity = ClusterCapacity.uniform(cpu=32, mem=64)
+        trace = generate_trace(
+            n_workflows=2,
+            jobs_per_workflow=6,
+            n_adhoc=6,
+            capacity=capacity,
+            workflow_spread_slots=8,
+            seed=9,
+        )
+        windows = canonical_windows(trace, capacity)
+        modes = {
+            "cold": {"plan_cache": False, "warm_start": False},
+            "cached": {},
+            "warm-only": {"plan_cache": False},
+        }
+        outcomes = {
+            mode: run_one(
+                "FlowTime",
+                trace,
+                capacity,
+                windows=windows,
+                config=SimulationConfig(record_execution=True),
+                scheduler_kwargs={"planner": opts},
+            )
+            for mode, opts in modes.items()
+        }
+        return trace, capacity, windows, outcomes
+
+    def test_every_mode_is_validator_clean(self, verified_outcomes):
+        from repro.simulator.metrics import summarize
+        from repro.verify import ScheduleValidator
+
+        trace, capacity, windows, outcomes = verified_outcomes
+        jobs = [job for wf in trace.workflows for job in wf.jobs]
+        jobs += list(trace.adhoc_jobs)
+        for mode, outcome in outcomes.items():
+            validator = ScheduleValidator(
+                capacity, workflows=trace.workflows, jobs=jobs, windows=windows
+            )
+            report = validator.validate(outcome.result)
+            validator.check_reported(
+                outcome.result, summarize(outcome.result, windows), report
+            )
+            assert report.ok, f"{mode}: {report.render()}"
+
+    def test_outcome_metrics_identical_to_cold(self, verified_outcomes):
+        from repro.simulator.metrics import summarize
+
+        _trace, _capacity, windows, outcomes = verified_outcomes
+        def comparable(outcome):
+            summary = summarize(outcome.result, windows)
+            return {
+                k: v
+                for k, v in summary.items()
+                if not k.startswith("decide_ms")
+            }
+
+        cold = comparable(outcomes["cold"])
+        for mode in ("cached", "warm-only"):
+            assert comparable(outcomes[mode]) == cold, mode
+
+    def test_per_slot_usage_identical_to_cold(self, verified_outcomes):
+        *_rest, outcomes = verified_outcomes
+        cold = outcomes["cold"].result
+        for mode in ("cached", "warm-only"):
+            result = outcomes[mode].result
+            assert result.n_slots == cold.n_slots, mode
+            assert np.array_equal(result.usage, cold.usage), mode

@@ -391,3 +391,86 @@ class TestChaosEndToEnd:
             return sum(r.met_deadline for r in result.workflows.values())
 
         assert met(baseline) - met(chaotic) <= 1
+
+
+class TestServiceRunsVerified:
+    """Differential verification of the service paths: journal-replayed
+    and chaos-degraded runs are validator-clean, and a replayed run's
+    outcome metrics equal the plain batch run (docs/VERIFICATION.md)."""
+
+    @staticmethod
+    def _validate(cluster, workflows, adhoc, result, windows=None):
+        from repro.simulator.metrics import summarize
+        from repro.verify import ScheduleValidator
+
+        jobs = [job for wf in workflows for job in wf.jobs] + list(adhoc)
+        validator = ScheduleValidator(
+            cluster, workflows=workflows, jobs=jobs, windows=windows
+        )
+        report = validator.validate(result)
+        if windows is not None:
+            validator.check_reported(
+                result, summarize(result, windows), report
+            )
+        assert report.ok, report.render()
+
+    def test_journal_replay_is_clean_and_equals_batch(self, cluster, tmp_path):
+        from repro.core.decomposition import decompose_deadline
+        from repro.schedulers.registry import make_scheduler
+        from repro.simulator.engine import Simulation, SimulationConfig
+        from repro.simulator.metrics import summarize
+
+        workflows = [chain(f"w{i}") for i in range(2)]
+        adhoc = [adhoc_job(f"a{i}", arrival=0) for i in range(2)]
+        windows = {}
+        for workflow in workflows:
+            windows.update(decompose_deadline(workflow, cluster).windows)
+
+        config = ServiceConfig(
+            admission=False,
+            record_execution=True,
+            journal_path=str(tmp_path / "journal.jsonl"),
+        )
+        service = SchedulerService(cluster, config).start()
+        for workflow in workflows:
+            assert service.submit_workflow(workflow).accepted
+        for job in adhoc:
+            assert service.submit_adhoc(job).accepted
+        service.kill(timeout=30)
+        replayed = SchedulerService(cluster, config).start().drain(timeout=120)
+        self._validate(cluster, workflows, adhoc, replayed, windows)
+
+        batch = Simulation(
+            cluster,
+            make_scheduler("FlowTime"),
+            workflows=workflows,
+            adhoc_jobs=adhoc,
+            config=SimulationConfig(record_execution=True),
+        ).run()
+        self._validate(cluster, workflows, adhoc, batch, windows)
+
+        def comparable(result):
+            return {
+                k: v
+                for k, v in summarize(result, windows).items()
+                if not k.startswith("decide_ms")
+            }
+
+        assert comparable(replayed) == comparable(batch)
+
+    def test_chaos_degraded_run_is_validator_clean(self, cluster):
+        workflows = [chain(f"w{i}") for i in range(2)]
+        adhoc = [adhoc_job(f"a{i}", arrival=0) for i in range(2)]
+        with chaos_solver(
+            ChaosConfig(solver_fault_prob=0.30, seed=3)
+        ) as chaos:
+            service = SchedulerService(
+                cluster, ServiceConfig(admission=False, record_execution=True)
+            ).start()
+            for workflow in workflows:
+                assert service.submit_workflow(workflow).accepted
+            for job in adhoc:
+                assert service.submit_adhoc(job).accepted
+            result = service.drain(timeout=120)
+        assert chaos.n_faults > 0
+        self._validate(cluster, workflows, adhoc, result)

@@ -1,0 +1,437 @@
+"""Tests for the independent verification subsystem (:mod:`repro.verify`).
+
+The core property: a known-good schedule passes every check, and *any*
+mutation of it — a capacity overflow, a precedence swap, a shifted
+execution slot — is always flagged.  Plus the metric-recomputation
+regression over the example workload shapes and the trace-level checker.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import canonical_windows, run_one
+from repro.model.cluster import ClusterCapacity
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow
+from repro.obs import Observability
+from repro.obs.trace import MemorySink
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.failures import FailureModel
+from repro.simulator.metrics import summarize
+from repro.verify import (
+    ScheduleValidator,
+    VerificationError,
+    recompute_trace_metrics,
+    validate_trace,
+)
+from repro.workloads.traces import SyntheticTrace, generate_trace
+from tests.conftest import adhoc_job, deadline_job
+
+
+def diamond(workflow_id: str = "wf", deadline: int = 40) -> Workflow:
+    jobs = [
+        deadline_job(f"{workflow_id}-{name}", workflow_id)
+        for name in ("extract", "clean", "enrich", "report")
+    ]
+    edges = [
+        (f"{workflow_id}-extract", f"{workflow_id}-clean"),
+        (f"{workflow_id}-extract", f"{workflow_id}-enrich"),
+        (f"{workflow_id}-clean", f"{workflow_id}-report"),
+        (f"{workflow_id}-enrich", f"{workflow_id}-report"),
+    ]
+    return Workflow.from_jobs(workflow_id, jobs, edges, 0, deadline)
+
+
+EDGES = [
+    ("wf-extract", "wf-clean"),
+    ("wf-extract", "wf-enrich"),
+    ("wf-clean", "wf-report"),
+    ("wf-enrich", "wf-report"),
+]
+
+
+@pytest.fixture(scope="module")
+def good_run():
+    """One known-good verified run, shared (copied) by the mutation tests."""
+    capacity = ClusterCapacity.uniform(cpu=16, mem=32)
+    workflow = diamond()
+    adhoc = [adhoc_job("a0", arrival=0), adhoc_job("a1", arrival=3)]
+    trace = SyntheticTrace(workflows=(workflow,), adhoc_jobs=tuple(adhoc))
+    outcome = run_one(
+        "FlowTime",
+        trace,
+        capacity,
+        config=SimulationConfig(record_execution=True),
+    )
+    windows = canonical_windows(trace, capacity)
+    jobs = list(workflow.jobs) + adhoc
+    validator = ScheduleValidator(
+        capacity, workflows=(workflow,), jobs=jobs, windows=windows
+    )
+    return validator, outcome.result, windows
+
+
+class TestKnownGoodNeverFlagged:
+    def test_unmutated_run_is_clean(self, good_run):
+        validator, result, windows = good_run
+        report = validator.validate(result)
+        assert report.ok, report.render()
+        assert report.checks > 100
+
+    def test_reported_metrics_match_recomputation(self, good_run):
+        validator, result, windows = good_run
+        report = validator.check_reported(result, summarize(result, windows))
+        assert report.ok, report.render()
+
+
+class TestMutationsAlwaysFlagged:
+    """Hypothesis: every mutation of a good schedule trips the validator."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data())
+    def test_capacity_bump_is_flagged(self, good_run, data):
+        validator, result, _ = good_run
+        mutated = copy.deepcopy(result)
+        slot = data.draw(st.integers(0, mutated.n_slots - 1), label="slot")
+        r = data.draw(st.integers(0, len(mutated.resources) - 1), label="r")
+        excess = data.draw(st.integers(1, 10), label="excess")
+        cap = validator.cluster.at(slot)[mutated.resources[r]]
+        mutated.usage[slot, r] = cap + excess
+        report = validator.validate(mutated)
+        assert not report.ok
+        assert any(v.check == "capacity.used" for v in report.violations)
+
+    @settings(deadline=None, max_examples=20)
+    @given(edge=st.sampled_from(EDGES))
+    def test_swapped_precedence_is_flagged(self, good_run, edge):
+        validator, result, _ = good_run
+        parent_id, child_id = edge
+        mutated = copy.deepcopy(result)
+        jobs = dict(mutated.jobs)
+        parent, child = jobs[parent_id], jobs[child_id]
+        jobs[parent_id] = dataclasses.replace(
+            parent, completion_slot=child.completion_slot
+        )
+        jobs[child_id] = dataclasses.replace(
+            child, completion_slot=parent.completion_slot
+        )
+        mutated.jobs = jobs
+        report = validator.validate(mutated)
+        assert not report.ok
+        assert any(
+            v.check.startswith("precedence.") for v in report.violations
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data())
+    def test_shifted_execution_slot_is_flagged(self, good_run, data):
+        validator, result, _ = good_run
+        mutated = copy.deepcopy(result)
+        executed_slots = [
+            (slot, job_id)
+            for slot, row in enumerate(mutated.execution)
+            for job_id in row
+        ]
+        slot, job_id = data.draw(
+            st.sampled_from(executed_slots), label="placement"
+        )
+        direction = data.draw(st.sampled_from([-1, 1]), label="direction")
+        target = slot + direction
+        if not 0 <= target < len(mutated.execution):
+            target = slot - direction
+        rows = [dict(row) for row in mutated.execution]
+        units = rows[slot].pop(job_id)
+        rows[target][job_id] = rows[target].get(job_id, 0) + units
+        mutated.execution = tuple(rows)
+        report = validator.validate(mutated)
+        assert not report.ok
+
+
+class TestInjectedCapacityOverflow:
+    def test_verify_run_raises_on_injected_overflow(self, good_run):
+        """The acceptance-criterion mutation: a deliberate capacity
+        overflow in the usage matrix must raise through the report."""
+        validator, result, _ = good_run
+        mutated = copy.deepcopy(result)
+        mutated.usage[2] = mutated.usage[2] + 10_000
+        report = validator.validate(mutated)
+        with pytest.raises(VerificationError) as excinfo:
+            report.raise_if_violations()
+        assert any(
+            v.check == "capacity.used" for v in excinfo.value.report.violations
+        )
+
+
+class TestVerifyEndToEnd:
+    def test_simulation_verify_flag_is_clean(self, small_cluster):
+        workflow = diamond(deadline=60)
+        from repro.schedulers.registry import make_scheduler
+
+        sim = Simulation(
+            small_cluster,
+            make_scheduler("FlowTime"),
+            workflows=[workflow],
+            adhoc_jobs=[adhoc_job("a", arrival=0)],
+            config=SimulationConfig(verify=True),
+        )
+        result = sim.run()
+        assert result.verification is not None
+        assert result.verification.ok
+        assert result.verification.checks > 0
+        assert result.counter_value("verify.checks") > 0
+        assert result.counter_value("verify.violations") == 0
+
+    def test_runtime_verifier_counts_every_slot(self, small_cluster):
+        workflow = diamond(deadline=60)
+        from repro.schedulers.registry import make_scheduler
+
+        sim = Simulation(
+            small_cluster,
+            make_scheduler("FlowTime"),
+            workflows=[workflow],
+            config=SimulationConfig(verify=True),
+        )
+        result = sim.run()
+        # verify=True forces execution recording for the conservation
+        # checks even though the caller did not ask for it.
+        assert len(result.execution) == result.n_slots
+
+
+def _example_workloads():
+    """The example workload shapes (examples/*.py), scaled for CI."""
+    quickstart_cap = ClusterCapacity.uniform(cpu=40, mem=80)
+    spec = TaskSpec(
+        count=6, duration_slots=3, demand=ResourceVector({CPU: 2, MEM: 4})
+    )
+    jobs = [
+        Job(job_id=f"etl-{n}", tasks=spec, workflow_id="etl", name=n)
+        for n in ("extract", "clean", "enrich", "report")
+    ]
+    etl = Workflow.from_jobs(
+        "etl",
+        jobs,
+        [
+            ("etl-extract", "etl-clean"),
+            ("etl-extract", "etl-enrich"),
+            ("etl-clean", "etl-report"),
+            ("etl-enrich", "etl-report"),
+        ],
+        0,
+        60,
+        name="etl",
+    )
+    quickstart = SyntheticTrace(
+        workflows=(etl,),
+        adhoc_jobs=tuple(
+            Job(
+                job_id=f"query-{i}",
+                tasks=TaskSpec(
+                    count=4,
+                    duration_slots=2,
+                    demand=ResourceVector({CPU: 2, MEM: 2}),
+                ),
+                kind=JobKind.ADHOC,
+                arrival_slot=2 * i,
+            )
+            for i in range(2)
+        ),
+    )
+    mixed_cap = ClusterCapacity.uniform(cpu=64, mem=128)
+    mixed = generate_trace(
+        n_workflows=4,
+        jobs_per_workflow=12,
+        n_adhoc=30,
+        capacity=mixed_cap,
+        looseness=(4.0, 8.0),
+        adhoc_rate_per_slot=0.7,
+        workflow_spread_slots=50,
+        seed=15,
+    )
+    online = generate_trace(
+        n_workflows=6,
+        jobs_per_workflow=10,
+        n_adhoc=0,
+        capacity=mixed_cap,
+        workflow_spread_slots=1,
+        seed=7,
+    )
+    scientific = generate_trace(
+        n_workflows=3,
+        jobs_per_workflow=10,
+        n_adhoc=10,
+        capacity=mixed_cap,
+        scientific=True,
+        seed=15,
+    )
+    return [
+        pytest.param(quickstart, quickstart_cap, id="quickstart"),
+        pytest.param(mixed, mixed_cap, id="mixed_cluster"),
+        pytest.param(online, mixed_cap, id="online_service"),
+        pytest.param(scientific, mixed_cap, id="scientific"),
+    ]
+
+
+class TestExampleWorkloadRegression:
+    """Reported metrics == trace-recomputed metrics on the example shapes."""
+
+    @pytest.mark.parametrize("trace,capacity", _example_workloads())
+    def test_reported_equals_recomputed(self, trace, capacity):
+        sink = MemorySink()
+        outcome = run_one(
+            "FlowTime",
+            trace,
+            capacity,
+            config=SimulationConfig(record_execution=True),
+            obs=Observability(sink=sink),
+        )
+        windows = canonical_windows(trace, capacity)
+        jobs = [j for wf in trace.workflows for j in wf.jobs]
+        jobs += list(trace.adhoc_jobs)
+        validator = ScheduleValidator(
+            capacity, workflows=trace.workflows, jobs=jobs, windows=windows
+        )
+        report = validator.validate(outcome.result)
+        reported = summarize(outcome.result, windows)
+        validator.check_reported(outcome.result, reported, report)
+        assert report.ok, report.render()
+
+        # And independently again from the raw event trace alone.
+        trace_report = validate_trace(
+            sink.events, trace=trace, capacity=capacity, windows=windows
+        )
+        assert trace_report.ok, trace_report.render()
+        recomputed = recompute_trace_metrics(
+            sink.events, trace=trace, windows=windows
+        )
+        for key in (
+            "n_deadline_jobs",
+            "jobs_missed",
+            "workflows_missed",
+            "max_delta_s",
+            "mean_delta_s",
+        ):
+            assert recomputed[key] == pytest.approx(reported[key]), key
+        if reported["adhoc_turnaround_s"] is None:
+            assert recomputed["adhoc_turnaround_s"] is None
+        else:
+            assert recomputed["adhoc_turnaround_s"] == pytest.approx(
+                reported["adhoc_turnaround_s"]
+            )
+
+    def test_failure_injection_shape_with_setbacks(self):
+        """The failure_injection example: setbacks allowed, still clean."""
+        capacity = ClusterCapacity.uniform(cpu=24, mem=48)
+        workflow = diamond(deadline=80)
+        trace = SyntheticTrace(workflows=(workflow,), adhoc_jobs=())
+        outcome = run_one(
+            "FlowTime",
+            trace,
+            capacity,
+            config=SimulationConfig(
+                record_execution=True,
+                failures=FailureModel(setback_prob=0.3, seed=4),
+            ),
+        )
+        windows = canonical_windows(trace, capacity)
+        validator = ScheduleValidator(
+            capacity,
+            workflows=(workflow,),
+            jobs=workflow.jobs,
+            windows=windows,
+            allow_setbacks=True,
+        )
+        report = validator.validate(outcome.result)
+        validator.check_reported(
+            outcome.result, summarize(outcome.result, windows), report
+        )
+        assert report.ok, report.render()
+
+
+class TestTraceChecker:
+    def test_tampered_trace_is_flagged(self, good_run):
+        validator, result, windows = good_run
+        capacity = validator.cluster
+        workflow = diamond()
+        adhoc = [adhoc_job("a0", arrival=0), adhoc_job("a1", arrival=3)]
+        trace = SyntheticTrace(workflows=(workflow,), adhoc_jobs=tuple(adhoc))
+        sink = MemorySink()
+        run_one(
+            "FlowTime",
+            trace,
+            capacity,
+            config=SimulationConfig(record_execution=True),
+            obs=Observability(sink=sink),
+        )
+        clean = validate_trace(
+            sink.events, trace=trace, capacity=capacity, windows=windows
+        )
+        assert clean.ok, clean.render()
+
+        # Inflate one placement so conservation and capacity both break.
+        tampered = [dict(e) for e in sink.events]
+        placement = next(
+            e for e in tampered if e["type"] == "task_placement"
+        )
+        placement["units"] = placement["units"] + 10_000
+        report = validate_trace(
+            tampered, trace=trace, capacity=capacity, windows=windows
+        )
+        assert not report.ok
+
+    def test_metrics_need_run_markers(self):
+        with pytest.raises(ValueError):
+            recompute_trace_metrics(
+                [{"type": "job_arrived", "slot": 0, "job_id": "a", "seq": 0}]
+            )
+
+
+class TestFuzzHarness:
+    def test_one_case_runs_clean_on_every_path(self):
+        from repro.verify.fuzz import FUZZ_PATHS, make_workload, run_case
+
+        trace, capacity = make_workload(3)
+        for path in FUZZ_PATHS:
+            assert run_case(trace, capacity, path, 3) == [], path
+
+    def test_failure_persist_and_reload_roundtrip(self, tmp_path):
+        from repro.verify.fuzz import (
+            FuzzFailure,
+            load_failure,
+            make_workload,
+            persist_failure,
+        )
+
+        trace, capacity = make_workload(5)
+        failure = FuzzFailure(
+            seed=5,
+            path="batch",
+            violations=["capacity.used: synthetic"],
+            trace=trace,
+            capacity=capacity,
+            original_size=(len(trace.workflows), len(trace.adhoc_jobs)),
+        )
+        path = persist_failure(failure, tmp_path)
+        loaded = load_failure(path)
+        assert loaded.seed == 5 and loaded.path == "batch"
+        assert len(loaded.trace.workflows) == len(trace.workflows)
+        assert len(loaded.trace.adhoc_jobs) == len(trace.adhoc_jobs)
+        assert dict(loaded.capacity.base) == dict(capacity.base)
+
+    def test_crashing_path_counts_as_failure(self, monkeypatch):
+        import repro.verify.fuzz as fuzz
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(fuzz, "_run_batch", boom)
+        trace, capacity = fuzz.make_workload(1)
+        violations = fuzz.run_case(trace, capacity, "batch", 1)
+        assert violations and "synthetic crash" in violations[0]

@@ -1,0 +1,103 @@
+"""Differential-oracle tests: production lexmin vs the from-scratch LP.
+
+The acceptance bar: over the seeded tiny-instance generator, the
+production planner agrees with the independently built dense LP on at
+least 200 instances with zero disagreements.  Plus sanity on the
+exhaustive integral enumeration (the LP bound can only be tighter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify.oracle import (
+    check_instance,
+    enumerate_minimax,
+    generate_instance,
+    integral_feasible,
+    oracle_minimax,
+    run_oracle,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One shared 300-seed sweep (a few seconds, reused by every test)."""
+    return run_oracle(range(300))
+
+
+class TestOracleSweep:
+    def test_at_least_200_agreements_and_zero_disagreements(self, sweep):
+        agreements = [o for o in sweep if o.status == "agree"]
+        disagreements = [o for o in sweep if o.status == "disagree"]
+        assert not disagreements, [
+            (o.seed, o.detail) for o in disagreements[:5]
+        ]
+        assert len(agreements) >= 200
+
+    def test_agreements_carry_matching_thetas(self, sweep):
+        for outcome in sweep:
+            if outcome.status != "agree":
+                continue
+            assert outcome.oracle_theta == pytest.approx(
+                outcome.production_theta, abs=1e-4
+            )
+
+    def test_skips_are_explained(self, sweep):
+        for outcome in sweep:
+            if outcome.status == "skipped":
+                assert outcome.detail
+
+
+class TestInstanceGenerator:
+    def test_deterministic_per_seed(self):
+        assert generate_instance(11) == generate_instance(11)
+        assert generate_instance(11) != generate_instance(12)
+
+    def test_windows_individually_feasible(self):
+        for seed in range(100):
+            instance = generate_instance(seed)
+            for job in instance.jobs:
+                window = job.deadline - job.release
+                assert 0 < window
+                assert job.units <= window * job.max_parallel
+
+
+class TestEnumerationSanity:
+    def test_lp_never_above_integral_optimum(self):
+        """The fractional relaxation lower-bounds the integral optimum."""
+        checked = 0
+        for seed in range(120):
+            instance = generate_instance(seed)
+            integral = enumerate_minimax(instance, max_schedules=20_000)
+            if integral is None:
+                continue
+            fractional = oracle_minimax(instance)
+            assert fractional is not None
+            assert fractional <= integral + 1e-9
+            checked += 1
+        assert checked >= 30
+
+    def test_integral_feasibility_matches_enumeration(self):
+        for seed in range(80):
+            instance = generate_instance(seed)
+            integral = enumerate_minimax(instance, max_schedules=20_000)
+            feasible = integral_feasible(instance, max_schedules=20_000)
+            if feasible is None:
+                continue
+            assert feasible == (
+                integral is not None and integral <= 1.0 + 1e-9
+            ), seed
+
+
+class TestSingleInstance:
+    def test_one_job_trivial_instance_agrees(self):
+        # Find a 1-job instance and check it end to end.
+        seed = next(
+            s for s in range(50) if len(generate_instance(s).jobs) == 1
+        )
+        outcome = check_instance(seed)
+        assert outcome.status in ("agree", "skipped")
+        if outcome.status == "agree":
+            assert np.isfinite(outcome.production_theta)
