@@ -1,0 +1,159 @@
+"""Observability-overhead benchmark: the instrumented hot path must be cheap.
+
+The telemetry subsystem (metrics registry, windowed SLO feeds, trace
+stamping) rides the engine's per-slot hot path.  This harness proves the
+toll stays small: it runs the *identical* mixed workload twice per repeat —
+
+* ``null`` — :data:`repro.obs.NULL_OBS` explicitly installed (every metric
+  call hits the frozen no-op; spans and events vanish),
+* ``instrumented`` — a live :class:`repro.obs.Observability` (metrics
+  recorded, SLO counters fed; no trace sink, which is the serving default)
+
+— interleaved A/B over ``--repeats`` rounds, and compares *median*
+wall-clock times (medians because CI machines are noisy; a single outlier
+round must not decide the verdict).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --check
+
+Writes ``BENCH_obs_overhead.json`` (see ``--out``); with ``--check`` exits
+non-zero when the median overhead exceeds ``--max-overhead`` (default 5%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Sequence
+
+from repro.model.cluster import ClusterCapacity
+from repro.obs import NULL_OBS, Observability
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.engine import Simulation
+from repro.workloads.traces import generate_trace
+
+
+def build_workload(seed: int, capacity: ClusterCapacity):
+    """A mixed deadline + ad-hoc trace, the regime the service runs."""
+    return generate_trace(
+        n_workflows=4,
+        jobs_per_workflow=10,
+        n_adhoc=30,
+        capacity=capacity,
+        looseness=(4.0, 8.0),
+        adhoc_rate_per_slot=0.7,
+        workflow_spread_slots=50,
+        seed=seed,
+    )
+
+
+def run_once(trace, capacity: ClusterCapacity, obs) -> float:
+    """One full simulation under *obs*; returns wall-clock seconds."""
+    simulation = Simulation(
+        capacity,
+        make_scheduler("FlowTime"),
+        workflows=trace.workflows,
+        adhoc_jobs=trace.adhoc_jobs,
+        obs=obs,
+    )
+    start = time.perf_counter()
+    result = simulation.run()
+    elapsed = time.perf_counter() - start
+    assert result.finished, "benchmark workload did not finish"
+    return elapsed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="A/B rounds; medians are compared (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed"
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05, metavar="FRACTION",
+        help="with --check, fail when instrumented/null - 1 exceeds this "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the overhead bound is exceeded",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_obs_overhead.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    capacity = ClusterCapacity.uniform(cpu=64, mem=128)
+    trace = build_workload(args.seed, capacity)
+
+    # Warm-up: JIT-free Python still pays import/alloc warmup on round one.
+    run_once(trace, capacity, NULL_OBS)
+
+    null_times: list[float] = []
+    instrumented_times: list[float] = []
+    for round_no in range(args.repeats):
+        # Interleaved A/B: thermal drift hits both arms equally.
+        null_times.append(run_once(trace, capacity, NULL_OBS))
+        instrumented_times.append(
+            run_once(trace, capacity, Observability())
+        )
+        print(
+            f"[round {round_no + 1}/{args.repeats}] "
+            f"null {null_times[-1] * 1e3:.1f} ms, "
+            f"instrumented {instrumented_times[-1] * 1e3:.1f} ms",
+            flush=True,
+        )
+
+    null_median = statistics.median(null_times)
+    instrumented_median = statistics.median(instrumented_times)
+    overhead = instrumented_median / null_median - 1.0
+
+    report = {
+        "benchmark": "obs_overhead",
+        "workload": {
+            "n_workflows": len(trace.workflows),
+            "n_deadline_jobs": trace.n_deadline_jobs,
+            "n_adhoc": len(trace.adhoc_jobs),
+            "seed": args.seed,
+        },
+        "repeats": args.repeats,
+        "null_ms": [round(t * 1e3, 3) for t in null_times],
+        "instrumented_ms": [round(t * 1e3, 3) for t in instrumented_times],
+        "null_median_ms": round(null_median * 1e3, 3),
+        "instrumented_median_ms": round(instrumented_median * 1e3, 3),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead": args.max_overhead,
+        "within_bound": overhead <= args.max_overhead,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"median null {null_median * 1e3:.1f} ms, instrumented "
+        f"{instrumented_median * 1e3:.1f} ms -> overhead {overhead:+.2%} "
+        f"(bound {args.max_overhead:.0%})"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check and overhead > args.max_overhead:
+        print(
+            f"FAIL: observability overhead {overhead:.2%} exceeds "
+            f"{args.max_overhead:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Rate-driven load generator for a running scheduler service.
+
+Submits a mixed stream — small deadline workflows and ad-hoc jobs — to one
+HTTP frontend at a target request rate, each submission carrying its own
+``X-Request-Id``, and reports what came back: accept/reject/shed counts,
+client-observed latency quantiles, and the request ids used (so a trace
+written with ``repro serve --trace-out`` can be queried afterwards with
+``repro trace query``).
+
+Run against a live server::
+
+    PYTHONPATH=src python scripts/loadgen.py --url http://127.0.0.1:8080 \
+        --rate 20 --duration 10
+
+or import :func:`run_load` (the CI obs-smoke job does both).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.model.cluster import ClusterCapacity  # noqa: F401  (re-export for callers)
+from repro.model.job import Job, JobKind, TaskSpec
+from repro.model.resources import CPU, MEM, ResourceVector
+from repro.model.workflow import Workflow
+from repro.service import HttpServiceClient, QueueFullError, ServiceError
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _workflow(index: int, *, deadline_slots: int = 200) -> Workflow:
+    spec = TaskSpec(
+        count=1, duration_slots=2, demand=ResourceVector({CPU: 1, MEM: 1})
+    )
+    wid = f"lg-w{index}"
+    jobs = [
+        Job(job_id=f"{wid}-j{j}", tasks=spec, workflow_id=wid)
+        for j in range(2)
+    ]
+    return Workflow.from_jobs(
+        wid, jobs, [(f"{wid}-j0", f"{wid}-j1")], 0, deadline_slots
+    )
+
+
+def _adhoc(index: int) -> Job:
+    spec = TaskSpec(
+        count=1, duration_slots=1, demand=ResourceVector({CPU: 1, MEM: 1})
+    )
+    return Job(
+        job_id=f"lg-a{index}", tasks=spec, kind=JobKind.ADHOC, arrival_slot=0
+    )
+
+
+def run_load(
+    url: str,
+    *,
+    rate: float = 10.0,
+    duration_s: float = 5.0,
+    workflow_every: int = 5,
+    quiet: bool = False,
+) -> dict:
+    """Drive *url* at ``rate`` submissions/s for ``duration_s`` seconds.
+
+    Every ``workflow_every``-th submission is a deadline workflow; the
+    rest are ad-hoc jobs (the paper's mixed regime).  Returns a summary
+    dict; ``request_ids`` maps every submission to the correlation id it
+    carried.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    client = HttpServiceClient(url, max_retries=1)
+    interval = 1.0 / rate
+    started = time.monotonic()
+    deadline = started + duration_s
+    summary = {
+        "url": url,
+        "rate": rate,
+        "duration_s": duration_s,
+        "submitted": 0,
+        "accepted": 0,
+        "rejected": 0,
+        "shed": 0,
+        "errors": 0,
+        "request_ids": {},
+    }
+    latencies: list[float] = []
+    index = 0
+    next_send = started
+    while time.monotonic() < deadline:
+        now = time.monotonic()
+        if now < next_send:
+            time.sleep(min(next_send - now, interval))
+            continue
+        next_send += interval
+        request_id = f"loadgen-{index}"
+        is_workflow = index % workflow_every == 0
+        t0 = time.monotonic()
+        try:
+            if is_workflow:
+                result = client.submit_workflow(
+                    _workflow(index), request_id=request_id
+                )
+            else:
+                result = client.submit_adhoc(
+                    _adhoc(index), request_id=request_id
+                )
+            summary["accepted" if result.accepted else "rejected"] += 1
+        except QueueFullError:
+            summary["shed"] += 1
+        except (ServiceError, OSError):
+            summary["errors"] += 1
+        else:
+            summary["request_ids"][request_id] = (
+                "workflow" if is_workflow else "adhoc"
+            )
+        latencies.append(time.monotonic() - t0)
+        summary["submitted"] += 1
+        index += 1
+    latencies.sort()
+    summary["latency"] = {
+        "p50_ms": round(_quantile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_quantile(latencies, 0.95) * 1e3, 3),
+        "p99_ms": round(_quantile(latencies, 0.99) * 1e3, 3),
+    }
+    summary["achieved_rate"] = round(
+        summary["submitted"] / max(time.monotonic() - started, 1e-9), 2
+    )
+    if not quiet:
+        print(
+            f"loadgen: {summary['submitted']} submitted "
+            f"({summary['accepted']} accepted, {summary['rejected']} rejected, "
+            f"{summary['shed']} shed, {summary['errors']} errors) at "
+            f"{summary['achieved_rate']}/s; "
+            f"p50 {summary['latency']['p50_ms']} ms "
+            f"p99 {summary['latency']['p99_ms']} ms"
+        )
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True, help="server root URL")
+    parser.add_argument(
+        "--rate", type=float, default=10.0, help="submissions per second"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="how long to generate load",
+    )
+    parser.add_argument(
+        "--workflow-every", type=int, default=5, metavar="N",
+        help="every Nth submission is a deadline workflow (rest ad-hoc)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full summary as JSON instead of one line",
+    )
+    args = parser.parse_args(argv)
+    summary = run_load(
+        args.url,
+        rate=args.rate,
+        duration_s=args.duration,
+        workflow_every=args.workflow_every,
+        quiet=args.json,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    # Zero successful submissions against a live URL means the load never
+    # arrived — fail loudly so CI catches a dead server.
+    return 0 if summary["accepted"] > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

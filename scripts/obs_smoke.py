@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""CI smoke test for the telemetry subsystem, end to end and out of process.
+
+Starts ``repro serve`` as a subprocess with a JSONL trace sink, drives it
+with the load generator (every submission correlation-id-stamped), then
+checks the full observability surface while the server is live:
+
+* ``GET /metrics`` is strict JSON (no bare NaN tokens),
+* ``GET /metrics?format=prometheus`` passes the strict text-format parser,
+* ``GET /slo`` serves the error-budget snapshot,
+* SIGTERM drains gracefully,
+* ``repro trace query RUN.jsonl --request <id>`` reconstructs a submitted
+  workflow's timeline from the trace the server wrote.
+
+Run:  PYTHONPATH=src python scripts/obs_smoke.py
+Exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+TIMEOUT_S = 60
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+
+def fail(message: str, proc: subprocess.Popen | None = None) -> None:
+    print(f"OBS SMOKE FAIL: {message}", file=sys.stderr)
+    if proc is not None and proc.poll() is None:
+        proc.kill()
+    sys.exit(1)
+
+
+def get(url: str) -> tuple[str, str]:
+    with urllib.request.urlopen(url, timeout=TIMEOUT_S) as response:
+        return (
+            response.read().decode("utf-8"),
+            response.headers.get("Content-Type", ""),
+        )
+
+
+def main() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    trace_path = os.path.join(tempfile.mkdtemp(prefix="obs-smoke-"), "run.jsonl")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--batch-window", "0.05",
+            "--trace-out", trace_path,
+            "--trace-rotate-mb", "64",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+    url = None
+    deadline = time.time() + TIMEOUT_S
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            fail(f"server exited early (code {proc.returncode})", proc)
+        match = re.search(r"on (http://\S+)", line)
+        if match:
+            url = match.group(1)
+            break
+    if url is None:
+        fail("server never printed its URL", proc)
+    print(f"server up at {url} (trace -> {trace_path})")
+
+    # -- drive it with the load generator -------------------------------------
+    from loadgen import run_load
+
+    summary = run_load(url, rate=20.0, duration_s=3.0, workflow_every=4)
+    if summary["accepted"] == 0:
+        fail(f"loadgen got nothing accepted: {summary}", proc)
+    workflow_ids = [
+        rid for rid, kind in summary["request_ids"].items()
+        if kind == "workflow"
+    ]
+    if not workflow_ids:
+        fail("loadgen submitted no workflows", proc)
+    probe_id = workflow_ids[0]
+
+    # -- strict JSON metrics ---------------------------------------------------
+    body, _ = get(url + "/metrics")
+    if "NaN" in body:
+        fail("/metrics leaked a bare NaN token", proc)
+    json.loads(body)
+    print(f"/metrics strict JSON OK ({len(json.loads(body))} metrics)")
+
+    # -- Prometheus exposition, strictly parsed -------------------------------
+    from repro.obs import parse_prometheus
+
+    text, content_type = get(url + "/metrics?format=prometheus")
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        fail(f"wrong Prometheus content type: {content_type}", proc)
+    try:
+        families = parse_prometheus(text)
+    except ValueError as error:
+        fail(f"Prometheus output rejected by strict parser: {error}", proc)
+    for needed in (
+        "repro_service_submit_workflow_accepted_total",
+        "repro_http_requests_total",
+        "repro_http_request_seconds",
+    ):
+        if needed not in families:
+            fail(f"{needed} missing from Prometheus exposition", proc)
+    print(f"Prometheus exposition OK ({len(families)} families)")
+
+    # -- SLO endpoint ----------------------------------------------------------
+    slo = json.loads(get(url + "/slo")[0])
+    if set(slo) != {"config", "deadline", "decide_latency", "healthy"}:
+        fail(f"unexpected /slo shape: {sorted(slo)}", proc)
+    print(
+        f"/slo OK (healthy={slo['healthy']}, "
+        f"workflows total={slo['deadline']['total']})"
+    )
+
+    # -- graceful drain --------------------------------------------------------
+    proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        fail("server did not drain within the timeout", proc)
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode}:\n{output}")
+    print("graceful drain OK")
+
+    # -- timeline reconstruction from the written trace ------------------------
+    query = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "trace", "query", trace_path,
+            "--request", probe_id, "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        timeout=TIMEOUT_S,
+    )
+    if query.returncode != 0:
+        fail(
+            f"trace query for {probe_id} failed "
+            f"({query.returncode}):\n{query.stdout}\n{query.stderr}"
+        )
+    timeline = json.loads(query.stdout)
+    if timeline["admission"] != "accept" or not timeline["workflow_ids"]:
+        fail(f"timeline incomplete for {probe_id}: {timeline}")
+    print(
+        f"trace query OK: request {probe_id} -> "
+        f"workflow {timeline['workflow_ids']}, "
+        f"{timeline['n_events']} events, admission {timeline['admission']}"
+    )
+    print("OBS SMOKE PASSED")
+
+
+if __name__ == "__main__":
+    main()

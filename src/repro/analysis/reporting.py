@@ -42,7 +42,7 @@ from repro.model.cluster import ClusterCapacity
 from repro.model.job import Job, JobKind, TaskSpec
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.model.workflow import Workflow
-from repro.obs import Observability
+from repro.obs import Observability, SLOTracker
 from repro.schedulers.registry import make_scheduler
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import adhoc_turnaround_seconds
@@ -55,6 +55,7 @@ __all__ = [
     "format_comparison_table",
     "format_phase_table",
     "format_series",
+    "format_slo",
     "format_slowest_slot",
     "run_report",
     "turnaround_ratios",
@@ -113,6 +114,42 @@ def format_phase_table(metrics: Mapping[str, Mapping[str, float]]) -> str:
         )
     if len(lines) == 3:
         lines.append("(no phase timings recorded)")
+    return "\n".join(lines)
+
+
+def format_slo(snapshot: Mapping) -> str:
+    """Render an :meth:`repro.obs.SLOTracker.snapshot` as a short block.
+
+    The same deadline error-budget / decide-latency summary the service
+    exposes at ``GET /slo``, here for batch runs (the engine feeds the
+    ``slo.*`` metrics regardless of which frontend drives it).
+    """
+    config = snapshot.get("config") or {}
+    deadline = snapshot.get("deadline") or {}
+    decide = snapshot.get("decide_latency") or {}
+    healthy = snapshot.get("healthy")
+    state = "no data" if healthy is None else ("OK" if healthy else "VIOLATED")
+    lines = [f"SLO status: {state}"]
+    total = deadline.get("total")
+    if total:
+        compliance = deadline.get("compliance")
+        budget = deadline.get("budget_remaining")
+        lines.append(
+            f"  deadlines: {int(total - deadline.get('missed', 0))}/{int(total)}"
+            f" met ({compliance:.2%} vs {deadline.get('objective', 0):.2%}"
+            f" objective; error budget remaining {budget:.1%})"
+        )
+    else:
+        lines.append("  deadlines: no workflows completed")
+    p99 = decide.get("p99_s")
+    if p99 is not None:
+        lines.append(
+            f"  decide latency: p99 {p99 * 1000:.2f} ms"
+            f" (objective {config.get('decide_p99_s', 0) * 1000:.0f} ms,"
+            f" {decide.get('window_count', 0)} samples in window)"
+        )
+    else:
+        lines.append("  decide latency: no samples in window")
     return "\n".join(lines)
 
 
@@ -388,7 +425,8 @@ def _phase_latency_section(seed: int) -> list[str]:
         looseness=(4.0, 8.0), adhoc_rate_per_slot=0.7,
         workflow_spread_slots=40, seed=seed,
     )
-    outcome = run_one("FlowTime", trace, cluster, obs=Observability())
+    obs = Observability()
+    outcome = run_one("FlowTime", trace, cluster, obs=obs)
     lines = [
         "## Per-phase latency profile (instrumented FlowTime run)",
         "",
@@ -398,7 +436,9 @@ def _phase_latency_section(seed: int) -> list[str]:
     slowest = format_slowest_slot(outcome.result.metrics)
     if slowest:
         lines.append(slowest)
-    lines += ["```", ""]
+    # The engine feeds slo.* metrics during the run; read them back the
+    # same way the service's /slo endpoint does.
+    lines += ["", format_slo(SLOTracker(obs.registry).snapshot()), "```", ""]
     return lines
 
 

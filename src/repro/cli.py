@@ -10,6 +10,8 @@ The subcommands cover the library's workflow end to end::
     python -m repro verify run.jsonl --workload trace.json
     python -m repro compare --trace trace.json
     python -m repro serve --port 8080 --batch-window 0.1
+    python -m repro trace query run.jsonl --request 4f2a...
+    python -m repro top --url http://127.0.0.1:8080
 
 Cluster size is given with ``--cpu/--mem`` (every command defaults to the
 64-core / 128-GB mixed-cluster setup the examples use).  Traces are the
@@ -338,6 +340,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace (flushed on drain) to PATH",
     )
     serve.add_argument(
+        "--trace-rotate-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size-cap the --trace-out file: rotate to PATH.1..PATH.N when "
+        "it would exceed MB megabytes, so a long-running server cannot "
+        "fill the disk (default: unbounded)",
+    )
+    serve.add_argument(
+        "--trace-rotate-backups",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated generations to keep (with --trace-rotate-mb)",
+    )
+    slo = serve.add_argument_group(
+        "service-level objectives", "thresholds behind GET /slo"
+    )
+    slo.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.99,
+        metavar="FRACTION",
+        help="fraction of admitted workflows that must meet their deadline",
+    )
+    slo.add_argument(
+        "--slo-decide-p99",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="decide-latency p99 ceiling",
+    )
+    slo.add_argument(
+        "--slo-window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="rolling SLO evaluation window (burn rate, rolling p99)",
+    )
+    serve.add_argument(
         "--journal",
         metavar="PATH",
         help="write-ahead journal of accepted submissions (JSONL, fsync on "
@@ -383,6 +425,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_cluster_args(serve)
     _add_fault_args(serve)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="query a JSONL run trace",
+        description="Inspect a run's JSONL event trace (written by "
+        "`repro run --trace-out` or `repro serve --trace-out`).",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_query = trace_sub.add_parser(
+        "query",
+        help="reconstruct one request's timeline by its request id",
+        description="Join every event belonging to one submission — "
+        "admission decision, arrivals, placements, completion, deadline "
+        "outcome — out of the flat trace, by the X-Request-Id it was "
+        "submitted under.",
+    )
+    trace_query.add_argument(
+        "run_trace", metavar="RUN_JSONL", help="JSONL event trace"
+    )
+    trace_query.add_argument(
+        "--request", required=True, metavar="ID", help="request id to join"
+    )
+    trace_query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the timeline as JSON instead of text",
+    )
+    trace_query.add_argument(
+        "--max-events",
+        type=int,
+        default=50,
+        help="cap on listed events in text output",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running scheduler service",
+        description="Poll /status, /metrics and /slo of a `repro serve` "
+        "instance and render throughput, rolling latencies, queue depth, "
+        "and the SLO error budget. Ctrl-C exits.",
+    )
+    top.add_argument(
+        "--url", required=True, help="server root, e.g. http://127.0.0.1:8080"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (seconds)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames, then exit (default: loop forever)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
 
     return parser
 
@@ -592,6 +690,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Only `trace query` exists today; argparse enforces the subcommand.
+    import json as json_module
+
+    from repro.obs import format_timeline, read_trace, request_timeline
+
+    events = read_trace(args.run_trace)
+    timeline = request_timeline(events, args.request)
+    if args.json:
+        print(json_module.dumps(timeline.to_dict(), indent=2))
+    else:
+        print(format_timeline(timeline, max_events=args.max_events))
+    return 0 if timeline.found else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service import run_top
+
+    iterations = 1 if args.once else args.iterations
+    try:
+        return run_top(
+            args.url, interval_s=args.interval, iterations=iterations
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     trace = load_trace(args.trace)
@@ -627,7 +752,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cluster = _cluster(args)
     failures, error_model = _fault_models(args)
-    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    sink = None
+    if args.trace_out:
+        max_bytes = (
+            int(args.trace_rotate_mb * 1024 * 1024)
+            if args.trace_rotate_mb
+            else None
+        )
+        sink = JsonlSink(
+            args.trace_out,
+            max_bytes=max_bytes,
+            backups=args.trace_rotate_backups,
+        )
     obs = Observability(
         sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
     )
@@ -646,6 +782,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         failures=failures,
         error_model=error_model,
         fault_seed=args.fault_seed,
+        slo_deadline_objective=args.slo_objective,
+        slo_decide_p99_s=args.slo_decide_p99,
+        slo_window_s=args.slo_window,
     )
     with ExitStack() as stack:
         if args.chaos_fault_prob > 0.0 or args.chaos_slow_prob > 0.0:
@@ -671,7 +810,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {args.scheduler} on {server.url}", flush=True)
         print(
             "endpoints: POST /workflows  POST /jobs  GET /plan  GET /status  "
-            "GET /metrics  GET /healthz  GET /readyz",
+            "GET /metrics[?format=prometheus]  GET /slo  GET /healthz  "
+            "GET /readyz",
             flush=True,
         )
         if args.journal:
@@ -702,7 +842,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if plan_failures:
             print(f"degraded:  {plan_failures} plan failures survived")
         if sink is not None:
-            print(f"trace:     wrote {sink.n_events} events to {args.trace_out}")
+            rotated = (
+                f" ({sink.rotations} rotations)" if sink.rotations else ""
+            )
+            print(
+                f"trace:     wrote {sink.n_events} events to "
+                f"{args.trace_out}{rotated}"
+            )
     obs.close()
     return 0
 
@@ -715,6 +861,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "top": _cmd_top,
 }
 
 

@@ -1,8 +1,10 @@
-"""Observability: metrics registry, phase spans, and structured tracing.
+"""Observability: metrics, spans, tracing, request correlation, SLOs.
 
 The instrumentation layer behind ``Simulation(obs=...)``, ``repro run
---trace-out run.jsonl --metrics`` and the report's per-phase latency
-table.  See docs/OBSERVABILITY.md for the API guide and event schema.
+--trace-out run.jsonl --metrics``, the service's ``/metrics`` (JSON and
+Prometheus text) and ``/slo`` endpoints, and ``repro trace query``'s
+per-request timeline reconstruction.  See docs/OBSERVABILITY.md for the
+API guide and event schema.
 """
 
 from repro.obs.core import (
@@ -10,10 +12,29 @@ from repro.obs.core import (
     Observability,
     Span,
     current_obs,
+    current_request_id,
+    new_request_id,
     use_obs,
+    use_request_id,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    json_safe,
+)
+from repro.obs.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+)
+from repro.obs.prometheus import (
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.query import RequestTimeline, format_timeline, request_timeline
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.trace import (
+    EVENT_SCHEMA,
     EVENT_TYPES,
     JsonlSink,
     MemorySink,
@@ -22,10 +43,18 @@ from repro.obs.trace import (
     count_by_type,
     read_trace,
 )
+from repro.obs.windowed import (
+    DEFAULT_LATENCY_BOUNDS,
+    WindowedCounter,
+    WindowedHistogram,
+)
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "EVENT_SCHEMA",
     "EVENT_TYPES",
     "NULL_OBS",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
@@ -34,10 +63,23 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "Observability",
+    "RequestTimeline",
+    "SLOConfig",
+    "SLOTracker",
     "Span",
     "TraceSink",
+    "WindowedCounter",
+    "WindowedHistogram",
     "count_by_type",
     "current_obs",
+    "current_request_id",
+    "format_timeline",
+    "json_safe",
+    "new_request_id",
+    "parse_prometheus",
     "read_trace",
+    "render_prometheus",
+    "request_timeline",
     "use_obs",
+    "use_request_id",
 ]

@@ -21,7 +21,15 @@ from __future__ import annotations
 import math
 from typing import Iterator, Mapping
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+from repro.obs.windowed import WindowedCounter, WindowedHistogram
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "json_safe",
+]
 
 
 class Counter:
@@ -62,8 +70,11 @@ class Gauge:
     def value(self) -> float:
         return self._value
 
-    def snapshot(self) -> dict[str, float | str]:
-        return {"type": "gauge", "value": self._value}
+    def snapshot(self) -> dict[str, float | str | None]:
+        # A never-set gauge serialises as null, not NaN: bare NaN is not
+        # valid strict JSON and breaks standard parsers of /metrics.
+        value = None if math.isnan(self._value) else self._value
+        return {"type": "gauge", "value": value}
 
 
 class Histogram:
@@ -160,12 +171,14 @@ class MetricsRegistry:
     __slots__ = ("_metrics",)
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            str, Counter | Gauge | Histogram | WindowedCounter | WindowedHistogram
+        ] = {}
 
-    def _get_or_create(self, name: str, kind):
+    def _get_or_create(self, name: str, kind, **kwargs):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = kind(name)
+            metric = kind(name, **kwargs)
             self._metrics[name] = metric
         elif not isinstance(metric, kind):
             raise TypeError(
@@ -183,6 +196,22 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
 
+    def windowed_counter(self, name: str, **kwargs) -> WindowedCounter:
+        """Get-or-create a rolling-window counter (kwargs bind on create)."""
+        return self._get_or_create(name, WindowedCounter, **kwargs)
+
+    def windowed_histogram(self, name: str, **kwargs) -> WindowedHistogram:
+        """Get-or-create a rolling-window histogram (kwargs bind on create)."""
+        return self._get_or_create(name, WindowedHistogram, **kwargs)
+
+    def get(self, name: str):
+        """The metric object under *name*, or None (exposition layers)."""
+        return self._metrics.get(name)
+
+    def items(self):
+        """Sorted ``(name, metric)`` view (Prometheus exposition walks it)."""
+        return sorted(self._metrics.items())
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -195,3 +224,21 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, Mapping[str, float | str]]:
         """Plain-dict view of every metric (the hand-off to results/reports)."""
         return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with None (strict-JSON safety).
+
+    ``json.dumps`` happily emits bare ``NaN``/``Infinity`` — tokens that are
+    not JSON and that strict parsers reject.  Every snapshot that crosses a
+    serialisation boundary (the HTTP ``/metrics`` body, report artefacts)
+    goes through here first: empty-histogram stats and unset gauges become
+    ``null``, which every parser understands.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value

@@ -1,0 +1,263 @@
+"""Prometheus text-format (0.0.4) exposition and a strict parser.
+
+``render_prometheus`` walks a :class:`~repro.obs.metrics.MetricsRegistry`
+and emits the plain-text exposition format every Prometheus-compatible
+scraper understands:
+
+* :class:`~repro.obs.metrics.Counter` and
+  :class:`~repro.obs.windowed.WindowedCounter` → ``counter`` families with
+  the conventional ``_total`` suffix (all-time totals — windowed state is
+  a query-side concern; scrapers derive rates themselves).
+* :class:`~repro.obs.metrics.Gauge` → ``gauge`` (never-set gauges are
+  omitted: there is no NaN in a well-behaved exposition).
+* :class:`~repro.obs.metrics.Histogram` (exact, all samples retained) →
+  ``summary`` with ``quantile`` labels plus ``_sum``/``_count``.
+* :class:`~repro.obs.windowed.WindowedHistogram` (fixed buckets) → a real
+  ``histogram``: cumulative ``_bucket{le="..."}`` series ending in
+  ``+Inf``, plus ``_sum``/``_count``.
+
+Metric names are sanitised (``lp.solve`` → ``repro_lp_solve``) and the
+whole exposition is deterministic (sorted by name) so diffs are stable.
+
+``parse_prometheus`` is the matching *strict* parser used by tests and the
+CI obs-smoke job: it rejects undeclared families, malformed labels,
+non-monotone histogram buckets, missing ``+Inf`` buckets, and
+``_count``/``+Inf`` disagreements — if it accepts the output, a real
+scraper will too.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.windowed import WindowedCounter, WindowedHistogram
+
+__all__ = [
+    "CONTENT_TYPE",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: The content type Prometheus scrapers expect for text format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles exposed for exact (summary-style) histograms.
+_SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a registry name onto the Prometheus name grammar.
+
+    Dots and other illegal characters become underscores and the exposition
+    namespace prefix is prepended: ``service.queue.depth`` →
+    ``repro_service_queue_depth``.
+    """
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, *, prefix: str = "repro"
+) -> str:
+    """Render *registry* as Prometheus text format 0.0.4.
+
+    Unknown metric kinds and never-set gauges are skipped; two registry
+    names colliding after sanitisation raise ``ValueError`` (a silent
+    merge would corrupt both series).
+    """
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+    for name, metric in registry.items():
+        base = sanitize_metric_name(name, prefix)
+        family = (
+            f"{base}_total"
+            if isinstance(metric, (Counter, WindowedCounter))
+            else base
+        )
+        if family in seen:
+            raise ValueError(
+                f"metric names {seen[family]!r} and {name!r} both sanitise "
+                f"to {family!r}"
+            )
+        seen[family] = name
+        if isinstance(metric, (Counter, WindowedCounter)):
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if math.isnan(metric.value):
+                continue  # never set: omit rather than exposing NaN
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt(metric.value)}")
+        elif isinstance(metric, WindowedHistogram):
+            lines.append(f"# TYPE {family} histogram")
+            for bound, cumulative in metric.cumulative_buckets():
+                lines.append(
+                    f'{family}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{family}_sum {_fmt(metric.sum)}")
+            lines.append(f"{family}_count {metric.count}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {family} summary")
+            if metric.count:
+                for q in _SUMMARY_QUANTILES:
+                    lines.append(
+                        f'{family}{{quantile="{_fmt(q)}"}} '
+                        f"{_fmt(metric.quantile(q))}"
+                    )
+            lines.append(f"{family}_sum {_fmt(metric.sum if metric.count else 0.0)}")
+            lines.append(f"{family}_count {metric.count}")
+        # other kinds: not exposable; skip silently
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- strict parsing --------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {line_no}: unparseable value {text!r}") from None
+
+
+def _family_of(sample_name: str, families: Mapping[str, str]) -> str | None:
+    if sample_name in families:
+        return sample_name
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Strictly parse text-format 0.0.4; raise ``ValueError`` on violations.
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value)]}}``.
+    Enforced beyond the line grammar: every sample belongs to a declared
+    family; ``histogram`` families have monotone cumulative buckets ending
+    in ``le="+Inf"`` whose count equals ``_count``.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {line_no}: malformed TYPE comment")
+            _, _, family, kind = parts
+            if not _NAME_OK.match(family):
+                raise ValueError(f"line {line_no}: bad family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_no}: unknown type {kind!r}")
+            if family in types:
+                raise ValueError(f"line {line_no}: duplicate TYPE for {family!r}")
+            types[family] = kind
+            families[family] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP / free comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                label_match = _LABEL_RE.match(pair)
+                if label_match is None:
+                    raise ValueError(
+                        f"line {line_no}: malformed label {pair!r}"
+                    )
+                labels[label_match.group("key")] = label_match.group("value")
+        value = _parse_value(match.group("value"), line_no)
+        family = _family_of(name, families)
+        if family is None:
+            raise ValueError(
+                f"line {line_no}: sample {name!r} has no TYPE declaration"
+            )
+        kind = types[family]
+        if kind == "histogram" and name == f"{family}_bucket" and "le" not in labels:
+            raise ValueError(f"line {line_no}: histogram bucket without le label")
+        families[family]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        buckets = [
+            (_parse_value(labels["le"], 0), value)
+            for name, labels, value in data["samples"]
+            if name == f"{family}_bucket"
+        ]
+        if not buckets:
+            raise ValueError(f"histogram {family!r} has no buckets")
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ValueError(f"histogram {family!r}: le bounds out of order")
+        if not math.isinf(bounds[-1]):
+            raise ValueError(f"histogram {family!r}: missing +Inf bucket")
+        counts = [c for _, c in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            raise ValueError(
+                f"histogram {family!r}: cumulative bucket counts decrease"
+            )
+        total = [
+            value
+            for name, _, value in data["samples"]
+            if name == f"{family}_count"
+        ]
+        if total and total[0] != counts[-1]:
+            raise ValueError(
+                f"histogram {family!r}: _count {total[0]} != +Inf bucket "
+                f"{counts[-1]}"
+            )
+    return families

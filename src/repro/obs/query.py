@@ -1,0 +1,202 @@
+"""Trace queries: reconstruct one request's timeline from a flat trace.
+
+The trace is a flat stream of events from many concurrent submissions.
+Correlation works in two hops, because only events emitted *while the
+request context is live* carry the ``request_id`` stamp directly:
+
+1. **Stamped events** — admission decisions, journal writes, spans —
+   name the request id and reveal which entities (workflow id, job ids)
+   the submission created.
+2. **Entity events** — arrivals, readiness, placements, completions,
+   deadline outcomes — fire later on the engine loop, keyed by those
+   entity ids (and stamped too when the engine knows the mapping; the
+   join here does not rely on it).
+
+``request_timeline`` performs that join and distills the lifecycle facts
+a "what happened to my submission?" investigation needs: when it was
+admitted and with what verdict, which slots placed work for it, and
+whether the deadline was met.  ``format_timeline`` renders it for
+``repro trace query RUN.jsonl --request <id>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "RequestTimeline",
+    "format_timeline",
+    "request_timeline",
+]
+
+#: Event fields that name a workflow / job entity.
+_WORKFLOW_KEYS = ("workflow_id",)
+_JOB_KEYS = ("job_id",)
+
+
+def _sort_key(event: dict):
+    return (event.get("ts", 0.0), event.get("seq", 0))
+
+
+@dataclass
+class RequestTimeline:
+    """Everything the trace knows about one submission."""
+
+    request_id: str
+    #: All correlated events, ordered by (ts, seq).
+    events: list[dict] = field(default_factory=list)
+    #: Entity ids the submission created.
+    workflow_ids: list[str] = field(default_factory=list)
+    job_ids: list[str] = field(default_factory=list)
+    #: Lifecycle summary (populated from the events).
+    admission: str | None = None  # "accept" | "reject" | None
+    submitted_slot: int | None = None
+    placement_slots: list[int] = field(default_factory=list)
+    units_placed: float = 0.0
+    completed_slot: int | None = None
+    deadline_slot: int | None = None
+    deadline_missed: bool | None = None
+
+    @property
+    def found(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "n_events": len(self.events),
+            "workflow_ids": self.workflow_ids,
+            "job_ids": self.job_ids,
+            "admission": self.admission,
+            "submitted_slot": self.submitted_slot,
+            "placement_slots": self.placement_slots,
+            "units_placed": self.units_placed,
+            "completed_slot": self.completed_slot,
+            "deadline_slot": self.deadline_slot,
+            "deadline_missed": self.deadline_missed,
+            "events": self.events,
+        }
+
+
+def request_timeline(
+    events: Iterable[dict], request_id: str
+) -> RequestTimeline:
+    """Join the events belonging to *request_id* out of a flat trace."""
+    all_events = list(events)
+    timeline = RequestTimeline(request_id=request_id)
+
+    # Hop 1: directly stamped events reveal the submission's entities.
+    workflows: set[str] = set()
+    jobs: set[str] = set()
+    for event in all_events:
+        if event.get("request_id") != request_id:
+            continue
+        for key in _WORKFLOW_KEYS:
+            if event.get(key) is not None:
+                workflows.add(str(event[key]))
+        for key in _JOB_KEYS:
+            if event.get(key) is not None:
+                jobs.add(str(event[key]))
+
+    # Hop 2: collect every event touching the request or its entities.
+    matched: list[dict] = []
+    for event in all_events:
+        if event.get("request_id") == request_id:
+            matched.append(event)
+            continue
+        if any(str(event.get(k)) in workflows for k in _WORKFLOW_KEYS if event.get(k) is not None):
+            matched.append(event)
+            continue
+        if any(str(event.get(k)) in jobs for k in _JOB_KEYS if event.get(k) is not None):
+            matched.append(event)
+    matched.sort(key=_sort_key)
+
+    timeline.events = matched
+    timeline.workflow_ids = sorted(workflows)
+    timeline.job_ids = sorted(jobs)
+
+    for event in matched:
+        kind = event.get("type")
+        if kind == "admission_accept":
+            timeline.admission = "accept"
+            timeline.submitted_slot = event.get("slot")
+        elif kind == "admission_reject":
+            timeline.admission = "reject"
+            timeline.submitted_slot = event.get("slot")
+        elif kind in ("workflow_arrived", "job_arrived"):
+            if timeline.submitted_slot is None:
+                timeline.submitted_slot = event.get("slot")
+        elif kind == "task_placement":
+            slot = event.get("slot")
+            if slot is not None and slot not in timeline.placement_slots:
+                timeline.placement_slots.append(slot)
+            timeline.units_placed += float(event.get("units", 0.0))
+        elif kind == "workflow_completed":
+            timeline.completed_slot = event.get("slot")
+            if timeline.deadline_missed is None:
+                timeline.deadline_missed = False
+        elif kind == "job_completed" and not timeline.workflow_ids:
+            # ad-hoc submission: the job's completion is the terminal event
+            timeline.completed_slot = event.get("slot")
+        elif kind == "workflow_deadline_miss":
+            timeline.deadline_slot = event.get("deadline_slot")
+            timeline.deadline_missed = True
+    return timeline
+
+
+def format_timeline(timeline: RequestTimeline, *, max_events: int = 50) -> str:
+    """Human-readable rendering for the ``repro trace query`` CLI."""
+    lines = [f"request {timeline.request_id}"]
+    if not timeline.found:
+        lines.append("  no events found for this request id")
+        return "\n".join(lines)
+    if timeline.workflow_ids:
+        lines.append(f"  workflows: {', '.join(timeline.workflow_ids)}")
+    if timeline.job_ids:
+        lines.append(f"  jobs:      {', '.join(timeline.job_ids)}")
+    if timeline.admission is not None:
+        lines.append(
+            f"  admission: {timeline.admission}"
+            + (
+                f" (slot {timeline.submitted_slot})"
+                if timeline.submitted_slot is not None
+                else ""
+            )
+        )
+    if timeline.placement_slots:
+        first, last = timeline.placement_slots[0], timeline.placement_slots[-1]
+        lines.append(
+            f"  placed:    {timeline.units_placed:g} units across "
+            f"{len(timeline.placement_slots)} slots ({first}..{last})"
+        )
+    if timeline.completed_slot is not None:
+        lines.append(f"  completed: slot {timeline.completed_slot}")
+    if timeline.deadline_missed is True:
+        lines.append(
+            f"  deadline:  MISSED (deadline slot {timeline.deadline_slot})"
+        )
+    elif timeline.deadline_missed is False:
+        lines.append("  deadline:  met")
+    lines.append(f"  events ({len(timeline.events)}):")
+    shown: Sequence[dict] = timeline.events[:max_events]
+    for event in shown:
+        slot = event.get("slot")
+        prefix = f"slot {slot:>4}" if slot is not None else " " * 9
+        detail = _event_detail(event)
+        lines.append(f"    {prefix}  {event.get('type', '?'):<24}{detail}")
+    if len(timeline.events) > len(shown):
+        lines.append(f"    ... {len(timeline.events) - len(shown)} more")
+    return "\n".join(lines)
+
+
+def _event_detail(event: dict) -> str:
+    parts = []
+    for key in ("workflow_id", "job_id", "units", "deadline_slot", "name",
+                "seconds", "reason"):
+        if key in event and event[key] is not None:
+            value = event[key]
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            parts.append(f"{key}={value}")
+    return "  " + " ".join(parts) if parts else ""

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import IO, Iterable
 
 __all__ = [
+    "EVENT_SCHEMA",
     "EVENT_TYPES",
     "JsonlSink",
     "MemorySink",
@@ -36,26 +37,47 @@ __all__ = [
     "read_trace",
 ]
 
+#: Required payload fields per event type — the trace schema contract.
+#: Every event type emitted anywhere in the stack MUST be declared here
+#: with the fields a consumer may rely on (events may carry more, e.g. the
+#: optional ``request_id`` correlation stamp and ``workflow_id`` on job
+#: events).  tests/test_trace_schema.py enforces both directions: every
+#: emission site uses a declared type, and every emitted event carries its
+#: type's required fields — schema drift fails CI instead of silently
+#: breaking downstream consumers.
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    # engine lifecycle
+    "run_start": ("scheduler", "n_jobs", "n_workflows", "slot_seconds"),
+    "run_end": ("n_slots", "finished"),
+    # engine-emitted workload events
+    "workflow_arrived": ("slot", "workflow_id"),
+    "job_arrived": ("slot", "job_id"),
+    "job_ready": ("slot", "job_id", "workflow_id"),
+    "task_placement": ("slot", "job_id", "units"),
+    "job_preempted": ("slot", "job_id"),
+    "job_completed": ("slot", "job_id"),
+    "job_setback": ("slot", "job_id", "lost_units"),
+    "workflow_completed": ("slot", "workflow_id"),
+    "workflow_deadline_miss": ("slot", "workflow_id", "deadline_slot"),
+    # admission control
+    "admission_accept": ("workflow_id", "slot", "utilisation"),
+    "admission_reject": ("workflow_id", "slot", "shortfall_units", "utilisation"),
+    # planner degradation
+    "plan_fallback": ("slot", "reason", "backend"),
+    "plan_recovered": ("slot",),
+    # service lifecycle
+    "service_start": ("scheduler", "realtime"),
+    "service_stop": ("slot", "killed"),
+    "service_drain_start": ("slot",),
+    "service_recovered": ("journal", "n_recovered", "n_skipped"),
+    # opt-in per-phase span records (Observability(trace_spans=True))
+    "span": ("name", "seconds"),
+}
+
 #: Event types the instrumented stack emits (see docs/OBSERVABILITY.md for
 #: each type's payload fields).  Other layers may emit additional types;
 #: consumers should ignore types they do not know.
-EVENT_TYPES: tuple[str, ...] = (
-    "run_start",
-    "workflow_arrived",
-    "job_arrived",
-    "job_ready",
-    "task_placement",
-    "job_preempted",
-    "job_completed",
-    "job_setback",
-    "workflow_completed",
-    "workflow_deadline_miss",
-    "admission_accept",
-    "admission_reject",
-    "plan_fallback",
-    "plan_recovered",
-    "run_end",
-)
+EVENT_TYPES: tuple[str, ...] = tuple(EVENT_SCHEMA)
 
 
 class TraceSink:
@@ -122,18 +144,65 @@ class MemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Appends one JSON object per line to *path* (created/truncated)."""
+    """Appends one JSON object per line to *path* (created/truncated).
 
-    def __init__(self, path: str | Path):
+    With ``max_bytes`` set the file is size-capped: when the next line
+    would push past the cap, the current file rotates to ``path.1`` (older
+    generations shift to ``path.2`` ... ``path.<backups>``, the oldest is
+    dropped) and writing restarts on a fresh file.  A long-running
+    ``repro serve --trace-out ... --trace-rotate-mb N`` therefore occupies
+    at most ``(backups + 1) * max_bytes`` on disk instead of filling it.
+    Sequence numbers keep counting across rotations, so readers stitching
+    generations back together can re-order and detect gaps.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_bytes: int | None = None,
+        backups: int = 3,
+    ):
         super().__init__()
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.rotations = 0
+        self._bytes = 0
         self._file: IO[str] | None = self.path.open("w")
 
     def write(self, event: dict) -> None:
         if self._file is None:
             raise ValueError(f"trace sink for {self.path} is closed")
-        json.dump(event, self._file, separators=(",", ":"), default=str)
-        self._file.write("\n")
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes > 0
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._file.write(line)
+        self._bytes += len(line)
+
+    def _rotate(self) -> None:
+        """Shift path -> path.1 -> ... -> path.<backups>; reopen fresh."""
+        assert self._file is not None
+        self._file.close()
+        if self.backups > 0:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for i in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._file = self.path.open("w")
+        self._bytes = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._file is not None:

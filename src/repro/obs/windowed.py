@@ -1,0 +1,295 @@
+"""Bounded windowed metrics: O(1)-memory rolling counters and histograms.
+
+The exact metrics of :mod:`repro.obs.metrics` retain every sample — the
+right trade for a finite batch run, and an unbounded memory leak for a
+service that runs for weeks.  This module is the service-path complement:
+
+* :class:`WindowedCounter` — a monotonic total plus a ring of per-slice
+  sub-totals, answering "how many in the last minute / five minutes" and
+  "at what rate" without retaining events.
+* :class:`WindowedHistogram` — fixed bucket boundaries (Prometheus-style
+  cumulative ``le`` semantics) with the same slice ring, answering rolling
+  quantiles (estimated by linear interpolation inside a bucket) and
+  feeding the Prometheus ``_bucket`` exposition from its all-time totals.
+
+Both are O(bounds x slices) memory forever, regardless of traffic.  The
+slice ring is advanced lazily on write/read (no background threads): slice
+``i`` holds data for tick ``t`` iff ``t % n_slices == i`` and is zeroed the
+first time a newer tick touches it.  The clock is injectable so tests can
+drive time deterministically.
+
+Thread-safety matches the exact metrics: CPython attribute updates under
+the GIL — racy increments may rarely be lost, never corrupt structure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from typing import Callable, Sequence
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "WindowedCounter",
+    "WindowedHistogram",
+]
+
+#: Default latency bucket upper bounds in seconds (Prometheus' classic
+#: ladder).  The final +Inf bucket is implicit.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class _SliceRing:
+    """Shared slice bookkeeping: ``window_s`` split into ``n_slices``."""
+
+    __slots__ = ("window_s", "n_slices", "slice_s", "_clock", "_ticks")
+
+    def __init__(
+        self, window_s: float, n_slices: int, clock: Callable[[], float]
+    ):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if n_slices < 2:
+            raise ValueError(f"n_slices must be >= 2, got {n_slices}")
+        self.window_s = float(window_s)
+        self.n_slices = int(n_slices)
+        self.slice_s = self.window_s / self.n_slices
+        self._clock = clock
+        # The tick each slice currently holds; -1 = never written.
+        self._ticks = [-1] * self.n_slices
+
+    def tick(self) -> int:
+        return int(self._clock() // self.slice_s)
+
+    def slot_for(self, tick: int) -> int:
+        return tick % self.n_slices
+
+    def live_slots(self, tick: int, window_s: float | None) -> list[int]:
+        """Slice indices whose data falls inside the trailing window."""
+        window = self.window_s if window_s is None else float(window_s)
+        if window > self.window_s:
+            raise ValueError(
+                f"window {window}s exceeds retained {self.window_s}s"
+            )
+        need = max(int(math.ceil(window / self.slice_s)), 1)
+        oldest = tick - need + 1
+        return [
+            i
+            for i, t in enumerate(self._ticks)
+            if oldest <= t <= tick
+        ]
+
+
+class WindowedCounter:
+    """A monotonic counter with a rolling-window view.
+
+    ``value`` is the all-time total (what Prometheus scrapes); ``delta`` /
+    ``rate`` answer over the trailing window.  Memory is fixed:
+    ``n_slices`` floats.
+    """
+
+    __slots__ = ("name", "_ring", "_slices", "_total")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window_s: float = 300.0,
+        n_slices: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self._ring = _SliceRing(window_s, n_slices, clock)
+        self._slices = [0.0] * self._ring.n_slices
+        self._total = 0.0
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        tick = self._ring.tick()
+        slot = self._ring.slot_for(tick)
+        if self._ring._ticks[slot] != tick:
+            self._ring._ticks[slot] = tick
+            self._slices[slot] = 0.0
+        self._slices[slot] += amount
+        self._total += amount
+
+    @property
+    def value(self) -> float:
+        """All-time total (monotonic; survives window rotation)."""
+        return self._total
+
+    def delta(self, window_s: float | None = None) -> float:
+        """Sum of increments inside the trailing window."""
+        tick = self._ring.tick()
+        return sum(
+            self._slices[i] for i in self._ring.live_slots(tick, window_s)
+        )
+
+    def rate(self, window_s: float | None = None) -> float:
+        """Mean per-second rate over the trailing window."""
+        window = self._ring.window_s if window_s is None else float(window_s)
+        return self.delta(window) / window
+
+    def snapshot(self) -> dict[str, float | str]:
+        return {
+            "type": "windowed_counter",
+            "value": self._total,
+            "window_s": self._ring.window_s,
+            "delta_1m": self.delta(min(60.0, self._ring.window_s)),
+            "rate_1m": self.rate(min(60.0, self._ring.window_s)),
+            "rate_window": self.rate(),
+        }
+
+
+class WindowedHistogram:
+    """Fixed-bucket histogram with a rolling window and all-time totals.
+
+    ``bounds`` are bucket *upper* bounds (ascending); an implicit +Inf
+    bucket catches the tail.  Rolling quantiles merge the live slices'
+    bucket counts and interpolate linearly inside the selected bucket —
+    bounded error, zero retained samples.  All-time cumulative bucket
+    counts feed the Prometheus ``histogram`` exposition directly.
+    """
+
+    __slots__ = (
+        "name", "bounds", "_ring", "_counts", "_sums", "_ns",
+        "_total_counts", "_total_sum", "_total_n",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS,
+        window_s: float = 300.0,
+        n_slices: int = 60,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("bounds must not be empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must be strictly ascending: {bounds}")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError("bounds must be finite (+Inf bucket is implicit)")
+        self.name = name
+        self.bounds = bounds
+        self._ring = _SliceRing(window_s, n_slices, clock)
+        n_buckets = len(bounds) + 1  # final slot is the +Inf bucket
+        self._counts = [[0] * n_buckets for _ in range(self._ring.n_slices)]
+        self._sums = [0.0] * self._ring.n_slices
+        self._ns = [0] * self._ring.n_slices
+        self._total_counts = [0] * n_buckets
+        self._total_sum = 0.0
+        self._total_n = 0
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        bucket = bisect.bisect_left(self.bounds, value)
+        tick = self._ring.tick()
+        slot = self._ring.slot_for(tick)
+        if self._ring._ticks[slot] != tick:
+            self._ring._ticks[slot] = tick
+            counts = self._counts[slot]
+            for i in range(len(counts)):
+                counts[i] = 0
+            self._sums[slot] = 0.0
+            self._ns[slot] = 0
+        self._counts[slot][bucket] += 1
+        self._sums[slot] += value
+        self._ns[slot] += 1
+        self._total_counts[bucket] += 1
+        self._total_sum += value
+        self._total_n += 1
+
+    # -- all-time (Prometheus exposition) -----------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._total_n
+
+    @property
+    def sum(self) -> float:
+        return self._total_sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """All-time ``(le, cumulative_count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self._total_counts):
+            running += n
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self._total_counts[-1]))
+        return pairs
+
+    # -- rolling window ------------------------------------------------------------
+
+    def window_count(self, window_s: float | None = None) -> int:
+        tick = self._ring.tick()
+        return sum(self._ns[i] for i in self._ring.live_slots(tick, window_s))
+
+    def rate(self, window_s: float | None = None) -> float:
+        window = self._ring.window_s if window_s is None else float(window_s)
+        return self.window_count(window) / window
+
+    def quantile(self, q: float, window_s: float | None = None) -> float:
+        """Estimated quantile over the trailing window (NaN when empty).
+
+        Linear interpolation inside the chosen bucket; values landing in
+        the +Inf bucket report the largest finite bound (a floor — the
+        honest answer for an estimator with bounded buckets).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        tick = self._ring.tick()
+        live = self._ring.live_slots(tick, window_s)
+        merged = [0] * (len(self.bounds) + 1)
+        total = 0
+        for i in live:
+            counts = self._counts[i]
+            total += self._ns[i]
+            for b, n in enumerate(counts):
+                merged[b] += n
+        if total == 0:
+            return math.nan
+        target = q * total
+        running = 0
+        for b, n in enumerate(merged):
+            if n == 0:
+                continue
+            if running + n >= target:
+                if b >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1]
+                low = self.bounds[b - 1] if b > 0 else 0.0
+                high = self.bounds[b]
+                frac = (target - running) / n
+                return low + (high - low) * frac
+            running += n
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, float | str]:
+        one_m = min(60.0, self._ring.window_s)
+        return {
+            "type": "windowed_histogram",
+            "count": float(self._total_n),
+            "sum": self._total_sum,
+            "window_s": self._ring.window_s,
+            "window_count": float(self.window_count()),
+            "rate_1m": self.window_count(one_m) / one_m,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }

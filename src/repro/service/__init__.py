@@ -34,6 +34,7 @@ from repro.service.client import (
 from repro.service.core import SchedulerService
 from repro.service.http import ServiceHTTPServer, serve_http
 from repro.service.journal import JournalRecord, SubmissionJournal, read_journal
+from repro.service.top import render_dashboard, run_top
 
 __all__ = [
     "HttpServiceClient",
@@ -50,5 +51,7 @@ __all__ = [
     "SubmissionJournal",
     "SubmitResult",
     "read_journal",
+    "render_dashboard",
+    "run_top",
     "serve_http",
 ]

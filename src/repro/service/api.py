@@ -114,6 +114,11 @@ class ServiceConfig:
             workflow id (``fault_seed``), so a journal replay reproduces
             the same believed estimates.
         fault_seed: base seed for ``error_model`` perturbation.
+        slo_deadline_objective: fraction of admitted workflows that must
+            meet their deadline (the ``GET /slo`` error-budget objective).
+        slo_decide_p99_s: decide-latency p99 ceiling in seconds.
+        slo_window_s: rolling SLO evaluation window in seconds (burn rate,
+            rolling p99).
     """
 
     scheduler: str = "FlowTime"
@@ -134,6 +139,9 @@ class ServiceConfig:
     failures: Optional["FailureModel"] = None
     error_model: Optional["ErrorModel"] = None
     fault_seed: int = 0
+    slo_deadline_objective: float = 0.99
+    slo_decide_p99_s: float = 1.0
+    slo_window_s: float = 300.0
 
     def __post_init__(self) -> None:
         if self.slot_seconds <= 0:
@@ -146,6 +154,12 @@ class ServiceConfig:
             raise ValueError("drain_max_slots must be >= 1")
         if self.command_queue_limit < 1:
             raise ValueError("command_queue_limit must be >= 1")
+        if not 0.0 < self.slo_deadline_objective < 1.0:
+            raise ValueError("slo_deadline_objective must be in (0, 1)")
+        if self.slo_decide_p99_s <= 0:
+            raise ValueError("slo_decide_p99_s must be > 0")
+        if self.slo_window_s <= 0:
+            raise ValueError("slo_window_s must be > 0")
 
 
 @dataclass(frozen=True)
@@ -167,6 +181,11 @@ class SubmitResult:
     utilisation: float = math.nan
     shortfall_units: Mapping[str, int] = field(default_factory=dict)
     queue_depth: int = 0
+    #: Correlation id the submission was processed under (minted by the
+    #: service when the client sent none); every trace event the
+    #: submission generates is stamped with it, so ``repro trace query
+    #: RUN.jsonl --request <id>`` reconstructs the full timeline.
+    request_id: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -177,6 +196,7 @@ class SubmitResult:
             "utilisation": None if math.isnan(self.utilisation) else self.utilisation,
             "shortfall_units": dict(self.shortfall_units),
             "queue_depth": self.queue_depth,
+            "request_id": self.request_id,
         }
 
     @staticmethod
@@ -190,6 +210,7 @@ class SubmitResult:
             utilisation=math.nan if utilisation is None else float(utilisation),
             shortfall_units=dict(data.get("shortfall_units", {})),
             queue_depth=int(data.get("queue_depth", 0)),
+            request_id=data.get("request_id", ""),
         )
 
 

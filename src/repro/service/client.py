@@ -69,17 +69,27 @@ class InProcessClient:
         self._service = service
 
     def submit_workflow(
-        self, workflow: Workflow, *, idempotency_key: str | None = None
+        self,
+        workflow: Workflow,
+        *,
+        idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> SubmitResult:
         return self._service.submit_workflow(
-            workflow, idempotency_key=idempotency_key
+            workflow, idempotency_key=idempotency_key, request_id=request_id
         )
 
     def submit_adhoc(
-        self, job: Job, *, idempotency_key: str | None = None
+        self,
+        job: Job,
+        *,
+        idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> SubmitResult:
         return _raise_if_shed(
-            self._service.submit_adhoc(job, idempotency_key=idempotency_key)
+            self._service.submit_adhoc(
+                job, idempotency_key=idempotency_key, request_id=request_id
+            )
         )
 
     def status(self) -> ServiceStatus:
@@ -90,6 +100,9 @@ class InProcessClient:
 
     def metrics(self) -> dict:
         return self._service.metrics_snapshot()
+
+    def slo(self) -> dict:
+        return self._service.slo_snapshot()
 
 
 class HttpServiceClient:
@@ -130,24 +143,36 @@ class HttpServiceClient:
     # -- submissions ----------------------------------------------------------------
 
     def submit_workflow(
-        self, workflow: Workflow, *, idempotency_key: str | None = None
+        self,
+        workflow: Workflow,
+        *,
+        idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> SubmitResult:
         body = self._request(
             "POST",
             "/workflows",
             workflow_to_dict(workflow),
             idempotency_key=idempotency_key or str(uuid.uuid4()),
+            # Minted client-side so every retry of this submission carries
+            # the same correlation id.
+            request_id=request_id or uuid.uuid4().hex,
         )
         return SubmitResult.from_dict(body)
 
     def submit_adhoc(
-        self, job: Job, *, idempotency_key: str | None = None
+        self,
+        job: Job,
+        *,
+        idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> SubmitResult:
         body = self._request(
             "POST",
             "/jobs",
             job_to_dict(job),
             idempotency_key=idempotency_key or str(uuid.uuid4()),
+            request_id=request_id or uuid.uuid4().hex,
         )
         return _raise_if_shed(SubmitResult.from_dict(body))
 
@@ -161,6 +186,24 @@ class HttpServiceClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def slo(self) -> dict:
+        return self._request("GET", "/slo")
+
+    def metrics_prometheus(self) -> str:
+        """GET /metrics?format=prometheus — raw text exposition 0.0.4."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics?format=prometheus",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as error:
+            raise ServiceUnavailableError(
+                f"GET /metrics?format=prometheus failed: {error}"
+            ) from error
 
     def healthy(self) -> bool:
         """GET /healthz; False on any transport failure (liveness probe)."""
@@ -195,11 +238,14 @@ class HttpServiceClient:
         payload: dict | None = None,
         *,
         idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> dict:
         last_error: Exception | None = None
         for attempt in range(self.max_retries + 1):
             try:
-                return self._request_once(method, path, payload, idempotency_key)
+                return self._request_once(
+                    method, path, payload, idempotency_key, request_id
+                )
             except _TransientFailure as failure:
                 last_error = failure.cause
                 if attempt >= self.max_retries:
@@ -216,6 +262,7 @@ class HttpServiceClient:
         path: str,
         payload: dict | None,
         idempotency_key: str | None,
+        request_id: str | None = None,
     ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
@@ -224,6 +271,8 @@ class HttpServiceClient:
             headers["Content-Type"] = "application/json"
         if idempotency_key is not None:
             headers["Idempotency-Key"] = idempotency_key
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )

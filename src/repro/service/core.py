@@ -49,6 +49,7 @@ import threading
 import time
 import zlib
 from concurrent.futures import Future
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.admission import check_admission
@@ -63,7 +64,15 @@ from repro.lp.solver import SolverFailure
 from repro.model.cluster import ClusterCapacity
 from repro.model.job import Job, JobKind
 from repro.model.workflow import Workflow
-from repro.obs import Observability, use_obs
+from repro.obs import (
+    Observability,
+    SLOConfig,
+    SLOTracker,
+    json_safe,
+    new_request_id,
+    use_obs,
+    use_request_id,
+)
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
 from repro.service.api import (
@@ -93,12 +102,21 @@ _BATCH_CAP_FACTOR = 16.0
 class _Command:
     """One queued instruction for the event loop."""
 
-    __slots__ = ("kind", "payload", "key", "future")
+    __slots__ = ("kind", "payload", "key", "request_id", "future")
 
-    def __init__(self, kind: str, payload=None, key: Optional[str] = None):
+    def __init__(
+        self,
+        kind: str,
+        payload=None,
+        key: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ):
         self.kind = kind
         self.payload = payload
         self.key = key  # idempotency key, if the client sent one
+        # Correlation id: the submitting thread's context dies with the
+        # HTTP response, so the id rides the command onto the loop thread.
+        self.request_id = request_id
         self.future: Future = Future()
 
 
@@ -174,6 +192,22 @@ class SchedulerService:
             self._journal = SubmissionJournal(
                 self.config.journal_path, fsync=self.config.journal_fsync
             )
+        # Rolling service-path metrics (bounded memory; see repro.obs.windowed)
+        # and the SLO tracker reading the engine's slo.* feed metrics.
+        self._submit_requests = self.obs.windowed_counter(
+            "service.submit.requests"
+        )
+        self._submit_latency = self.obs.windowed_histogram(
+            "service.submit.seconds"
+        )
+        self.slo = SLOTracker(
+            self.obs.registry,
+            SLOConfig(
+                deadline_objective=self.config.slo_deadline_objective,
+                decide_p99_s=self.config.slo_decide_p99_s,
+                window_s=self.config.slo_window_s,
+            ),
+        )
         self._status = self._make_status(running=False, draining=False)
 
     # -- durability -----------------------------------------------------------------
@@ -346,6 +380,7 @@ class SchedulerService:
         *,
         wait: bool = True,
         idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> "SubmitResult | Future":
         """Submit a deadline workflow; returns the admission decision.
 
@@ -354,8 +389,19 @@ class SchedulerService:
         are all decided, in order, before the clock first advances).
         A repeated ``idempotency_key`` whose original submission was
         accepted returns the original decision instead of re-admitting.
+        ``request_id`` correlates the submission's trace events; one is
+        minted when not supplied, and either way it is echoed on the
+        :class:`~repro.service.api.SubmitResult`.
         """
-        return self._submit(_Command("workflow", workflow, idempotency_key), wait)
+        return self._submit(
+            _Command(
+                "workflow",
+                workflow,
+                idempotency_key,
+                request_id or new_request_id(),
+            ),
+            wait,
+        )
 
     def submit_adhoc(
         self,
@@ -363,9 +409,15 @@ class SchedulerService:
         *,
         wait: bool = True,
         idempotency_key: str | None = None,
+        request_id: str | None = None,
     ) -> "SubmitResult | Future":
         """Submit an ad-hoc job into the bounded best-effort queue."""
-        return self._submit(_Command("adhoc", job, idempotency_key), wait)
+        return self._submit(
+            _Command(
+                "adhoc", job, idempotency_key, request_id or new_request_id()
+            ),
+            wait,
+        )
 
     def _submit(self, command: _Command, wait: bool) -> "SubmitResult | Future":
         if self._stopped.is_set():
@@ -379,10 +431,15 @@ class SchedulerService:
                 f"({self.config.command_queue_limit} pending)",
                 retry_after_s=max(self.config.batch_window_s, 1.0),
             )
+        self._submit_requests.inc()
         self._commands.put(command)
         if not wait:
             return command.future
-        return command.future.result(timeout=self.config.submit_timeout_s)
+        start = time.perf_counter()
+        result = command.future.result(timeout=self.config.submit_timeout_s)
+        # Admission latency as the submitter saw it: enqueue -> decision.
+        self._submit_latency.observe(time.perf_counter() - start)
+        return result
 
     # -- query API ---------------------------------------------------------------------
 
@@ -421,13 +478,21 @@ class SchedulerService:
         }
 
     def metrics_snapshot(self) -> dict:
-        """Metrics registry snapshot (retried around racy registrations)."""
+        """Metrics registry snapshot (retried around racy registrations).
+
+        Strict-JSON safe: non-finite floats (unset gauges, empty-histogram
+        stats) are serialised as ``None``, never as bare ``NaN``.
+        """
         for _ in range(8):
             try:
-                return self.obs.registry.snapshot()
+                return json_safe(self.obs.registry.snapshot())
             except RuntimeError:  # registry grew mid-iteration; retry
                 continue
         return {}
+
+    def slo_snapshot(self) -> dict:
+        """SLO status (error budget, burn rate, decide p99) as a JSON dict."""
+        return json_safe(self.slo.snapshot())
 
     # -- event loop -----------------------------------------------------------------
 
@@ -538,16 +603,27 @@ class SchedulerService:
             if key is not None and key in self._idempotency:
                 # Client retry of an already-accepted submission (e.g. the
                 # answer was lost to a crash or connection reset): return
-                # the original decision; never double-admit.
+                # the original decision; never double-admit.  The original
+                # request id is kept — that is the id the trace events
+                # carry, so it is the one worth querying.
                 self.obs.counter("service.idempotent.hits").inc()
                 command.future.set_result(self._idempotency[key])
                 return
-            if command.kind == "workflow":
-                result = self._admit_workflow(command.payload, key)
-            elif command.kind == "adhoc":
-                result = self._enqueue_adhoc(command.payload, key)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown command {command.kind!r}")
+            # Everything this submission triggers on the loop thread —
+            # admission events, journal spans, the registration itself —
+            # is stamped with its request id.
+            with use_request_id(command.request_id):
+                if command.kind == "workflow":
+                    result = self._admit_workflow(
+                        command.payload, key, request_id=command.request_id
+                    )
+                elif command.kind == "adhoc":
+                    result = self._enqueue_adhoc(
+                        command.payload, key, request_id=command.request_id
+                    )
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown command {command.kind!r}")
+            result = replace(result, request_id=command.request_id or "")
             if key is not None and result.accepted:
                 # Only accepted decisions are pinned: a rejection (full
                 # queue, infeasible now) may legitimately succeed on retry.
@@ -595,7 +671,11 @@ class SchedulerService:
         return demands
 
     def _admit_workflow(
-        self, workflow: Workflow, key: str | None = None
+        self,
+        workflow: Workflow,
+        key: str | None = None,
+        *,
+        request_id: str | None = None,
     ) -> SubmitResult:
         core = self._core
         obs = self.obs
@@ -657,7 +737,9 @@ class SchedulerService:
         # The engine executes the (possibly error-perturbed) true structure;
         # the journal records the *original* submission — replay re-derives
         # the same perturbation from the id-keyed seed.
-        core.add_workflow(self._perturb_workflow(workflow))
+        core.add_workflow(
+            self._perturb_workflow(workflow), request_id=request_id
+        )
         if self._journal is not None:
             self._journal.append_workflow(workflow, key=key)
         self._accepted_workflows += 1
@@ -683,7 +765,13 @@ class SchedulerService:
             queue_depth=self._core.live_adhoc_count(),
         )
 
-    def _enqueue_adhoc(self, job: Job, key: str | None = None) -> SubmitResult:
+    def _enqueue_adhoc(
+        self,
+        job: Job,
+        key: str | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> SubmitResult:
         core = self._core
         obs = self.obs
         depth = core.live_adhoc_count()
@@ -698,7 +786,7 @@ class SchedulerService:
             reason = "queue_full"
         else:
             try:
-                core.add_adhoc(self._perturb_adhoc(job))
+                core.add_adhoc(self._perturb_adhoc(job), request_id=request_id)
             except ValueError:
                 reason = "invalid"
             else:

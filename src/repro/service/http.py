@@ -13,7 +13,10 @@ GET    /plan        the live allocation plan (origin slot, horizon,
                     per-job granted slots)
 GET    /status      service snapshot (slot, queue depth, accept counts)
 GET    /metrics     full metrics-registry snapshot (counters, gauges,
-                    histogram quantiles)
+                    histogram quantiles); ``?format=prometheus`` switches
+                    to text exposition format 0.0.4 for scrapers
+GET    /slo         SLO status: deadline error budget + burn rate, and
+                    decide-latency p99 vs objective
 GET    /healthz     liveness: 200 while the process serves requests
 GET    /readyz      readiness: 200 only while the event loop is running
                     and admitting (503 when stopped or draining)
@@ -30,14 +33,25 @@ accepted returns the original decision, so client retries never
 double-admit.  Backpressure answers carry ``Retry-After``: ``429`` when
 the ad-hoc queue sheds, ``503`` when the command queue is saturated or
 the admission solver is temporarily unavailable.
+
+Request correlation (docs/OBSERVABILITY.md): every submission is
+processed under a request id — taken from the client's ``X-Request-Id``
+header when present, minted otherwise — echoed back both as a response
+header and in the body, and stamped onto every trace event the
+submission generates, so ``repro trace query RUN.jsonl --request <id>``
+reconstructs its full timeline.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE, new_request_id, render_prometheus
 from repro.service.api import ServiceSaturatedError, SubmitResult
 from repro.service.core import SchedulerService
 from repro.workloads.traces import job_from_dict, workflow_from_dict
@@ -55,6 +69,10 @@ _REJECT_STATUS = {
 #: Rejection reasons that are transient — the answer carries Retry-After.
 _RETRYABLE_REASONS = {"queue_full", "unavailable"}
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Accepted shape of a client-supplied X-Request-Id.  Anything else is
+#: replaced with a minted id (never trusted into traces verbatim).
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 
 def _retry_after(seconds: float) -> str:
@@ -74,13 +92,42 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        self._timed(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._timed(self._post)
+
+    def _timed(self, handler) -> None:
+        """Run *handler* and record rolling HTTP request metrics."""
+        obs = self.service.obs
+        start = time.perf_counter()
+        try:
+            handler()
+        finally:
+            obs.windowed_counter("http.requests").inc()
+            obs.windowed_histogram("http.request.seconds").observe(
+                time.perf_counter() - start
+            )
+
+    def _get(self) -> None:
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
         if path == "/status":
             self._reply(200, self.service.status().to_dict())
         elif path == "/plan":
             self._reply(200, self.service.plan_snapshot())
         elif path == "/metrics":
-            self._reply(200, self.service.metrics_snapshot())
+            query = parse_qs(split.query)
+            if query.get("format", [""])[0] == "prometheus":
+                self._reply_text(
+                    200,
+                    render_prometheus(self.service.obs.registry),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._reply(200, self.service.metrics_snapshot())
+        elif path == "/slo":
+            self._reply(200, self.service.slo_snapshot())
         elif path == "/healthz":
             # Liveness: answering at all is the signal.
             self._reply(200, {"ok": True})
@@ -97,8 +144,8 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"no such resource: {path}"})
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0].rstrip("/")
+    def _post(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/")
         if path == "/workflows":
             self._submit(workflow_from_dict, self.service.submit_workflow)
         elif path == "/jobs":
@@ -106,66 +153,123 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"no such resource: {path}"})
 
+    def _request_id(self) -> str:
+        """The submission's correlation id: client-supplied or minted."""
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        if supplied and _REQUEST_ID_OK.match(supplied):
+            return supplied
+        return new_request_id()
+
     def _submit(self, parse, submit) -> None:
-        body = self._read_body()
+        request_id = self._request_id()
+        id_header = {"X-Request-Id": request_id}
+        body = self._read_body(extra_headers=id_header)
         if body is None:
             return
         try:
             entity = parse(body)
         except (KeyError, TypeError, ValueError) as error:
-            self._reply(400, {"error": f"malformed submission: {error}"})
+            self._reply(
+                400,
+                {"error": f"malformed submission: {error}"},
+                headers=id_header,
+            )
             return
         key = self.headers.get("Idempotency-Key") or None
         try:
-            result: SubmitResult = submit(entity, idempotency_key=key)
+            result: SubmitResult = submit(
+                entity, idempotency_key=key, request_id=request_id
+            )
         except ServiceSaturatedError as error:
             # Control-path backpressure: the command queue is full.  Tell
             # the client when to come back instead of queueing it blind.
             self._reply(
                 503,
                 {"error": str(error), "retry_after_s": error.retry_after_s},
-                headers={"Retry-After": _retry_after(error.retry_after_s)},
+                headers={
+                    "Retry-After": _retry_after(error.retry_after_s),
+                    **id_header,
+                },
             )
             return
         except TimeoutError:
-            self._reply(504, {"error": "scheduler did not answer in time"})
+            self._reply(
+                504,
+                {"error": "scheduler did not answer in time"},
+                headers=id_header,
+            )
             return
         except RuntimeError as error:  # service stopped
-            self._reply(503, {"error": str(error)})
+            self._reply(503, {"error": str(error)}, headers=id_header)
             return
         status = 200 if result.accepted else _REJECT_STATUS.get(result.reason, 400)
-        headers = None
+        # Echo the id the submission was actually processed under (an
+        # idempotent replay answers with the original submission's id).
+        headers = {"X-Request-Id": result.request_id or request_id}
         if not result.accepted and result.reason in _RETRYABLE_REASONS:
-            headers = {"Retry-After": _retry_after(1.0)}
+            headers["Retry-After"] = _retry_after(1.0)
         self._reply(status, result.to_dict(), headers=headers)
 
     # -- plumbing -------------------------------------------------------------------
 
-    def _read_body(self) -> dict | None:
+    def _read_body(self, extra_headers: dict | None = None) -> dict | None:
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             length = 0
         if length <= 0 or length > _MAX_BODY_BYTES:
-            self._reply(400, {"error": "missing or oversized request body"})
+            self._reply(
+                400,
+                {"error": "missing or oversized request body"},
+                headers=extra_headers,
+            )
             return None
         raw = self.rfile.read(length)
         try:
             body = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            self._reply(400, {"error": "request body is not valid JSON"})
+            self._reply(
+                400,
+                {"error": "request body is not valid JSON"},
+                headers=extra_headers,
+            )
             return None
         if not isinstance(body, dict):
-            self._reply(400, {"error": "request body must be a JSON object"})
+            self._reply(
+                400,
+                {"error": "request body must be a JSON object"},
+                headers=extra_headers,
+            )
             return None
         return body
 
     def _reply(
         self, status: int, payload: dict, headers: dict | None = None
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        # allow_nan=False is load-bearing: it turns any non-finite float
+        # that slipped past json_safe into a loud 500 instead of silently
+        # emitting bare NaN that strict parsers reject.
+        data = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self._send(status, data, "application/json", headers)
+
+    def _reply_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+        headers: dict | None = None,
+    ) -> None:
+        self._send(status, text.encode("utf-8"), content_type, headers)
+
+    def _send(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str,
+        headers: dict | None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)

@@ -1,0 +1,168 @@
+"""``repro top``: a live ANSI dashboard over a running scheduler service.
+
+Polls ``/status``, ``/metrics`` and ``/slo`` of one HTTP frontend and
+renders a compact terminal view: service state, throughput, rolling
+latencies, queue depth, and the SLO error budget with its burn rate.
+
+The rendering is a pure function (:func:`render_dashboard`: three JSON
+snapshots in, one string out) so tests can exercise the layout without a
+server or a terminal; :func:`run_top` owns only the loop — poll, clear,
+print, sleep.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.service.client import HttpServiceClient, ServiceError
+
+__all__ = ["render_dashboard", "run_top"]
+
+#: ANSI clear-screen + cursor-home (emitted only to real terminals).
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RESET = "\x1b[0m"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def _num(value, fmt: str = "{:g}", missing: str = "-") -> str:
+    if value is None:
+        return missing
+    try:
+        return fmt.format(value)
+    except (TypeError, ValueError):
+        return missing
+
+
+def _seconds(value) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _health_tag(healthy, color: bool) -> str:
+    if healthy is None:
+        return _paint("NO DATA", _YELLOW, color)
+    if healthy:
+        return _paint("OK", _GREEN, color)
+    return _paint("VIOLATED", _RED, color)
+
+
+def render_dashboard(
+    status: dict,
+    metrics: dict,
+    slo: dict,
+    *,
+    color: bool = False,
+    url: str = "",
+) -> str:
+    """Render one dashboard frame from the three endpoint snapshots."""
+    lines: list[str] = []
+    title = "repro top"
+    if url:
+        title += f" — {url}"
+    lines.append(_paint(title, _BOLD, color))
+
+    state = "draining" if status.get("draining") else (
+        "running" if status.get("running") else "stopped"
+    )
+    lines.append(
+        f"service   {state}  slot {status.get('slot', '-')}  "
+        f"scheduler {status.get('scheduler', '?')}"
+    )
+    lines.append(
+        f"work      workflows {status.get('n_workflows', 0)} "
+        f"(acc {status.get('accepted_workflows', 0)} / "
+        f"rej {status.get('rejected_workflows', 0)})  "
+        f"adhoc acc {status.get('accepted_adhoc', 0)} / "
+        f"shed {status.get('shed_adhoc', 0)}  "
+        f"remaining {status.get('remaining_jobs', 0)}  "
+        f"queue {status.get('queue_depth', 0)}"
+    )
+
+    submit = metrics.get("service.submit.seconds") or {}
+    http_req = metrics.get("http.request.seconds") or {}
+    lines.append(
+        f"submit    rate {_num(submit.get('rate_1m'), '{:.2f}')}/s (1m)  "
+        f"p50 {_seconds(submit.get('p50'))}  "
+        f"p99 {_seconds(submit.get('p99'))}  "
+        f"total {_num(submit.get('count'), '{:.0f}', '0')}"
+    )
+    lines.append(
+        f"http      rate {_num(http_req.get('rate_1m'), '{:.2f}')}/s (1m)  "
+        f"p50 {_seconds(http_req.get('p50'))}  "
+        f"p99 {_seconds(http_req.get('p99'))}  "
+        f"total {_num(http_req.get('count'), '{:.0f}', '0')}"
+    )
+
+    deadline = slo.get("deadline") or {}
+    decide = slo.get("decide_latency") or {}
+    lines.append(
+        f"slo       {_health_tag(slo.get('healthy'), color)}  "
+        f"objective {_num(deadline.get('objective'), '{:.2%}')}"
+    )
+    lines.append(
+        f"deadline  met {_num(deadline.get('compliance'), '{:.2%}')}  "
+        f"missed {_num(deadline.get('missed'), '{:.0f}', '0')}"
+        f"/{_num(deadline.get('total'), '{:.0f}', '0')}  "
+        f"budget left {_num(deadline.get('budget_remaining'), '{:.1%}')}  "
+        f"burn {_num(deadline.get('burn_rate'), '{:.2f}')}x"
+    )
+    lines.append(
+        f"decide    p99 {_seconds(decide.get('p99_s'))} "
+        f"(objective {_seconds(decide.get('objective_p99_s'))})  "
+        f"samples {decide.get('window_count', 0)} in window"
+    )
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    out=None,
+) -> int:
+    """Poll *url* and repaint the dashboard every *interval_s* seconds.
+
+    ``iterations=None`` loops until interrupted; a finite count renders
+    that many frames (``--once`` in the CLI).  Returns a process exit
+    code: 0, or 1 when the final poll failed.
+    """
+    out = sys.stdout if out is None else out
+    color = hasattr(out, "isatty") and out.isatty()
+    client = HttpServiceClient(url, max_retries=0)
+    frame = 0
+    failed = False
+    while iterations is None or frame < iterations:
+        if frame > 0:
+            time.sleep(interval_s)
+        try:
+            status = client.status().to_dict()
+            metrics = client.metrics()
+            slo = client.slo()
+        except (ServiceError, OSError) as error:
+            failed = True
+            body = f"repro top — {url}\n  unreachable: {error}"
+        else:
+            failed = False
+            body = render_dashboard(
+                status, metrics, slo, color=color, url=url
+            )
+        if color:
+            out.write(_CLEAR)
+        out.write(body + "\n")
+        out.flush()
+        frame += 1
+    return 1 if failed else 0

@@ -58,6 +58,11 @@ if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
 __all__ = ["EngineCore", "JobRun", "StepOutcome"]
 
 
+def _stamp(request_id: str | None) -> dict[str, str]:
+    """kwargs fragment adding a request-id stamp only when one is known."""
+    return {} if request_id is None else {"request_id": request_id}
+
+
 class JobRun:
     """Mutable runtime state of one job."""
 
@@ -183,15 +188,29 @@ class EngineCore:
             # The end-of-run conservation checks need per-slot execution
             # rows, so a verified run always records them.
             self._record_execution = True
+        # Request correlation: entity id (workflow or job) -> request id.
+        # Engine events fire on the stepping thread long after the
+        # submission's context (and its request-id contextvar) is gone, so
+        # the mapping recorded at registration is what stamps them.
+        self._request_ids: dict[str, str] = {}
+        # SLO feed metrics, resolved once (the null handle returns detached
+        # throwaways; resolving per step would allocate on the hot path).
+        self._slo_workflows_total = obs.windowed_counter("slo.workflows.total")
+        self._slo_workflows_missed = obs.windowed_counter("slo.workflows.missed")
+        self._slo_decide_seconds = obs.windowed_histogram("slo.decide.seconds")
 
     # -- registration -------------------------------------------------------------
 
-    def add_workflow(self, workflow: Workflow) -> None:
+    def add_workflow(
+        self, workflow: Workflow, *, request_id: str | None = None
+    ) -> None:
         """Register a workflow; it arrives at ``max(start_slot, now)``.
 
         Raises ``ValueError`` on duplicate ids or jobs that cannot fit the
         cluster (workload validation happens at registration so a bad
-        submission is rejected before it can poison the run).
+        submission is rejected before it can poison the run).  When
+        *request_id* is given, every trace event the engine later emits
+        for this workflow or its jobs is stamped with it.
         """
         if workflow.workflow_id in self.workflows:
             raise ValueError(f"duplicate workflow {workflow.workflow_id}")
@@ -211,8 +230,12 @@ class EngineCore:
                 unmet_parents=len(workflow.parents_of(job.job_id)),
             )
         self._remaining_jobs += len(workflow)
+        if request_id is not None:
+            self._request_ids[workflow.workflow_id] = request_id
+            for job in workflow.jobs:
+                self._request_ids[job.job_id] = request_id
 
-    def add_adhoc(self, job: Job) -> None:
+    def add_adhoc(self, job: Job, *, request_id: str | None = None) -> None:
         """Register an ad-hoc job; it arrives at ``max(arrival_slot, now)``."""
         if job.kind is not JobKind.ADHOC:
             raise ValueError(f"job {job.job_id} in adhoc_jobs is not ADHOC")
@@ -223,6 +246,8 @@ class EngineCore:
             job, arrival_slot=max(job.arrival_slot, self.slot), unmet_parents=0
         )
         self._remaining_jobs += 1
+        if request_id is not None:
+            self._request_ids[job.job_id] = request_id
 
     def validate_job(self, job: Job) -> None:
         """Raise ``ValueError`` when one of *job*'s tasks cannot fit the
@@ -381,6 +406,7 @@ class EngineCore:
         decide_seconds = time.perf_counter() - start
         self._planning_seconds += decide_seconds
         self._planning_calls += 1
+        self._slo_decide_seconds.observe(decide_seconds)
 
         usage, granted, completions, executed = self._execute(
             slot, assignment, view
@@ -394,9 +420,14 @@ class EngineCore:
             self.verifier.check_slot(slot, executed, completions, self._runs)
 
         if tracing:
+            request_ids = self._request_ids
             for job_id, units in executed.items():
                 obs.event(
-                    "task_placement", slot=slot, job_id=job_id, units=units
+                    "task_placement",
+                    slot=slot,
+                    job_id=job_id,
+                    units=units,
+                    **_stamp(request_ids.get(job_id)),
                 )
             # Preemption at a slot boundary: a job that ran last slot,
             # is still unfinished, and received nothing this slot.
@@ -406,7 +437,12 @@ class EngineCore:
             # corpus diffs traces exactly).
             for job_id in sorted(self._prev_running - running):
                 if not self._runs[job_id].done:
-                    obs.event("job_preempted", slot=slot, job_id=job_id)
+                    obs.event(
+                        "job_preempted",
+                        slot=slot,
+                        job_id=job_id,
+                        **_stamp(request_ids.get(job_id)),
+                    )
             self._prev_running = running
 
         # Failure injection: jobs that ran but did not complete may lose
@@ -446,12 +482,17 @@ class EngineCore:
                     self._pending_events.append(
                         WorkflowCompleted(slot=slot + 1, workflow_id=workflow_id)
                     )
-                    if tracing and slot >= workflow.deadline_slot:
+                    missed = slot >= workflow.deadline_slot
+                    self._slo_workflows_total.inc()
+                    if missed:
+                        self._slo_workflows_missed.inc()
+                    if tracing and missed:
                         obs.event(
                             "workflow_deadline_miss",
                             slot=slot,
                             workflow_id=workflow_id,
                             deadline_slot=workflow.deadline_slot,
+                            **_stamp(self._request_ids.get(workflow_id)),
                         )
                 for child in workflow.dependents_of(job_id):
                     child_run = self._runs[child]
@@ -489,14 +530,24 @@ class EngineCore:
         self.scheduler.on_events(pending, self.view(self.slot))
 
     def trace_events(self, events: list[Event]) -> None:
-        """Mirror engine events into the trace (types match EventKind values)."""
+        """Mirror engine events into the trace (types match EventKind values).
+
+        Events are stamped with the originating submission's request id
+        when the entity was registered with one.
+        """
         obs = self.obs
+        request_ids = self._request_ids
         for event in events:
             fields = {
                 key: value
                 for key, value in vars(event).items()
                 if key != "slot" and value is not None
             }
+            request_id = request_ids.get(
+                getattr(event, "job_id", None) or ""
+            ) or request_ids.get(getattr(event, "workflow_id", None) or "")
+            if request_id is not None:
+                fields["request_id"] = request_id
             obs.event(event.kind.value, slot=event.slot, **fields)
 
     def _execute(

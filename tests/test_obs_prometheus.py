@@ -1,0 +1,172 @@
+"""Prometheus exposition: render/parse round-trips and strict-parser teeth."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import parse_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import sanitize_metric_name
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_prefix(self):
+        assert sanitize_metric_name("lp.solve") == "repro_lp_solve"
+        assert (
+            sanitize_metric_name("service.queue.depth")
+            == "repro_service_queue_depth"
+        )
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_metric_name("a-b c%d") == "repro_a_b_c_d"
+
+    def test_no_prefix(self):
+        assert sanitize_metric_name("9lives", prefix="") == "_9lives"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("jobs.completed").inc(3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_jobs_completed_total counter" in text
+        assert "repro_jobs_completed_total 3" in text
+
+    def test_windowed_counter_exposes_all_time_total(self, registry):
+        registry.windowed_counter("http.requests").inc(7)
+        families = parse_prometheus(render_prometheus(registry))
+        family = families["repro_http_requests_total"]
+        assert family["type"] == "counter"
+        assert family["samples"] == [("repro_http_requests_total", {}, 7.0)]
+
+    def test_never_set_gauge_is_omitted(self, registry):
+        registry.gauge("sim.slowest_slot")  # value stays NaN
+        registry.gauge("queue.depth").set(4)
+        text = render_prometheus(registry)
+        assert "slowest_slot" not in text
+        assert "repro_queue_depth 4" in text
+        assert "NaN" not in text
+
+    def test_windowed_histogram_is_real_histogram(self, registry):
+        hist = registry.windowed_histogram(
+            "req.seconds", bounds=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value)
+        families = parse_prometheus(render_prometheus(registry))
+        family = families["repro_req_seconds"]
+        assert family["type"] == "histogram"
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket")
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        by_name = {name: value for name, _, value in family["samples"]}
+        assert by_name["repro_req_seconds_count"] == 3.0
+        assert by_name["repro_req_seconds_sum"] == pytest.approx(2.55)
+
+    def test_exact_histogram_is_summary(self, registry):
+        hist = registry.histogram("lp.solve")
+        for i in range(100):
+            hist.observe(i / 100.0)
+        families = parse_prometheus(render_prometheus(registry))
+        family = families["repro_lp_solve"]
+        assert family["type"] == "summary"
+        quantiles = {
+            labels["quantile"]: value
+            for name, labels, value in family["samples"]
+            if labels.get("quantile")
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+        assert quantiles["0.5"] == pytest.approx(0.5, abs=0.02)
+
+    def test_sanitisation_collision_raises(self, registry):
+        registry.counter("a.b")
+        registry.counter("a_b")
+        with pytest.raises(ValueError, match="sanitise"):
+            render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert render_prometheus(registry) == ""
+        assert parse_prometheus("") == {}
+
+    def test_round_trip_of_mixed_registry(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.5)
+        registry.windowed_counter("c").inc(2)
+        registry.windowed_histogram("d").observe(0.2)
+        registry.histogram("e").observe(3.0)
+        families = parse_prometheus(render_prometheus(registry))
+        assert set(families) == {
+            "repro_a_total", "repro_b", "repro_c_total", "repro_d", "repro_e",
+        }
+
+
+class TestStrictParser:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_malformed_label_rejected(self):
+        text = '# TYPE m gauge\nm{le=0.5} 1\n'
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus(text)
+
+    def test_duplicate_type_rejected(self):
+        text = "# TYPE m gauge\n# TYPE m counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus(text)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            parse_prometheus("# TYPE m fancy\n")
+
+    def test_histogram_without_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\nh_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_histogram_decreasing_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        with pytest.raises(ValueError, match="decrease"):
+            parse_prometheus(text)
+
+    def test_histogram_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus(text)
+
+    def test_unparseable_value_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("# TYPE m gauge\nm banana\n")
+
+    def test_inf_and_nan_tokens_parse(self):
+        families = parse_prometheus(
+            "# TYPE m gauge\nm +Inf\n# TYPE n gauge\nn NaN\n"
+        )
+        assert families["m"]["samples"][0][2] == math.inf
+        assert math.isnan(families["n"]["samples"][0][2])
+
+    def test_help_and_blank_lines_ignored(self):
+        text = "# HELP m helpful words\n\n# TYPE m gauge\nm 1\n"
+        assert parse_prometheus(text)["m"]["samples"] == [("m", {}, 1.0)]

@@ -1,0 +1,169 @@
+"""Windowed metrics: deterministic slice-ring behaviour under a fake clock."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BOUNDS, WindowedCounter, WindowedHistogram
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestWindowedCounter:
+    def test_total_is_monotonic_across_rotation(self, clock):
+        counter = WindowedCounter("c", window_s=60.0, n_slices=6, clock=clock)
+        for _ in range(10):
+            counter.inc()
+            clock.advance(30.0)
+        assert counter.value == 10.0
+        # Clock sits at 300 s; only the increment at t=270 is inside the
+        # trailing 60 s window (t=240 is exactly on the excluded edge).
+        assert counter.delta() == 1.0
+
+    def test_delta_excludes_expired_slices(self, clock):
+        counter = WindowedCounter("c", window_s=60.0, n_slices=6, clock=clock)
+        counter.inc(5)
+        clock.advance(61.0)
+        assert counter.delta() == 0.0
+        assert counter.value == 5.0
+
+    def test_rate_is_delta_over_window(self, clock):
+        counter = WindowedCounter("c", window_s=60.0, n_slices=6, clock=clock)
+        for _ in range(30):
+            counter.inc()
+            clock.advance(1.0)
+        assert counter.rate() == pytest.approx(30 / 60.0)
+        # Sub-window reads resolve to whole 10 s slices: the trailing 30 s
+        # covers the 3 newest slices (the current, still-empty one
+        # included), i.e. the increments at t=10..29.
+        assert counter.delta(30.0) == pytest.approx(20.0)
+
+    def test_subwindow_cannot_exceed_retained(self, clock):
+        counter = WindowedCounter("c", window_s=60.0, n_slices=6, clock=clock)
+        with pytest.raises(ValueError, match="exceeds retained"):
+            counter.delta(120.0)
+
+    def test_negative_increment_rejected(self, clock):
+        counter = WindowedCounter("c", clock=clock)
+        with pytest.raises(ValueError, match="negative"):
+            counter.inc(-1)
+
+    def test_slice_reuse_zeroes_stale_data(self, clock):
+        # Jump exactly one full ring ahead: the slice index repeats, but
+        # its stale contents must not leak into the new window.
+        counter = WindowedCounter("c", window_s=10.0, n_slices=2, clock=clock)
+        counter.inc(7)
+        clock.advance(10.0)  # same slot index, new tick
+        counter.inc(1)
+        assert counter.delta() == 1.0
+
+    def test_snapshot_shape(self, clock):
+        counter = WindowedCounter("c", window_s=300.0, n_slices=60, clock=clock)
+        counter.inc(4)
+        snap = counter.snapshot()
+        assert snap["type"] == "windowed_counter"
+        assert snap["value"] == 4.0
+        assert snap["delta_1m"] == 4.0
+        assert snap["rate_1m"] == pytest.approx(4 / 60.0)
+
+    def test_memory_is_fixed(self, clock):
+        counter = WindowedCounter("c", window_s=60.0, n_slices=6, clock=clock)
+        for _ in range(10_000):
+            counter.inc()
+            clock.advance(0.25)
+        assert len(counter._slices) == 6
+        assert counter.value == 10_000.0
+
+
+class TestWindowedHistogram:
+    def test_quantile_interpolates_within_bucket(self, clock):
+        hist = WindowedHistogram(
+            "h", bounds=(1.0, 2.0, 4.0), window_s=60.0, n_slices=6, clock=clock
+        )
+        for _ in range(100):
+            hist.observe(1.5)  # all in the (1, 2] bucket
+        q50 = hist.quantile(0.5)
+        assert 1.0 < q50 <= 2.0
+
+    def test_quantile_empty_window_is_nan(self, clock):
+        hist = WindowedHistogram("h", window_s=60.0, n_slices=6, clock=clock)
+        assert math.isnan(hist.quantile(0.5))
+        hist.observe(0.1)
+        clock.advance(61.0)
+        assert math.isnan(hist.quantile(0.5))  # sample expired
+        assert hist.count == 1  # ...but the all-time total survives
+
+    def test_quantile_inf_bucket_reports_last_finite_bound(self, clock):
+        hist = WindowedHistogram(
+            "h", bounds=(1.0, 2.0), window_s=60.0, n_slices=6, clock=clock
+        )
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_bounds_validation(self, clock):
+        hist = WindowedHistogram("h", clock=clock)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_cumulative_buckets_monotone_with_inf_total(self, clock):
+        hist = WindowedHistogram(
+            "h", bounds=(0.01, 0.1, 1.0), window_s=60.0, n_slices=6, clock=clock
+        )
+        for value in (0.005, 0.05, 0.5, 5.0, 5.0):
+            hist.observe(value)
+        buckets = hist.cumulative_buckets()
+        assert buckets == [(0.01, 1), (0.1, 2), (1.0, 3), (math.inf, 5)]
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][1] == hist.count
+
+    def test_window_count_and_rate(self, clock):
+        hist = WindowedHistogram("h", window_s=60.0, n_slices=6, clock=clock)
+        for _ in range(12):
+            hist.observe(0.01)
+            clock.advance(5.0)
+        # The clock sits at 60 s: the oldest slice (observations at t=0
+        # and t=5) has scrolled out of the 6-slice ring view.
+        assert hist.window_count() == 10
+        assert hist.rate() == pytest.approx(10 / 60.0)
+        clock.advance(120.0)
+        assert hist.window_count() == 0
+        assert hist.count == 12
+
+    def test_bad_bounds_rejected(self, clock):
+        with pytest.raises(ValueError, match="ascending"):
+            WindowedHistogram("h", bounds=(1.0, 1.0), clock=clock)
+        with pytest.raises(ValueError, match="finite"):
+            WindowedHistogram("h", bounds=(1.0, math.inf), clock=clock)
+        with pytest.raises(ValueError, match="empty"):
+            WindowedHistogram("h", bounds=(), clock=clock)
+
+    def test_default_bounds_are_the_latency_ladder(self, clock):
+        hist = WindowedHistogram("h", clock=clock)
+        assert hist.bounds == DEFAULT_LATENCY_BOUNDS
+
+    def test_snapshot_is_strict_json_safe_when_empty(self, clock):
+        import json
+
+        from repro.obs import json_safe
+
+        hist = WindowedHistogram("h", clock=clock)
+        snap = json_safe(hist.snapshot())
+        text = json.dumps(snap, allow_nan=False)  # must not raise
+        assert json.loads(text)["p99"] is None

@@ -83,6 +83,41 @@ class TestEndpoints:
         metrics = client.metrics()
         assert metrics["service.submit.workflow.accepted"]["value"] == 1.0
 
+    def test_metrics_json_is_strict(self, served):
+        # Never-set gauges / empty histograms hold NaN internally; the
+        # endpoint must serialize them as null, not bare NaN (which
+        # json.loads tolerates but strict parsers reject).
+        _, server, client = served
+        client.submit_workflow(chain("w"))
+        with urllib.request.urlopen(server.url + "/metrics", timeout=30) as r:
+            raw = r.read().decode()
+        assert "NaN" not in raw
+        json.loads(raw, parse_constant=lambda token: pytest.fail(
+            f"non-strict JSON token {token!r} in /metrics"
+        ))
+
+    def test_metrics_prometheus_endpoint(self, served):
+        from repro.obs import parse_prometheus
+
+        _, server, client = served
+        client.submit_workflow(chain("w"))
+        with urllib.request.urlopen(
+            server.url + "/metrics?format=prometheus", timeout=30
+        ) as r:
+            assert r.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = r.read().decode()
+        families = parse_prometheus(text)  # strict: raises on violations
+        assert "repro_service_submit_workflow_accepted_total" in families
+
+    def test_slo_endpoint(self, served):
+        _, _, client = served
+        client.submit_workflow(chain("w"))
+        slo = client.slo()
+        assert set(slo) == {"config", "deadline", "decide_latency", "healthy"}
+        assert slo["deadline"]["objective"] == 0.99
+
     def test_unknown_route_404(self, served):
         _, server, _ = served
         status, body = raw_request(server.url + "/nope")

@@ -1,0 +1,137 @@
+"""The `repro top` dashboard: pure rendering plus one live poll."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.model.cluster import ClusterCapacity
+from repro.service import (
+    SchedulerService,
+    ServiceConfig,
+    render_dashboard,
+    run_top,
+    serve_http,
+)
+
+STATUS = {
+    "running": True, "draining": False, "slot": 42, "scheduler": "FlowTime",
+    "n_workflows": 3, "accepted_workflows": 3, "rejected_workflows": 1,
+    "accepted_adhoc": 10, "shed_adhoc": 2, "remaining_jobs": 5,
+    "queue_depth": 1,
+}
+METRICS = {
+    "service.submit.seconds": {
+        "type": "windowed_histogram", "count": 14.0, "rate_1m": 0.5,
+        "p50": 0.002, "p99": 0.05,
+    },
+    "http.request.seconds": {
+        "type": "windowed_histogram", "count": 20.0, "rate_1m": 0.7,
+        "p50": 0.001, "p99": 0.02,
+    },
+}
+SLO = {
+    "config": {"deadline_objective": 0.99, "decide_p99_s": 1.0,
+               "window_s": 300.0},
+    "deadline": {"objective": 0.99, "total": 100.0, "missed": 1.0,
+                 "compliance": 0.99, "budget_remaining": 0.0,
+                 "burn_rate": 1.0, "ok": True},
+    "decide_latency": {"objective_p99_s": 1.0, "p99_s": 0.2,
+                       "window_count": 50, "ok": True},
+    "healthy": True,
+}
+
+
+class TestRenderDashboard:
+    def test_renders_all_sections(self):
+        text = render_dashboard(STATUS, METRICS, SLO, url="http://x:1")
+        assert "repro top — http://x:1" in text
+        assert "running" in text and "slot 42" in text
+        assert "workflows 3" in text and "shed 2" in text
+        assert "p99 50.0ms" in text  # submit latency
+        assert "OK" in text
+        assert "met 99.00%" in text
+        assert "burn 1.00x" in text
+
+    def test_no_color_by_default(self):
+        text = render_dashboard(STATUS, METRICS, SLO)
+        assert "\x1b[" not in text
+
+    def test_color_paints_health(self):
+        text = render_dashboard(STATUS, METRICS, SLO, color=True)
+        assert "\x1b[32mOK\x1b[0m" in text
+
+    def test_violated_and_draining(self):
+        slo = {**SLO, "healthy": False}
+        status = {**STATUS, "draining": True}
+        text = render_dashboard(status, METRICS, slo)
+        assert "VIOLATED" in text
+        assert "draining" in text
+
+    def test_empty_snapshots_render_placeholders(self):
+        text = render_dashboard({}, {}, {})
+        assert "stopped" in text
+        assert "NO DATA" in text
+        assert "p50 -" in text
+
+    def test_handles_null_quantiles(self):
+        metrics = {
+            "service.submit.seconds": {"count": 0.0, "rate_1m": 0.0,
+                                       "p50": None, "p99": None},
+        }
+        slo = {
+            "deadline": {"objective": 0.99, "total": 0.0, "missed": 0.0,
+                         "compliance": None, "budget_remaining": None,
+                         "burn_rate": None},
+            "decide_latency": {"p99_s": None, "window_count": 0},
+            "healthy": None,
+        }
+        text = render_dashboard(STATUS, metrics, slo)
+        assert "met -" in text
+        assert "burn -x" in text
+
+
+class TestRunTop:
+    def test_one_frame_against_live_service(self):
+        cluster = ClusterCapacity.uniform(cpu=8, mem=16)
+        service = SchedulerService(
+            cluster, ServiceConfig(slot_seconds=0.05)
+        ).start()
+        server = serve_http(service)
+        out = io.StringIO()
+        try:
+            code = run_top(server.url, interval_s=0.01, iterations=1, out=out)
+        finally:
+            server.shutdown()
+            service.drain(timeout=60)
+        assert code == 0
+        text = out.getvalue()
+        assert "repro top" in text
+        assert "running" in text
+
+    def test_unreachable_url_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top(
+            "http://127.0.0.1:9", interval_s=0.01, iterations=1, out=out
+        )
+        assert code == 1
+        assert "unreachable" in out.getvalue()
+
+
+class TestCliTop:
+    def test_once_flag(self, capsys):
+        from repro.cli import main
+
+        cluster = ClusterCapacity.uniform(cpu=8, mem=16)
+        service = SchedulerService(
+            cluster, ServiceConfig(slot_seconds=0.05)
+        ).start()
+        server = serve_http(service)
+        try:
+            code = main(["top", "--url", server.url, "--once"])
+        finally:
+            server.shutdown()
+            service.drain(timeout=60)
+        assert code == 0
+        assert "repro top" in capsys.readouterr().out
