@@ -38,6 +38,7 @@ from typing import Sequence
 
 from repro.analysis.experiments import run_one
 from repro.model.cluster import ClusterCapacity
+from repro.simulator.engine import SimulationConfig
 from repro.model.job import TaskSpec
 from repro.model.resources import CPU, MEM, ResourceVector
 from repro.workloads.dag_generators import chain_workflow, fork_join_workflow
@@ -63,6 +64,10 @@ class Scale:
     instances: int
     window_slots: int
     period_slots: int
+    #: Planner modes compared at this scale (the xlarge scenario drops the
+    #: cold mode: a full-ladder replan per event at that size is pointless
+    #: to measure and multiplies the runtime).
+    modes: tuple[str, ...] = ("cached", "no-cache", "cold")
 
 
 def _spec(count: int, duration: int, cpu: int, mem: int) -> TaskSpec:
@@ -110,6 +115,42 @@ SCALES: tuple[Scale, ...] = (
 )
 
 
+def _cpu_spec(count: int, duration: int, cpu: int) -> TaskSpec:
+    return TaskSpec(
+        count=count,
+        duration_slots=duration,
+        demand=ResourceVector({CPU: cpu}),
+    )
+
+
+def xlarge_scale() -> Scale:
+    """The thousands-of-workflows scenario (opt-in via ``--xlarge``).
+
+    32 distinct templates stamped out 32 times each: 1024 workflows, with
+    a whole template generation live concurrently every period.  Demands
+    are cpu-only, which keeps every lexmin round subproblem inside the
+    interval-structured class — run with ``--lp-backend fastsolve`` to
+    measure what the combinatorial solver buys end to end at a scale where
+    the general-purpose LP path dominates plan latency.
+    """
+    templates = tuple(
+        (
+            "chain" if index % 2 == 0 else "fork_join",
+            3 + index % 3,
+            _cpu_spec(3 + index % 2, 1 + index % 2, 1 + index % 2),
+        )
+        for index in range(32)
+    )
+    return Scale(
+        name="xlarge",
+        templates=templates,
+        instances=32,
+        window_slots=24,
+        period_slots=30,
+        modes=("cached", "no-cache"),
+    )
+
+
 def build_trace(scale: Scale) -> SyntheticTrace:
     """The steady-state recurring workload for one scale.
 
@@ -149,20 +190,25 @@ def _histogram(stats) -> dict:
     }
 
 
-def run_scale(scale: Scale, capacity: ClusterCapacity) -> dict:
-    """Run all modes over one scale's trace and collect the comparison."""
+def run_scale(
+    scale: Scale,
+    capacity: ClusterCapacity,
+    lp_backend: str | None = None,
+) -> dict:
+    """Run the scale's modes over its trace and collect the comparison."""
     trace = build_trace(scale)
     runs: dict[str, dict] = {}
-    for mode, planner_opts in MODES.items():
+    for mode in scale.modes:
         outcome = run_one(
             "FlowTime",
             trace,
             capacity,
+            config=SimulationConfig(lp_backend=lp_backend),
             # work_conserving soak depends on leftover capacity, which an
             # ad-hoc-free steady state keeps periodic anyway; disabling it
             # removes the one coupling that could differ across modes.
             scheduler_kwargs={
-                "planner": planner_opts,
+                "planner": MODES[mode],
                 "work_conserving": False,
             },
         )
@@ -194,6 +240,7 @@ def run_scale(scale: Scale, capacity: ClusterCapacity) -> dict:
     outcomes = [run["outcome"] for run in runs.values()]
     return {
         "scale": scale.name,
+        "lp_backend": lp_backend or "default",
         "n_workflows": len(trace.workflows),
         "n_deadline_jobs": trace.n_deadline_jobs,
         "period_slots": scale.period_slots,
@@ -217,6 +264,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run the small scale only (CI smoke mode)",
     )
     parser.add_argument(
+        "--xlarge",
+        action="store_true",
+        help="also run the opt-in thousands-of-workflows scenario (long; "
+        "pair with --lp-backend fastsolve to measure the flow path)",
+    )
+    parser.add_argument(
+        "--lp-backend",
+        default=None,
+        metavar="NAME",
+        help="planner LP backend for every run (default: the registry "
+        "default; e.g. fastsolve)",
+    )
+    parser.add_argument(
         "--min-hit-rate",
         type=float,
         default=None,
@@ -235,10 +295,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     capacity = ClusterCapacity.uniform(cpu=args.cpu, mem=args.mem)
     scales = SCALES[:1] if args.quick else SCALES
+    if args.xlarge:
+        scales = tuple(scales) + (xlarge_scale(),)
     scenarios = []
     for scale in scales:
-        print(f"[{scale.name}] running {', '.join(MODES)} ...", flush=True)
-        scenario = run_scale(scale, capacity)
+        print(f"[{scale.name}] running {', '.join(scale.modes)} ...", flush=True)
+        scenario = run_scale(scale, capacity, lp_backend=args.lp_backend)
         scenarios.append(scenario)
         print(
             f"[{scale.name}] hit_rate={scenario['hit_rate']:.0%} "
@@ -255,6 +317,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     report = {
         "benchmark": "plan_latency",
         "quick": args.quick,
+        "lp_backend": args.lp_backend or "default",
         "cluster": {"cpu": args.cpu, "mem": args.mem},
         "scenarios": scenarios,
         "summary": {

@@ -120,9 +120,11 @@ def quantize_coupled(
 
     # Reshape the flat variable vector into per-entry window arrays.  LP
     # solvers return values a hair outside [0, ub]; clip before rounding.
-    frac: list[np.ndarray] = [np.zeros(horizon) for _ in problem.entries]
-    for var, (e_index, slot, _r) in enumerate(problem.var_meta):
-        frac[e_index][slot] = max(float(x[var]), 0.0)
+    frac_matrix = np.zeros((len(problem.entries), horizon))
+    frac_matrix[problem.var_meta[:, 0], problem.var_meta[:, 1]] = np.maximum(
+        np.asarray(x, dtype=float)[: problem.n_vars], 0.0
+    )
+    frac: list[np.ndarray] = list(frac_matrix)
 
     grants = [np.zeros(horizon, dtype=int) for _ in problem.entries]
     for e_index, entry in enumerate(problem.entries):

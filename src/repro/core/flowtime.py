@@ -76,7 +76,11 @@ class PlannerConfig:
         formulation: "coupled" (default; task-slot variables, executable) or
             "paper" (per-resource variables, Lemma-2-faithful).
         per_slot_caps: bound per-slot grants by the job's parallelism.
-        backend: LP backend ("highs" or "simplex").
+        backend: LP backend name from the solver registry
+            (``repro.lp.available_backends()``; default "highs").
+            "fastsolve" lowers structured round subproblems to a
+            combinatorial parametric max-flow and falls back to "highs"
+            for instances without the interval structure.
         max_lexmin_rounds: minimax refinement rounds (None = exact lexmin;
             small values keep re-planning fast with near-identical plans).
         horizon_slots: hard cap on the planning horizon (None = plan until

@@ -27,7 +27,7 @@ vector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -97,6 +97,63 @@ def _cell_caps(problem: ScheduleProblem) -> np.ndarray:
     return problem.cell_caps()
 
 
+def build_round_lp(
+    problem: ScheduleProblem,
+    active: Sequence[int],
+    frozen_value: np.ndarray,
+    caps: np.ndarray,
+) -> LinearProgram:
+    """One lexmin round subproblem: ``min theta`` over the active cells.
+
+    Variables are the allocation variables plus a trailing theta column.
+    Rows, in order: active cells (``load - theta * C <= 0``), frozen cells
+    (``load <= frozen_value``), and the hard capacity rows (``load <= C``).
+    This is the theta-form interval LP that
+    :func:`repro.lp.unimodular.detect_interval_structure` certifies and the
+    ``fastsolve`` backend lowers to a max-flow; it is public so tests and
+    benchmarks can generate round subproblems without running the ladder.
+    """
+    n_vars = problem.n_vars
+    n_cells = len(problem.util_cells)
+    active = list(active)
+    active_mat = problem.a_util[active]
+    theta_col = sparse.csr_matrix(
+        (-caps[active], (range(len(active)), [0] * len(active))),
+        shape=(len(active), 1),
+    )
+    blocks = [sparse.hstack([active_mat, theta_col])]
+    b_rows = [np.zeros(len(active))]
+
+    frozen_idx = np.flatnonzero(np.isfinite(frozen_value))
+    if frozen_idx.size:
+        frozen_mat = sparse.hstack(
+            [
+                problem.a_util[frozen_idx],
+                sparse.csr_matrix((frozen_idx.size, 1)),
+            ]
+        )
+        blocks.append(frozen_mat)
+        b_rows.append(frozen_value[frozen_idx])
+
+    # Hard capacity rows (constraint (4)): z <= C for every cell.
+    hard = sparse.hstack([problem.a_util, sparse.csr_matrix((n_cells, 1))])
+    blocks.append(hard)
+    b_rows.append(caps)
+
+    eq_with_theta = sparse.hstack(
+        [problem.a_eq, sparse.csr_matrix((problem.a_eq.shape[0], 1))]
+    ).tocsr()
+    return LinearProgram(
+        c=np.concatenate([np.zeros(n_vars), [1.0]]),
+        a_ub=sparse.vstack(blocks).tocsr(),
+        b_ub=np.concatenate(b_rows),
+        a_eq=eq_with_theta,
+        b_eq=problem.b_eq,
+        lb=np.zeros(n_vars + 1),
+        ub=np.concatenate([problem.var_ub, [np.inf]]),
+    )
+
+
 def _balancing_solve(
     problem: ScheduleProblem,
     frozen_value: np.ndarray,
@@ -118,9 +175,7 @@ def _balancing_solve(
     c_final = np.asarray(weights @ problem.a_util).ravel()
     if front_load:
         horizon = max(problem.horizon, 1)
-        earliness = np.array(
-            [(slot + 1) / horizon for (_e, slot, _r) in problem.var_meta]
-        )
+        earliness = (problem.var_meta[:, 1] + 1.0) / horizon
         eps = 1e-3 * max(float(np.min(c_final[c_final > 0], initial=1.0)), 1e-6)
         c_final = c_final + eps * earliness
     lp_final = LinearProgram(
@@ -264,50 +319,10 @@ def lexmin_schedule(
     thetas: list[float] = []
     rounds = 0
 
-    lb = np.zeros(n_vars + 1)
-    ub = np.concatenate([problem.var_ub, [np.inf]])
-    eq_with_theta = sparse.hstack(
-        [problem.a_eq, sparse.csr_matrix((problem.a_eq.shape[0], 1))]
-    ).tocsr()
-
     while active:
         if max_rounds is not None and rounds >= max_rounds:
             break
-        active_mat = problem.a_util[active]
-        theta_col = sparse.csr_matrix(
-            (-caps[active], (range(len(active)), [0] * len(active))),
-            shape=(len(active), 1),
-        )
-        blocks = [sparse.hstack([active_mat, theta_col])]
-        b_rows = [np.zeros(len(active))]
-
-        frozen_idx = [k for k in range(n_cells) if np.isfinite(frozen_value[k])]
-        if frozen_idx:
-            frozen_mat = sparse.hstack(
-                [
-                    problem.a_util[frozen_idx],
-                    sparse.csr_matrix((len(frozen_idx), 1)),
-                ]
-            )
-            blocks.append(frozen_mat)
-            b_rows.append(frozen_value[frozen_idx])
-
-        # Hard capacity rows (constraint (4)): z <= C for every cell.
-        hard = sparse.hstack(
-            [problem.a_util, sparse.csr_matrix((n_cells, 1))]
-        )
-        blocks.append(hard)
-        b_rows.append(caps)
-
-        lp = LinearProgram(
-            c=np.concatenate([np.zeros(n_vars), [1.0]]),
-            a_ub=sparse.vstack(blocks).tocsr(),
-            b_ub=np.concatenate(b_rows),
-            a_eq=eq_with_theta,
-            b_eq=problem.b_eq,
-            lb=lb,
-            ub=ub,
-        )
+        lp = build_round_lp(problem, active, frozen_value, caps)
         sol = solve_lp(lp, backend=backend, time_budget_s=solve_budget_s)
         if sol.status is not LPStatus.OPTIMAL:
             if sol.status is LPStatus.INFEASIBLE:

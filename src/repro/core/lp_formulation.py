@@ -86,8 +86,9 @@ class ScheduleProblem:
             feeding utilisation cell ``util_cells[k] = (t, r)``.
         util_cells: the (slot, resource-index) of each utilisation row.
         var_ub: per-variable upper bound (per-slot parallelism caps).
-        var_meta: per variable ``(entry_index, slot)`` (paper mode adds the
-            resource index as a third element, else -1).
+        var_meta: ``[n_vars, 3]`` int array; row ``v`` is
+            ``(entry_index, slot, resource_index)`` (the resource index is
+            -1 in coupled mode).  Rows unpack like the historical tuples.
         mode: "paper" or "coupled".
     """
 
@@ -100,7 +101,7 @@ class ScheduleProblem:
     a_util: sparse.csr_matrix
     util_cells: tuple[tuple[int, int], ...]
     var_ub: np.ndarray
-    var_meta: tuple[tuple[int, int, int], ...]
+    var_meta: np.ndarray
     mode: Mode
 
     @property
@@ -178,72 +179,97 @@ def _build_schedule_problem(
             )
 
     resources = tuple(resources)
-    r_index = {name: k for k, name in enumerate(resources)}
+    known = set(resources)
+    for entry in entries:
+        unknown = set(entry.unit_demand) - known
+        if unknown:
+            raise KeyError(
+                f"{entry.job_id}: demand names unknown resource(s) {sorted(unknown)}"
+            )
 
-    var_meta: list[tuple[int, int, int]] = []
-    var_ub: list[float] = []
-    eq_rows: list[tuple[list[int], float]] = []  # (variable indices, rhs)
+    if not entries:
+        raise ValueError("no variables: entries list is empty")
 
-    # util_accumulator[(t, r)] -> list[(var, coeff)]
-    util_acc: dict[tuple[int, int], list[tuple[int, float]]] = {}
+    n_entries = len(entries)
+    n_resources = len(resources)
+    release = np.array([entry.release for entry in entries], dtype=np.int64)
+    window = np.array(
+        [entry.deadline - entry.release for entry in entries], dtype=np.int64
+    )
+    units = np.array([entry.units for entry in entries], dtype=np.int64)
+    parallel_cap = np.minimum(
+        np.array([entry.max_parallel for entry in entries], dtype=np.int64), units
+    )
+    demand = np.zeros((n_entries, n_resources))
+    for e_index, entry in enumerate(entries):
+        for r, name in enumerate(resources):
+            demand[e_index, r] = entry.unit_demand[name]
 
+    # Every (block, slot) pair becomes one variable; blocks are whole jobs
+    # in coupled mode and (job, resource-with-demand) pairs in paper mode.
+    # np.repeat over block lengths lays the variables out in exactly the
+    # order the historical Python loops produced.
     if mode == "coupled":
-        for e_index, entry in enumerate(entries):
-            var_ids = []
-            for slot in range(entry.release, entry.deadline):
-                var = len(var_meta)
-                var_meta.append((e_index, slot, -1))
-                cap = min(entry.max_parallel, entry.units)
-                var_ub.append(float(cap) if per_slot_caps else np.inf)
-                var_ids.append(var)
-                for resource, amount in entry.unit_demand.items():
-                    cell = (slot, r_index[resource])
-                    util_acc.setdefault(cell, []).append((var, float(amount)))
-            eq_rows.append((var_ids, float(entry.units)))
+        block_entry = np.arange(n_entries)
+        block_resource = np.full(n_entries, -1, dtype=np.int64)
+        block_rhs = units.astype(float)
+        block_ub = parallel_cap.astype(float)
     elif mode == "paper":
-        for e_index, entry in enumerate(entries):
-            for resource in resources:
-                amount = entry.unit_demand[resource]
-                if amount == 0:
-                    continue
-                var_ids = []
-                for slot in range(entry.release, entry.deadline):
-                    var = len(var_meta)
-                    var_meta.append((e_index, slot, r_index[resource]))
-                    cap = min(entry.max_parallel, entry.units) * amount
-                    var_ub.append(float(cap) if per_slot_caps else np.inf)
-                    var_ids.append(var)
-                    cell = (slot, r_index[resource])
-                    util_acc.setdefault(cell, []).append((var, 1.0))
-                eq_rows.append((var_ids, float(entry.total_demand(resource))))
+        block_entry, block_resource = np.nonzero(demand > 0)
+        block_rhs = (
+            units[block_entry] * demand[block_entry, block_resource]
+        ).astype(float)
+        block_ub = (
+            parallel_cap[block_entry] * demand[block_entry, block_resource]
+        ).astype(float)
     else:
         raise ValueError(f"unknown mode {mode!r}")
 
-    n_vars = len(var_meta)
-    if n_vars == 0:
-        raise ValueError("no variables: entries list is empty")
-
-    eq_data, eq_rows_idx, eq_cols = [], [], []
-    b_eq = np.zeros(len(eq_rows))
-    for row, (var_ids, rhs) in enumerate(eq_rows):
-        b_eq[row] = rhs
-        for var in var_ids:
-            eq_rows_idx.append(row)
-            eq_cols.append(var)
-            eq_data.append(1.0)
-    a_eq = sparse.csr_matrix(
-        (eq_data, (eq_rows_idx, eq_cols)), shape=(len(eq_rows), n_vars)
+    block_len = window[block_entry]
+    n_vars = int(block_len.sum())
+    block_of_var = np.repeat(np.arange(block_entry.size), block_len)
+    offsets = np.concatenate([[0], np.cumsum(block_len)[:-1]])
+    slot_of_var = (
+        np.arange(n_vars) - offsets[block_of_var] + release[block_entry][block_of_var]
+    )
+    entry_of_var = block_entry[block_of_var]
+    resource_of_var = block_resource[block_of_var]
+    var_meta = np.stack([entry_of_var, slot_of_var, resource_of_var], axis=1)
+    var_ub = (
+        block_ub[block_of_var]
+        if per_slot_caps
+        else np.full(n_vars, np.inf)
     )
 
-    cells = sorted(util_acc)
-    util_data, util_rows_idx, util_cols = [], [], []
-    for row, cell in enumerate(cells):
-        for var, coeff in util_acc[cell]:
-            util_rows_idx.append(row)
-            util_cols.append(var)
-            util_data.append(coeff)
+    a_eq = sparse.csr_matrix(
+        (np.ones(n_vars), (block_of_var, np.arange(n_vars))),
+        shape=(block_entry.size, n_vars),
+    )
+    b_eq = block_rhs
+
+    # Utilisation cells: coupled mode touches one cell per demanded
+    # resource per variable, paper mode exactly the variable's own cell.
+    if mode == "coupled":
+        entry_rows, demand_r = np.nonzero(demand[entry_of_var] > 0)
+        cell_var = entry_rows  # variable index of each (var, resource) touch
+        cell_coeff = demand[entry_of_var[cell_var], demand_r]
+        cell_key = slot_of_var[cell_var] * n_resources + demand_r
+    else:
+        cell_var = np.arange(n_vars)
+        cell_coeff = np.ones(n_vars)
+        cell_key = slot_of_var * n_resources + resource_of_var
+    # np.unique sorts keys exactly like the historical sorted() over
+    # (slot, r) tuples, so row order — and the golden traces — are stable.
+    uniq_keys, cell_row = np.unique(cell_key, return_inverse=True)
+    cell_row = cell_row.ravel()
     a_util = sparse.csr_matrix(
-        (util_data, (util_rows_idx, util_cols)), shape=(len(cells), n_vars)
+        (cell_coeff, (cell_row, cell_var)), shape=(uniq_keys.size, n_vars)
+    )
+    util_cells = tuple(
+        zip(
+            (uniq_keys // n_resources).tolist(),
+            (uniq_keys % n_resources).tolist(),
+        )
     )
 
     return ScheduleProblem(
@@ -254,8 +280,8 @@ def _build_schedule_problem(
         a_eq=a_eq,
         b_eq=b_eq,
         a_util=a_util,
-        util_cells=tuple(cells),
+        util_cells=util_cells,
         var_ub=np.asarray(var_ub, dtype=float),
-        var_meta=tuple(var_meta),
+        var_meta=var_meta,
         mode=mode,
     )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
 from repro.lp.solver import solve_lp
+from repro.lp.unimodular import detect_interval_structure
 from repro.obs import current_obs
 
 __all__ = ["PresolveError", "Restorer", "presolve", "solve_with_presolve"]
@@ -154,7 +155,19 @@ def solve_with_presolve(
     problem: LinearProgram, backend: str = "highs"
 ) -> LPSolution:
     """Presolve, solve, and restore; falls back to a direct solve when the
-    presolve degenerates (e.g. every variable fixed)."""
+    presolve degenerates (e.g. every variable fixed).
+
+    Interval-structured instances (see
+    :func:`repro.lp.unimodular.detect_interval_structure`) skip the
+    reductions entirely: bound tightening and variable substitution destroy
+    the all-ones/uniform-weight shape that lets the ``fastsolve`` backend
+    replace the LP with a max-flow, and those instances solve faster than
+    any presolve could save (``lp.presolve.skipped_structured`` counter).
+    """
+    structure = detect_interval_structure(problem)
+    if structure.structured:
+        current_obs().counter("lp.presolve.skipped_structured").inc()
+        return solve_lp(problem, backend=backend)
     try:
         with current_obs().span("lp.presolve"):
             reduced, restorer = presolve(problem)

@@ -1,12 +1,28 @@
-"""Backend registry: one entry point for solving LPs, with guardrails.
+"""Pluggable backend registry: one entry point for solving LPs, with guardrails.
+
+Backends are :class:`SolverBackend` objects — a name, metadata, a
+``supports(problem)`` capability probe and a ``solve(problem)`` method —
+held in a process-wide registry (mirroring
+:mod:`repro.schedulers.registry`).  Three ship by default:
+
+* ``highs`` — scipy's HiGHS (sparse, exact, produces duals; the default);
+* ``simplex`` — the from-scratch dense two-phase simplex;
+* ``fastsolve`` — the structure-exploiting parametric max-flow solver of
+  :mod:`repro.lp.fastsolve`; it *claims* theta-form interval LPs via
+  ``supports`` and declines everything else.
 
 Every solve passes through :func:`solve_lp`, which makes it the natural
 observability *and* fault-tolerance choke point:
 
-* each call is timed into the ``lp.solve`` histogram of the current
-  registry, tagged counters record per-backend call volume, and
-  non-optimal outcomes (infeasible ladder rungs during planning are
-  *expected*, but their rate matters) are counted separately;
+* each call is timed into the ``lp.solve`` histogram (plus a per-backend
+  ``lp.solve.backend.<name>`` histogram), tagged counters record
+  per-backend call volume, and non-optimal outcomes (infeasible ladder
+  rungs during planning are *expected*, but their rate matters) are
+  counted separately;
+* **capability routing**: when the requested backend does not support the
+  instance (``lp.solve.declined.<name>`` counter) the call is transparently
+  routed to its alternate, so callers can request ``fastsolve``
+  unconditionally;
 * a backend that raises, or returns an ERROR status, is retried
   **once on the alternate backend** (``lp.solve.retry`` counter) — a typed
   :class:`SolverFailure` is raised only when every attempt failed, so
@@ -20,35 +36,167 @@ observability *and* fault-tolerance choke point:
 An injectable fault hook (:func:`install_fault_injector`) lets the chaos
 harness (:mod:`repro.chaos`) inject solver exceptions and slow solves
 deterministically; production code never installs one.
+
+Registering a bare ``Callable[[LinearProgram], LPSolution]`` still works
+for one release (it is wrapped in a :class:`FunctionBackend` with a
+``DeprecationWarning``); pass a backend object instead.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, runtime_checkable
 
-from repro.lp import scipy_backend, simplex
+from repro.lp import fastsolve, scipy_backend, simplex
 from repro.lp.problem import LinearProgram, LPSolution, LPStatus
 from repro.obs import current_obs
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "FunctionBackend",
+    "SolverBackend",
     "SolverFailure",
     "available_backends",
+    "backend_info",
+    "get_backend",
     "install_fault_injector",
+    "register_backend",
     "solve_lp",
+    "unregister_backend",
 ]
-
-_BACKENDS: dict[str, Callable[[LinearProgram], LPSolution]] = {
-    "highs": scipy_backend.solve,
-    "simplex": simplex.solve,
-}
 
 DEFAULT_BACKEND = "highs"
 
-#: Retry order: the one alternate backend tried when the named one fails.
-_ALTERNATE = {"highs": "simplex", "simplex": "highs"}
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """What the registry requires of an LP backend.
+
+    ``supports`` is a cheap capability probe — it must not mutate the
+    problem and should be far cheaper than a solve (structure detection is
+    the intended cost ceiling).  ``solve`` must return a valid
+    :class:`~repro.lp.problem.LPSolution` or raise; INFEASIBLE/UNBOUNDED
+    are answers, ERROR/exceptions are solver faults the registry retries.
+    """
+
+    name: str
+    description: str
+
+    def supports(self, problem: LinearProgram) -> bool:
+        """Can this backend solve *problem*?"""
+        ...  # pragma: no cover - protocol
+
+    def solve(self, problem: LinearProgram) -> LPSolution:
+        """Solve *problem* (may assume ``supports`` returned True)."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FunctionBackend:
+    """Adapter presenting a plain solve function as a :class:`SolverBackend`.
+
+    Without ``supports_fn`` the backend claims every instance (the contract
+    the old bare-callable registry implied).
+    """
+
+    name: str
+    solve_fn: Callable[[LinearProgram], LPSolution]
+    description: str = ""
+    supports_fn: Optional[Callable[[LinearProgram], bool]] = None
+
+    def supports(self, problem: LinearProgram) -> bool:
+        if self.supports_fn is None:
+            return True
+        return bool(self.supports_fn(problem))
+
+    def solve(self, problem: LinearProgram) -> LPSolution:
+        return self.solve_fn(problem)
+
+
+_registry_lock = threading.Lock()
+_BACKENDS: dict[str, SolverBackend] = {}
+#: Retry order: the one alternate backend tried when the named one fails
+#: (or declines the instance).
+_ALTERNATE: dict[str, str] = {}
+
+
+def register_backend(
+    backend: SolverBackend | str,
+    solve_fn: Callable[[LinearProgram], LPSolution] | None = None,
+    *,
+    alternate: str | None = None,
+    overwrite: bool = False,
+) -> SolverBackend:
+    """Register a backend under its name; returns the registered object.
+
+    Preferred form: ``register_backend(backend_object)`` where the object
+    satisfies :class:`SolverBackend`.  The legacy form
+    ``register_backend(name, callable)`` is deprecated — it wraps the
+    callable in a :class:`FunctionBackend` that claims every instance.
+
+    ``alternate`` names the backend retried when this one fails or
+    declines (defaults to :data:`DEFAULT_BACKEND`).  Re-registering an
+    existing name raises ``ValueError`` unless ``overwrite`` is set.
+    """
+    if isinstance(backend, str):
+        if solve_fn is None:
+            raise TypeError(
+                "register_backend(name) needs a callable; prefer passing a "
+                "SolverBackend object"
+            )
+        warnings.warn(
+            "registering a bare callable is deprecated; pass a SolverBackend "
+            "(FunctionBackend wraps a plain solve function)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend = FunctionBackend(
+            name=backend, solve_fn=solve_fn, description="legacy callable backend"
+        )
+    elif solve_fn is not None:
+        raise TypeError("solve_fn is only valid with the legacy (name, fn) form")
+    name = backend.name
+    with _registry_lock:
+        if name in _BACKENDS and not overwrite:
+            raise ValueError(f"LP backend {name!r} is already registered")
+        _BACKENDS[name] = backend
+        if alternate is not None:
+            _ALTERNATE[name] = alternate
+        elif name not in _ALTERNATE and name != DEFAULT_BACKEND:
+            _ALTERNATE[name] = DEFAULT_BACKEND
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend; unknown names raise ``KeyError``."""
+    with _registry_lock:
+        del _BACKENDS[name]
+        _ALTERNATE.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (feeds ``--lp-backend`` choices)."""
+    with _registry_lock:
+        return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> SolverBackend:
+    """The registered backend object; unknown names raise ``ValueError``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def backend_info() -> dict[str, str]:
+    """Name -> description of every registered backend (docs/CLI help)."""
+    with _registry_lock:
+        return {name: _BACKENDS[name].description for name in sorted(_BACKENDS)}
 
 
 class SolverFailure(RuntimeError):
@@ -98,8 +246,12 @@ def install_fault_injector(
         _fault_injector = injector
 
 
-def available_backends() -> tuple[str, ...]:
-    return tuple(sorted(_BACKENDS))
+def _supports(backend: SolverBackend, problem: LinearProgram) -> bool:
+    """Capability probe that never propagates a backend bug."""
+    try:
+        return bool(backend.supports(problem))
+    except Exception:  # a broken probe must not take down the solve path
+        return False
 
 
 def _attempt(
@@ -110,9 +262,30 @@ def _attempt(
     try:
         if injector is not None:
             injector(backend, problem)
-        return _BACKENDS[backend](problem), None
+        return _BACKENDS[backend].solve(problem), None
     except Exception as error:  # backend blew up: a solver fault, not an answer
         return None, error
+
+
+def _route(
+    backend: str, problem: LinearProgram, retry_alternate: bool
+) -> list[str]:
+    """Attempt order: capability-routed primary, then its alternate."""
+    obs = current_obs()
+    primary = backend
+    if not _supports(_BACKENDS[backend], problem):
+        obs.counter(f"lp.solve.declined.{backend}").inc()
+        alt = _ALTERNATE.get(backend, DEFAULT_BACKEND)
+        if alt in _BACKENDS and _supports(_BACKENDS[alt], problem):
+            primary = alt
+        else:
+            primary = DEFAULT_BACKEND
+    attempts = [primary]
+    if retry_alternate:
+        alt = _ALTERNATE.get(primary)
+        if alt is not None and alt in _BACKENDS and alt != primary:
+            attempts.append(alt)
+    return attempts
 
 
 def solve_lp(
@@ -123,16 +296,17 @@ def solve_lp(
     time_budget_s: float | None = None,
     retry_alternate: bool = True,
 ) -> LPSolution:
-    """Solve *problem* with the named backend ("highs" or "simplex").
+    """Solve *problem* with the named backend from the registry.
 
     ``tag`` attributes the call to a caller-chosen purpose (e.g.
     ``"admission"``) via an extra ``lp.solve.tag.<tag>`` counter, so call
     volume can be broken down by origin, not just by backend.
 
-    Guardrails (see module docstring): a failed attempt (backend exception
-    or ERROR status) is retried once on the alternate backend when
-    ``retry_alternate`` is set; ``time_budget_s`` bounds the *total* wall
-    time across attempts.  Exhausting either raises
+    Guardrails (see module docstring): a backend that declines the
+    instance (``supports`` False) is routed around; a failed attempt
+    (backend exception or ERROR status) is retried once on the alternate
+    backend when ``retry_alternate`` is set; ``time_budget_s`` bounds the
+    *total* wall time across attempts.  Exhausting either raises
     :class:`SolverFailure`.  INFEASIBLE and UNBOUNDED outcomes are valid
     answers and are returned normally (``lp.solve.nonoptimal`` counter).
     """
@@ -141,11 +315,7 @@ def solve_lp(
             f"unknown LP backend {backend!r}; available: {available_backends()}"
         )
     obs = current_obs()
-    attempts = [backend]
-    if retry_alternate:
-        alternate = _ALTERNATE.get(backend)
-        if alternate is not None and alternate in _BACKENDS:
-            attempts.append(alternate)
+    attempts = _route(backend, problem, retry_alternate)
 
     start = time.perf_counter()
     last_error: Exception | None = None
@@ -155,9 +325,14 @@ def solve_lp(
         last_backend = attempt_backend
         if n > 0:
             obs.counter("lp.solve.retry").inc()
+        attempt_start = time.perf_counter()
         with obs.span("lp.solve"):
             solution, error = _attempt(attempt_backend, problem)
-        elapsed = time.perf_counter() - start
+        now = time.perf_counter()
+        elapsed = now - start
+        obs.histogram(f"lp.solve.backend.{attempt_backend}").observe(
+            now - attempt_start
+        )
         obs.counter(f"lp.solve.calls.{attempt_backend}").inc()
         if tag is not None:
             obs.counter(f"lp.solve.tag.{tag}").inc()
@@ -207,3 +382,35 @@ def solve_lp(
         reason="error",
         elapsed=elapsed,
     )
+
+
+# -- built-in backends -----------------------------------------------------------
+
+register_backend(
+    FunctionBackend(
+        name="highs",
+        solve_fn=scipy_backend.solve,
+        description="scipy HiGHS: sparse exact LP with duals (default)",
+    ),
+    alternate="simplex",
+)
+register_backend(
+    FunctionBackend(
+        name="simplex",
+        solve_fn=simplex.solve,
+        description="from-scratch dense two-phase simplex (no external solver)",
+    ),
+    alternate="highs",
+)
+register_backend(
+    FunctionBackend(
+        name="fastsolve",
+        solve_fn=fastsolve.solve,
+        description=(
+            "parametric max-flow for interval-structured minimax LPs "
+            "(Lemma 2); declines unstructured instances"
+        ),
+        supports_fn=fastsolve.supports,
+    ),
+    alternate="highs",
+)

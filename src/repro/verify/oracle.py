@@ -81,7 +81,7 @@ class OracleOutcome:
     detail: str = ""
 
 
-def generate_instance(seed: int) -> OracleInstance:
+def generate_instance(seed: int, *, single_resource: bool = False) -> OracleInstance:
     """A seeded tiny instance with individually feasible windows.
 
     Small enough that the dense oracle LP is trivial, varied enough to
@@ -89,10 +89,16 @@ def generate_instance(seed: int) -> OracleInstance:
     job's units fit its own window (``units <= window * max_parallel``) so
     the strict formulation is infeasible only through *joint*
     over-commitment, which the oracle detects and skips.
+
+    ``single_resource`` drops the mem dimension (capacity and demands), the
+    regime where the coupled formulation has uniform per-variable weights
+    and the fastsolve backend's interval-structure detection fires — the
+    slice the ``solver-bench`` CI job runs the oracle on.  The same seed
+    draws the same cpu-side instance either way.
     """
     rng = np.random.default_rng(seed)
     cpu = int(rng.integers(3, 9))
-    capacity = {"cpu": cpu, "mem": 2 * cpu}
+    capacity = {"cpu": cpu} if single_resource else {"cpu": cpu, "mem": 2 * cpu}
     n_jobs = int(rng.integers(1, 4))
     horizon = int(rng.integers(3, 9))
     jobs = []
@@ -101,8 +107,12 @@ def generate_instance(seed: int) -> OracleInstance:
         deadline = int(rng.integers(release + 1, horizon + 1))
         max_parallel = int(rng.integers(1, 4))
         demand_cpu = int(rng.integers(1, min(3, cpu) + 1))
+        # Drawn even when dropped, so seeds line up across the two modes.
         demand_mem = int(rng.integers(1, 5))
         units = int(rng.integers(1, (deadline - release) * max_parallel + 1))
+        demand = {"cpu": demand_cpu}
+        if not single_resource:
+            demand["mem"] = demand_mem
         jobs.append(
             OracleJob(
                 job_id=f"o{seed}-j{j}",
@@ -110,7 +120,7 @@ def generate_instance(seed: int) -> OracleInstance:
                 deadline=deadline,
                 units=units,
                 max_parallel=max_parallel,
-                demand={"cpu": demand_cpu, "mem": demand_mem},
+                demand=demand,
             )
         )
     return OracleInstance(seed=seed, capacity=capacity, jobs=tuple(jobs))
@@ -297,7 +307,7 @@ def integral_feasible(
     return _search_schedules(instance, per_job, first_only=True) is not None
 
 
-def _production_plan(instance: OracleInstance):
+def _production_plan(instance: OracleInstance, *, backend: str = "highs"):
     """Plan the instance through the production FlowTime path."""
     from repro.core.flowtime import FlowTimePlanner, JobDemand, PlannerConfig
     from repro.core.replan import PlanRequest
@@ -319,7 +329,9 @@ def _production_plan(instance: OracleInstance):
     planner = FlowTimePlanner(
         # slack_slots=0 keeps the planner's windows identical to the
         # oracle's; cache/warm-start off so every instance is a cold solve.
-        PlannerConfig(slack_slots=0, plan_cache=False, warm_start=False)
+        PlannerConfig(
+            slack_slots=0, plan_cache=False, warm_start=False, backend=backend
+        )
     )
     request = PlanRequest(now_slot=0, demands=demands, capacity=capacity)
     return planner.plan(request)
@@ -367,15 +379,21 @@ def _validate_plan(instance: OracleInstance, plan) -> list[str]:
     return problems
 
 
-def check_instance(seed: int) -> OracleOutcome:
-    """Generate, solve both ways, and compare one seeded instance."""
-    instance = generate_instance(seed)
+def check_instance(
+    seed: int, *, backend: str = "highs", single_resource: bool = False
+) -> OracleOutcome:
+    """Generate, solve both ways, and compare one seeded instance.
+
+    ``backend`` selects the production planner's LP backend; the oracle LP
+    always runs dense ``linprog`` so the comparison stays independent.
+    """
+    instance = generate_instance(seed, single_resource=single_resource)
     theta_oracle = oracle_minimax(instance)
     if theta_oracle is None:
         # Jointly over-committed: the production ladder relaxes windows
         # here and no shared optimum is defined.
         return OracleOutcome(seed=seed, status="skipped", detail="infeasible")
-    plan = _production_plan(instance)
+    plan = _production_plan(instance, backend=backend)
     theta_prod = float(plan.minimax)
     if getattr(plan, "degraded", False):
         return OracleOutcome(
@@ -440,13 +458,19 @@ def check_instance(seed: int) -> OracleOutcome:
 
 
 def run_oracle(
-    seeds, *, min_agreements: int | None = None
+    seeds,
+    *,
+    min_agreements: int | None = None,
+    backend: str = "highs",
+    single_resource: bool = False,
 ) -> list[OracleOutcome]:
     """Check a sequence of seeds; optionally stop once enough agree."""
     outcomes = []
     agreements = 0
     for seed in seeds:
-        outcome = check_instance(int(seed))
+        outcome = check_instance(
+            int(seed), backend=backend, single_resource=single_resource
+        )
         outcomes.append(outcome)
         if outcome.status == "agree":
             agreements += 1

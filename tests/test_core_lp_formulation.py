@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core.lp_formulation import ScheduleEntry, build_schedule_problem
-from repro.lp.unimodular import is_interval_matrix, is_totally_unimodular
+from repro.lp.unimodular import (
+    has_consecutive_ones_columns,
+    is_totally_unimodular,
+)
 from repro.model.resources import CPU, MEM, ResourceVector
 
 RES = (CPU, MEM)
@@ -109,7 +112,7 @@ class TestPaperMode:
             entry(job_id="b", release=1, deadline=5),
         ]
         problem = build_schedule_problem(entries, caps(), RES, mode="paper")
-        assert is_interval_matrix(problem.a_eq.toarray())
+        assert has_consecutive_ones_columns(problem.a_eq.toarray())
 
     def test_full_constraint_matrix_is_tu_small(self):
         """Lemma 2 verified exactly on a small instance: demand equalities

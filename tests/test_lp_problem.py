@@ -43,7 +43,7 @@ class TestLinearProgram:
 
 class TestSolveRegistry:
     def test_backends_available(self):
-        assert set(available_backends()) == {"highs", "simplex"}
+        assert set(available_backends()) == {"fastsolve", "highs", "simplex"}
 
     def test_unknown_backend_raises(self):
         lp = LinearProgram(c=[1.0])

@@ -1,0 +1,234 @@
+"""Tests for the pluggable SolverBackend registry (ISSUE 7 API redesign).
+
+Covers the public protocol, registration/unregistration, the deprecation
+shim for bare callables, capability routing with its counters, and the
+registry's fastsolve wiring.  Custom backends registered here are always
+cleaned up so the process-wide registry stays pristine for other tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import (
+    DEFAULT_BACKEND,
+    FunctionBackend,
+    LinearProgram,
+    LPStatus,
+    SolverBackend,
+    available_backends,
+    backend_info,
+    get_backend,
+    register_backend,
+    solve_lp,
+    unregister_backend,
+)
+from repro.lp import scipy_backend
+from repro.lp.problem import LPSolution
+from repro.obs import Observability, use_obs
+
+
+def tiny_lp() -> LinearProgram:
+    # min x + y  s.t.  x + y >= 2  ->  objective 2.
+    return LinearProgram(c=[1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-2.0])
+
+
+def structured_lp() -> LinearProgram:
+    # min theta: one job, 4 units over 2 slots of 5 cpu -> theta* = 0.4.
+    return LinearProgram(
+        c=[0.0, 0.0, 1.0],
+        a_ub=[
+            [1.0, 0.0, -5.0],
+            [0.0, 1.0, -5.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ],
+        b_ub=[0.0, 0.0, 5.0, 5.0],
+        a_eq=[[1.0, 1.0, 0.0]],
+        b_eq=[4.0],
+        ub=[3.0, 3.0, np.inf],
+    )
+
+
+class _DecliningBackend:
+    """A well-formed backend that refuses every instance."""
+
+    name = "picky-test"
+    description = "declines everything (routing test double)"
+
+    def __init__(self):
+        self.solve_calls = 0
+
+    def supports(self, problem):
+        return False
+
+    def solve(self, problem):
+        self.solve_calls += 1
+        raise AssertionError("a declined backend must never be asked to solve")
+
+
+@pytest.fixture
+def clean_registry():
+    """Yield a set of names to register; they are removed afterwards."""
+    names = set()
+    yield names
+    for name in names:
+        try:
+            unregister_backend(name)
+        except KeyError:
+            pass
+
+
+class TestProtocol:
+    def test_function_backend_satisfies_protocol(self):
+        backend = FunctionBackend(name="x", solve_fn=scipy_backend.solve)
+        assert isinstance(backend, SolverBackend)
+
+    def test_plain_object_without_solve_is_not_a_backend(self):
+        class NotABackend:
+            name = "nope"
+            description = ""
+
+        assert not isinstance(NotABackend(), SolverBackend)
+
+    def test_function_backend_claims_everything_without_probe(self):
+        backend = FunctionBackend(name="x", solve_fn=scipy_backend.solve)
+        assert backend.supports(tiny_lp())
+
+    def test_function_backend_uses_probe_when_given(self):
+        backend = FunctionBackend(
+            name="x", solve_fn=scipy_backend.solve, supports_fn=lambda lp: False
+        )
+        assert not backend.supports(tiny_lp())
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"fastsolve", "highs", "simplex"} <= set(available_backends())
+        assert DEFAULT_BACKEND in available_backends()
+
+    def test_backend_info_describes_every_backend(self):
+        info = backend_info()
+        assert set(info) == set(available_backends())
+        assert all(info[name] for name in ("fastsolve", "highs", "simplex"))
+
+    def test_get_backend_returns_registered_object(self):
+        assert get_backend("highs").name == "highs"
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            get_backend("cplex")
+
+    def test_register_and_unregister_round_trip(self, clean_registry):
+        backend = FunctionBackend(
+            name="echo-test", solve_fn=scipy_backend.solve, description="d"
+        )
+        clean_registry.add("echo-test")
+        register_backend(backend)
+        assert "echo-test" in available_backends()
+        assert get_backend("echo-test") is backend
+        assert solve_lp(tiny_lp(), backend="echo-test").is_optimal
+        unregister_backend("echo-test")
+        assert "echo-test" not in available_backends()
+
+    def test_unregister_unknown_raises_key_error(self):
+        with pytest.raises(KeyError):
+            unregister_backend("never-registered")
+
+    def test_duplicate_name_needs_overwrite(self, clean_registry):
+        first = FunctionBackend(name="dup-test", solve_fn=scipy_backend.solve)
+        second = FunctionBackend(name="dup-test", solve_fn=scipy_backend.solve)
+        clean_registry.add("dup-test")
+        register_backend(first)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(second)
+        register_backend(second, overwrite=True)
+        assert get_backend("dup-test") is second
+
+    def test_backend_object_plus_solve_fn_is_an_error(self):
+        backend = FunctionBackend(name="x", solve_fn=scipy_backend.solve)
+        with pytest.raises(TypeError):
+            register_backend(backend, scipy_backend.solve)
+
+
+class TestDeprecationShim:
+    def test_bare_callable_registration_warns_and_wraps(self, clean_registry):
+        clean_registry.add("legacy-test")
+        with pytest.warns(DeprecationWarning, match="bare callable"):
+            backend = register_backend("legacy-test", scipy_backend.solve)
+        assert isinstance(backend, FunctionBackend)
+        assert backend.supports(tiny_lp())  # the old implied contract
+        assert solve_lp(tiny_lp(), backend="legacy-test").is_optimal
+
+    def test_name_without_callable_is_an_error(self):
+        with pytest.raises(TypeError, match="needs a callable"):
+            register_backend("just-a-name")
+
+
+class TestCapabilityRouting:
+    def test_declining_backend_routes_to_alternate(self, clean_registry):
+        picky = _DecliningBackend()
+        clean_registry.add(picky.name)
+        register_backend(picky, alternate="highs")
+        obs = Observability()
+        with use_obs(obs):
+            solution = solve_lp(tiny_lp(), backend=picky.name)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(2.0)
+        assert picky.solve_calls == 0
+        snapshot = obs.registry.snapshot()
+        assert snapshot[f"lp.solve.declined.{picky.name}"]["value"] == 1
+        assert snapshot["lp.solve.calls.highs"]["value"] == 1
+
+    def test_fastsolve_declines_unstructured_instances(self):
+        obs = Observability()
+        with use_obs(obs):
+            solution = solve_lp(tiny_lp(), backend="fastsolve")
+        assert solution.objective == pytest.approx(2.0)
+        snapshot = obs.registry.snapshot()
+        assert snapshot["lp.solve.declined.fastsolve"]["value"] == 1
+        assert "lp.solve.calls.fastsolve" not in snapshot
+
+    def test_fastsolve_claims_structured_instances(self):
+        obs = Observability()
+        with use_obs(obs):
+            solution = solve_lp(structured_lp(), backend="fastsolve")
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective == pytest.approx(0.4, abs=1e-9)
+        snapshot = obs.registry.snapshot()
+        assert snapshot["lp.solve.calls.fastsolve"]["value"] == 1
+        assert snapshot["lp.fastsolve.hit"]["value"] == 1
+
+    def test_broken_probe_is_treated_as_decline(self, clean_registry):
+        class BrokenProbe:
+            name = "broken-probe-test"
+            description = "probe raises"
+
+            def supports(self, problem):
+                raise RuntimeError("boom")
+
+            def solve(self, problem):  # pragma: no cover - never routed here
+                raise AssertionError("must not be called")
+
+        clean_registry.add("broken-probe-test")
+        register_backend(BrokenProbe(), alternate="highs")
+        solution = solve_lp(tiny_lp(), backend="broken-probe-test")
+        assert solution.is_optimal
+
+    def test_error_status_retries_alternate(self, clean_registry):
+        def broken(problem):
+            return LPSolution(status=LPStatus.ERROR, message="synthetic")
+
+        clean_registry.add("error-test")
+        register_backend(
+            FunctionBackend(name="error-test", solve_fn=broken),
+            alternate="highs",
+        )
+        obs = Observability()
+        with use_obs(obs):
+            solution = solve_lp(tiny_lp(), backend="error-test")
+        assert solution.is_optimal
+        snapshot = obs.registry.snapshot()
+        assert snapshot["lp.solve.errors.error-test"]["value"] == 1
+        assert snapshot["lp.solve.retry"]["value"] == 1

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lp.unimodular import (
+    has_consecutive_ones_columns,
     is_interval_matrix,
     is_totally_unimodular,
     max_fractionality,
@@ -52,17 +53,22 @@ class TestBruteForceTU:
 class TestIntervalMatrix:
     def test_consecutive_ones(self):
         matrix = np.array([[1, 0], [1, 1], [0, 1], [0, 1]])
-        assert is_interval_matrix(matrix)
+        assert has_consecutive_ones_columns(matrix)
 
     def test_gap_fails(self):
         matrix = np.array([[1], [0], [1]])
-        assert not is_interval_matrix(matrix)
+        assert not has_consecutive_ones_columns(matrix)
 
     def test_non_binary_fails(self):
-        assert not is_interval_matrix(np.array([[2.0]]))
+        assert not has_consecutive_ones_columns(np.array([[2.0]]))
 
     def test_empty_columns_ok(self):
-        assert is_interval_matrix(np.zeros((3, 2)))
+        assert has_consecutive_ones_columns(np.zeros((3, 2)))
+
+    def test_deprecated_alias_warns_and_agrees(self):
+        matrix = np.array([[1, 0], [1, 1], [0, 1], [0, 1]])
+        with pytest.warns(DeprecationWarning):
+            assert is_interval_matrix(matrix)
 
 
 class TestFractionality:
