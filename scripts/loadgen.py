@@ -13,7 +13,15 @@ Run against a live server::
     PYTHONPATH=src python scripts/loadgen.py --url http://127.0.0.1:8080 \
         --rate 20 --duration 10
 
-or import :func:`run_load` (the CI obs-smoke job does both).
+or import :func:`run_load` (the CI obs-smoke and shard-smoke jobs do
+both).
+
+The generator is shard-router aware (docs/SHARDING.md): pointing
+``--url`` at a ``repro serve --shards N`` frontend needs no flags — every
+answer carries the deciding shard's name, tallied into the summary's
+``by_shard`` breakdown.  ``--tenants K`` prefixes workflow ids with
+``tK/`` so the router's tenant-prefix hashing co-locates each simulated
+tenant on one shard (0, the default, leaves ids unprefixed).
 """
 
 from __future__ import annotations
@@ -37,11 +45,14 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
-def _workflow(index: int, *, deadline_slots: int = 200) -> Workflow:
+def _workflow(
+    index: int, *, deadline_slots: int = 200, tenants: int = 0
+) -> Workflow:
     spec = TaskSpec(
         count=1, duration_slots=2, demand=ResourceVector({CPU: 1, MEM: 1})
     )
-    wid = f"lg-w{index}"
+    prefix = f"t{index % tenants}/" if tenants > 0 else ""
+    wid = f"{prefix}lg-w{index}"
     jobs = [
         Job(job_id=f"{wid}-j{j}", tasks=spec, workflow_id=wid)
         for j in range(2)
@@ -66,6 +77,7 @@ def run_load(
     rate: float = 10.0,
     duration_s: float = 5.0,
     workflow_every: int = 5,
+    tenants: int = 0,
     quiet: bool = False,
 ) -> dict:
     """Drive *url* at ``rate`` submissions/s for ``duration_s`` seconds.
@@ -73,7 +85,8 @@ def run_load(
     Every ``workflow_every``-th submission is a deadline workflow; the
     rest are ad-hoc jobs (the paper's mixed regime).  Returns a summary
     dict; ``request_ids`` maps every submission to the correlation id it
-    carried.
+    carried, and ``by_shard`` breaks acceptance down by the shard that
+    answered (single-service targets report under the ``""`` shard).
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
@@ -91,7 +104,18 @@ def run_load(
         "shed": 0,
         "errors": 0,
         "request_ids": {},
+        "by_shard": {},
+        # Workflow ids whose submission was answered accepted: the
+        # client-side ledger a cross-shard conservation check runs against.
+        "accepted_workflow_ids": [],
     }
+
+    def tally_shard(shard: str, accepted: bool) -> None:
+        entry = summary["by_shard"].setdefault(
+            shard, {"accepted": 0, "rejected": 0}
+        )
+        entry["accepted" if accepted else "rejected"] += 1
+
     latencies: list[float] = []
     index = 0
     next_send = started
@@ -106,14 +130,20 @@ def run_load(
         t0 = time.monotonic()
         try:
             if is_workflow:
+                workflow = _workflow(index, tenants=tenants)
                 result = client.submit_workflow(
-                    _workflow(index), request_id=request_id
+                    workflow, request_id=request_id
                 )
+                if result.accepted:
+                    summary["accepted_workflow_ids"].append(
+                        workflow.workflow_id
+                    )
             else:
                 result = client.submit_adhoc(
                     _adhoc(index), request_id=request_id
                 )
             summary["accepted" if result.accepted else "rejected"] += 1
+            tally_shard(result.shard, result.accepted)
         except QueueFullError:
             summary["shed"] += 1
         except (ServiceError, OSError):
@@ -143,6 +173,17 @@ def run_load(
             f"p50 {summary['latency']['p50_ms']} ms "
             f"p99 {summary['latency']['p99_ms']} ms"
         )
+        named_shards = {
+            shard: counts
+            for shard, counts in sorted(summary["by_shard"].items())
+            if shard
+        }
+        if named_shards:
+            breakdown = "  ".join(
+                f"{shard}={counts['accepted']}+{counts['rejected']}rej"
+                for shard, counts in named_shards.items()
+            )
+            print(f"loadgen: per-shard accepts: {breakdown}")
     return summary
 
 
@@ -161,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
         help="every Nth submission is a deadline workflow (rest ad-hoc)",
     )
     parser.add_argument(
+        "--tenants", type=int, default=0, metavar="K",
+        help="spread workflows over K tenant id prefixes (tK/...) so a "
+        "shard router co-locates each tenant; 0 leaves ids unprefixed",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="print the full summary as JSON instead of one line",
     )
@@ -170,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         rate=args.rate,
         duration_s=args.duration,
         workflow_every=args.workflow_every,
+        tenants=args.tenants,
         quiet=args.json,
     )
     if args.json:

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""CI shard gate: router + 3 shard processes + SIGKILL must lose nothing.
+
+Boots three real ``repro serve`` processes (one journal each), fronts
+them with an in-process :class:`ShardRouter` + HTTP frontend, and then:
+
+1. drives a mixed loadgen burst through the router (tenant-prefixed
+   workflow ids, so tenants co-locate per shard);
+2. **SIGKILLs one shard mid-burst** and restarts it on the same port and
+   journal — the write-ahead journal must hand the restarted process
+   every workflow it had accepted;
+3. exercises the migration protocol over HTTP: a full two-phase handoff
+   between shards, then an *interrupted* one (tombstone only) that the
+   router's reconcile pass must restore;
+4. gates on the cross-shard conservation check — every workflow accepted
+   by a client answer is owned by exactly one shard, zero lost, zero
+   duplicated, zero unsettled orphans — plus aggregate-metrics sanity
+   (router /status totals cover the client ledger; /metrics and /slo
+   answer with per-shard breakdowns).
+
+Run:  python scripts/shard_smoke.py
+Exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, ROOT)
+
+from repro.cluster import RemoteShard, RouterHTTPServer, ShardRouter  # noqa: E402
+from repro.model.job import Job, TaskSpec  # noqa: E402
+from repro.model.resources import ResourceVector  # noqa: E402
+from repro.model.workflow import Workflow  # noqa: E402
+from repro.verify import check_cross_shard_conservation  # noqa: E402
+from scripts.loadgen import run_load  # noqa: E402
+
+N_SHARDS = 3
+TIMEOUT_S = 60
+LOAD_RATE = 25.0
+LOAD_DURATION_S = 6.0
+KILL_AFTER_S = 2.0
+KILLED_SHARD = 0
+# Far enough out that the racing virtual clock cannot start these
+# workflows while the smoke migrates them.
+FUTURE_SLOT = 10**8
+
+_procs: list[subprocess.Popen | None] = []
+
+
+def fail(message: str) -> None:
+    print(f"SHARD SMOKE FAIL: {message}", file=sys.stderr)
+    for proc in _procs:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def start_shard(index: int, journal: str, port: int = 0) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--batch-window", "0.05",
+            "--no-admission", "--journal", journal,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + TIMEOUT_S
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            fail(f"shard {index} exited early (code {proc.returncode})")
+        match = re.search(r"on (http://\S+)", line)
+        if match:
+            return proc, match.group(1)
+    fail(f"shard {index} never printed its URL")
+    raise AssertionError  # unreachable
+
+
+def future_workflow(wid: str) -> Workflow:
+    spec = TaskSpec(
+        count=1, duration_slots=2, demand=ResourceVector(cpu=1, mem=1)
+    )
+    jobs = [Job(job_id=f"{wid}-j0", tasks=spec, workflow_id=wid)]
+    return Workflow.from_jobs(wid, jobs, [], FUTURE_SLOT, FUTURE_SLOT + 60)
+
+
+def wait_until(predicate, what: str, timeout_s: float = TIMEOUT_S) -> None:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.2)
+    fail(f"timed out waiting for {what}")
+
+
+def main() -> None:
+    tmp = tempfile.mkdtemp(prefix="shard-smoke-")
+    journals = [os.path.join(tmp, f"shard{i}.jsonl") for i in range(N_SHARDS)]
+    urls: list[str] = []
+    for i in range(N_SHARDS):
+        proc, url = start_shard(i, journals[i])
+        _procs.append(proc)
+        urls.append(url)
+        print(f"shard{i}: {url} journal={journals[i]}")
+
+    shards = [
+        RemoteShard(f"shard{i}", urls[i]) for i in range(N_SHARDS)
+    ]
+    router = ShardRouter(shards)
+    server = RouterHTTPServer(router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"router: {server.url}")
+
+    # -- 1+2: loadgen burst with a SIGKILL + same-journal restart mid-run --
+    def kill_and_restart() -> None:
+        victim = _procs[KILLED_SHARD]
+        port = int(urls[KILLED_SHARD].rsplit(":", 1)[1])
+        print(f"SIGKILL shard{KILLED_SHARD} (port {port})", flush=True)
+        victim.kill()  # no drain, no flush: only the journal survives
+        victim.wait(timeout=TIMEOUT_S)
+        proc, url = start_shard(KILLED_SHARD, journals[KILLED_SHARD], port)
+        if url != urls[KILLED_SHARD]:
+            fail(f"restarted shard came up on {url}, expected {urls[KILLED_SHARD]}")
+        _procs[KILLED_SHARD] = proc
+        print(f"shard{KILLED_SHARD} restarted on {url}", flush=True)
+
+    killer = threading.Timer(KILL_AFTER_S, kill_and_restart)
+    killer.start()
+    summary = run_load(
+        server.url,
+        rate=LOAD_RATE,
+        duration_s=LOAD_DURATION_S,
+        workflow_every=4,
+        tenants=6,
+    )
+    killer.join()
+    accepted = list(summary["accepted_workflow_ids"])
+    if not accepted:
+        fail("loadgen got no workflow accepted through the router")
+    shard_names = set(summary["by_shard"]) - {""}
+    if not shard_names:
+        fail("no answer carried a shard name — router not stamping results")
+    wait_until(
+        lambda: all(shard.alive() for shard in shards), "all shards alive"
+    )
+
+    # -- 3a: full two-phase migration over the /shard/* HTTP surface ------
+    mig = future_workflow("mig/full")
+    result = router.submit_workflow(mig)
+    if not result.accepted:
+        fail(f"future workflow rejected: {result}")
+    accepted.append(mig.workflow_id)
+    source = router.shard_for_workflow(mig.workflow_id)
+    dest = next(s for s in shards if s is not source)
+    handoff = source.migrate_out(mig.workflow_id, dest=dest.name, epoch=1)
+    landed = dest.migrate_in(
+        handoff["workflow"], key=handoff["key"], epoch=1
+    )
+    if not landed.accepted:
+        fail(f"migrate_in rejected: {landed}")
+    source.confirm(mig.workflow_id, epoch=1)
+    if source.owns(mig.workflow_id) or not dest.owns(mig.workflow_id):
+        fail("migration did not move ownership")
+    router.record_placement(mig.workflow_id, dest.name)
+    print(f"migration: {mig.workflow_id} {source.name} -> {dest.name} ok")
+
+    # -- 3b: interrupted migration; reconcile must restore the orphan -----
+    orphan = future_workflow("mig/orphaned")
+    result = router.submit_workflow(orphan)
+    if not result.accepted:
+        fail(f"second future workflow rejected: {result}")
+    accepted.append(orphan.workflow_id)
+    source = router.shard_for_workflow(orphan.workflow_id)
+    dest = next(s for s in shards if s is not source)
+    source.migrate_out(orphan.workflow_id, dest=dest.name, epoch=2)
+    if orphan.workflow_id not in source.orphans():
+        fail("tombstone did not leave an orphan")
+    reconciled = router.reconcile()
+    if reconciled["restored"] != 1:
+        fail(f"reconcile did not restore the orphan: {reconciled}")
+    if not source.owns(orphan.workflow_id):
+        fail("restored workflow not owned by its source shard")
+    print(f"reconcile: restored {orphan.workflow_id} on {source.name}")
+
+    # -- 4: conservation + aggregate sanity gates --------------------------
+    owned = router.owned_by_shard()
+    orphans = {
+        name: list(entries)
+        for name, entries in router.orphans_by_shard().items()
+    }
+    report = check_cross_shard_conservation(accepted, owned, orphans)
+    if not report.ok:
+        fail(f"conservation violated:\n{report.render()}")
+    print(f"conservation: {report.summary()} over {len(accepted)} accepted")
+
+    status = router.status()
+    aggregate = status["aggregate"]
+    if status["running_shards"] != N_SHARDS:
+        fail(f"expected {N_SHARDS} running shards: {status}")
+    # Journal replay re-counts recovered workflows on the restarted shard,
+    # so the fleet total is a ceiling-consistent superset of the client
+    # ledger — never smaller.
+    if aggregate["accepted_workflows"] < len(set(accepted)):
+        fail(
+            f"aggregate accepted_workflows {aggregate['accepted_workflows']} "
+            f"< client-observed {len(set(accepted))}"
+        )
+    metrics = router.metrics()
+    if not metrics["aggregate"] or set(metrics["shards"]) != {
+        s.name for s in shards
+    }:
+        fail("aggregated metrics missing shards")
+    slo = router.slo()
+    if slo["aggregate"]["unreachable_shards"] != 0:
+        fail(f"slo reports unreachable shards: {slo['aggregate']}")
+    print(
+        f"aggregate: {aggregate['accepted_workflows']} workflows, "
+        f"{aggregate['accepted_adhoc']} ad-hoc across "
+        f"{status['running_shards']} shards"
+    )
+
+    # -- graceful shutdown -------------------------------------------------
+    server.shutdown()
+    for proc in _procs:
+        proc.send_signal(signal.SIGTERM)
+    for i, proc in enumerate(_procs):
+        try:
+            proc.wait(timeout=TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            fail(f"shard {i} did not drain after SIGTERM")
+        if proc.returncode != 0:
+            print(proc.stdout.read(), file=sys.stderr)
+            fail(f"shard {i} drain exited {proc.returncode}")
+    print("SHARD SMOKE PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -319,6 +319,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--scheduler", default="FlowTime", choices=sorted(available_schedulers())
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the cluster into N independent scheduler services "
+        "behind a routing frontend (docs/SHARDING.md); each shard owns a "
+        "1/N capacity slice, its own journal (--journal PATH.shardN) and "
+        "solver stack. 1 (default) serves the classic single service",
+    )
+    serve.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="skyline rebalancer cycle period with --shards > 1 "
+        "(0 disables periodic rebalancing; POST /rebalance still works)",
+    )
     serve.add_argument("--slot-seconds", type=float, default=10.0)
     serve.add_argument(
         "--lp-backend",
@@ -771,21 +789,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cluster = _cluster(args)
     failures, error_model = _fault_models(args)
-    sink = None
-    if args.trace_out:
-        max_bytes = (
-            int(args.trace_rotate_mb * 1024 * 1024)
-            if args.trace_rotate_mb
-            else None
-        )
-        sink = JsonlSink(
-            args.trace_out,
-            max_bytes=max_bytes,
-            backups=args.trace_rotate_backups,
-        )
-    obs = Observability(
-        sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
-    )
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     scheduler_kwargs = {}
     if args.solve_budget is not None and args.scheduler.startswith("FlowTime"):
         scheduler_kwargs["planner"] = {"solve_budget_s": args.solve_budget}
@@ -805,6 +811,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_deadline_objective=args.slo_objective,
         slo_decide_p99_s=args.slo_decide_p99,
         slo_window_s=args.slo_window,
+    )
+    if args.shards > 1:
+        return _serve_sharded(args, cluster, config)
+    sink = None
+    if args.trace_out:
+        max_bytes = (
+            int(args.trace_rotate_mb * 1024 * 1024)
+            if args.trace_rotate_mb
+            else None
+        )
+        sink = JsonlSink(
+            args.trace_out,
+            max_bytes=max_bytes,
+            backups=args.trace_rotate_backups,
+        )
+    obs = Observability(
+        sink=sink, level=verbosity_to_level(args.quiet, args.verbose)
     )
     with ExitStack() as stack:
         if args.chaos_fault_prob > 0.0 or args.chaos_slow_prob > 0.0:
@@ -871,6 +894,130 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
     obs.close()
     return 0
+
+
+def _serve_sharded(args: argparse.Namespace, cluster, config) -> int:
+    """``repro serve --shards N``: a router frontend over N local shards.
+
+    Each shard owns a 1/N capacity slice, its own journal
+    (``--journal PATH.shardN``), trace sink (``--trace-out
+    PATH.shardN``) and metrics registry; the router multiplexes the
+    single-service HTTP dialect over the fleet and the skyline
+    rebalancer runs on its own cadence (docs/SHARDING.md).
+    """
+    import signal
+    import threading
+    from dataclasses import replace as dc_replace
+
+    from repro.cluster import (
+        LocalShard,
+        Rebalancer,
+        RouterHTTPServer,
+        ShardRouter,
+        slice_capacity,
+    )
+    from repro.verify import check_cross_shard_conservation
+
+    try:
+        slices = slice_capacity(cluster, args.shards)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    level = verbosity_to_level(args.quiet, args.verbose)
+    shards = []
+    for i, capacity_slice in enumerate(slices):
+        shard_config = dc_replace(
+            config,
+            journal_path=f"{args.journal}.shard{i}" if args.journal else None,
+        )
+
+        def obs_factory(index: int = i):
+            sink = (
+                JsonlSink(f"{args.trace_out}.shard{index}")
+                if args.trace_out
+                else None
+            )
+            return Observability(sink=sink, level=level)
+
+        shards.append(
+            LocalShard(
+                f"shard{i}",
+                capacity_slice,
+                shard_config,
+                obs_factory=obs_factory,
+            ).start()
+        )
+    router = ShardRouter(shards)
+    rebalancer = Rebalancer(router)
+    if args.rebalance_interval > 0:
+        rebalancer.start(args.rebalance_interval)
+    server = RouterHTTPServer(
+        router, rebalancer=rebalancer, host=args.host, port=args.port
+    )
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="repro-router-http", daemon=True
+    )
+    server_thread.start()
+    print(
+        f"serving {args.scheduler} x{args.shards} shards behind router on "
+        f"{server.url}",
+        flush=True,
+    )
+    print(
+        "endpoints: POST /workflows  POST /jobs  POST /rebalance  "
+        "GET /status  GET /metrics  GET /slo  GET /shards  GET /healthz  "
+        "GET /readyz",
+        flush=True,
+    )
+    if args.journal:
+        print(
+            f"journals:  {args.journal}.shard0..shard{args.shards - 1}",
+            flush=True,
+        )
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    stop.wait()
+
+    print("draining...", file=sys.stderr, flush=True)
+    server.shutdown()
+    rebalancer.stop()
+    router.reconcile()
+    missed = 0
+    for shard in shards:
+        result = shard.drain()
+        missed += sum(
+            not w.met_deadline for w in result.workflows.values()
+        )
+    status = router.status()
+    aggregate = status["aggregate"]
+    owned = router.owned_by_shard()
+    orphans = {
+        name: list(entries)
+        for name, entries in router.orphans_by_shard().items()
+    }
+    report = check_cross_shard_conservation(
+        [wid for ids in owned.values() for wid in ids], owned, orphans
+    )
+    print(
+        f"workflows: {aggregate['accepted_workflows']} accepted, "
+        f"{aggregate['rejected_workflows']} rejected, {missed} missed "
+        "deadline"
+    )
+    print(
+        f"ad-hoc:    {aggregate['accepted_adhoc']} accepted, "
+        f"{aggregate['shed_adhoc']} shed"
+    )
+    for name in sorted(owned):
+        shard_status = status["shards"].get(name, {})
+        print(
+            f"  {name}: {shard_status.get('accepted_workflows', 0)} "
+            f"workflows, {shard_status.get('accepted_adhoc', 0)} ad-hoc, "
+            f"{len(owned[name])} owned at drain"
+        )
+    print(f"conservation: {report.summary()}")
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {

@@ -1,0 +1,33 @@
+"""Sharded multi-cluster scheduling: router, shard pool, rebalancer.
+
+One scheduler service scales only as far as one event loop and one LP
+ladder per replan.  This package horizontally shards the service
+(docs/SHARDING.md): :func:`slice_capacity` carves the cluster into N
+disjoint slices, each owned by an independent shard
+(:class:`LocalShard` in-process, :class:`RemoteShard` over HTTP) with
+its own journal and solver stack; the :class:`ShardRouter` hashes
+submissions to their home shard (spilling ad-hoc jobs to the least
+loaded shard on backpressure) and aggregates fleet status; the
+:class:`Rebalancer` compares per-shard demand skylines and migrates
+not-yet-started workflows from saturated to slack shards via a
+journal-backed two-phase handoff that survives crashes on either side.
+:class:`RouterHTTPServer` serves the whole fleet behind the same HTTP
+dialect as a single ``repro serve`` (``repro serve --shards N``).
+"""
+
+from repro.cluster.http import RouterHTTPServer, serve_router_http
+from repro.cluster.rebalance import RebalanceConfig, Rebalancer
+from repro.cluster.router import ShardRouter
+from repro.cluster.shards import LocalShard, RemoteShard
+from repro.cluster.slicing import slice_capacity
+
+__all__ = [
+    "LocalShard",
+    "RebalanceConfig",
+    "Rebalancer",
+    "RemoteShard",
+    "RouterHTTPServer",
+    "ShardRouter",
+    "serve_router_http",
+    "slice_capacity",
+]

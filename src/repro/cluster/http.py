@@ -1,0 +1,247 @@
+"""HTTP frontend for the shard router: one URL over the whole fleet.
+
+Speaks the same submission dialect as a single ``repro serve`` process —
+``POST /workflows`` and ``POST /jobs`` in the trace wire format, answers
+are :class:`~repro.service.api.SubmitResult` bodies — so every existing
+client (``HttpServiceClient``, ``scripts/loadgen.py``, curl) points at
+the router unchanged.  Each answer carries the deciding shard's name in
+the ``shard`` field.
+
+Fleet views replace the single-service ones: ``GET /status``,
+``/metrics`` and ``/slo`` return ``{"aggregate": ..., "shards": {...}}``
+(summed counters plus the per-shard breakdown), ``GET /shards`` lists
+the fleet with liveness, and ``POST /rebalance`` triggers one rebalancer
+cycle on demand (the periodic loop still runs if configured).
+``/healthz`` answers while the router process lives; ``/readyz`` is
+ready while at least one shard is.
+
+Prometheus exposition is per-shard (scrape each shard's own ``/metrics``
+endpoint, or label by shard yourself) — the router serves JSON only.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.router import ShardRouter
+from repro.obs import new_request_id
+from repro.service.api import SubmitResult
+from repro.service.http import _REJECT_STATUS
+from repro.workloads.traces import job_from_dict, workflow_from_dict
+
+__all__ = ["RouterHTTPServer", "serve_router_http"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-shard-router"
+
+    @property
+    def router(self) -> ShardRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    @property
+    def rebalancer(self) -> Rebalancer | None:
+        return self.server.rebalancer  # type: ignore[attr-defined]
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        if path == "/status":
+            self._reply(200, self.router.status())
+        elif path == "/metrics":
+            self._reply(200, self.router.metrics())
+        elif path == "/slo":
+            self._reply(200, self.router.slo())
+        elif path == "/shards":
+            self._reply(200, self._shards())
+        elif path == "/healthz":
+            self._reply(200, {"ok": True, "role": "router"})
+        elif path == "/readyz":
+            alive = self.router.status()["running_shards"]
+            self._reply(
+                200 if alive else 503,
+                {"ready": alive > 0, "running_shards": alive},
+            )
+        else:
+            self._reply(404, {"error": f"no such resource: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/workflows":
+            self._submit(workflow_from_dict, self.router.submit_workflow)
+        elif path == "/jobs":
+            self._submit(job_from_dict, self.router.submit_adhoc)
+        elif path == "/rebalance":
+            if self.rebalancer is None:
+                self._reply(409, {"error": "no rebalancer configured"})
+            else:
+                self._reply(200, self.rebalancer.cycle())
+        elif path == "/reconcile":
+            self._reply(200, self.router.reconcile())
+        else:
+            self._reply(404, {"error": f"no such resource: {path}"})
+
+    def _shards(self) -> dict:
+        shards = []
+        for shard in self.router.shards:
+            try:
+                alive = bool(shard.alive())
+            except (RuntimeError, TimeoutError, OSError):
+                alive = False
+            entry = {"name": shard.name, "alive": alive}
+            url = getattr(shard, "url", None)
+            if url:
+                entry["url"] = url
+            shards.append(entry)
+        return {
+            "shards": shards,
+            "placement_overrides": len(self.router.placement_overrides),
+        }
+
+    def _submit(self, parse, submit) -> None:
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        request_id = (
+            supplied
+            if supplied and _REQUEST_ID_OK.match(supplied)
+            else new_request_id()
+        )
+        id_header = {"X-Request-Id": request_id}
+        body = self._read_body(id_header)
+        if body is None:
+            return
+        try:
+            entity = parse(body)
+        except (KeyError, TypeError, ValueError) as error:
+            self._reply(
+                400,
+                {"error": f"malformed submission: {error}"},
+                headers=id_header,
+            )
+            return
+        key = self.headers.get("Idempotency-Key") or None
+        try:
+            result: SubmitResult = submit(
+                entity, idempotency_key=key, request_id=request_id
+            )
+        except TimeoutError:
+            self._reply(
+                504,
+                {"error": "shard did not answer in time"},
+                headers=id_header,
+            )
+            return
+        status = 200 if result.accepted else _REJECT_STATUS.get(result.reason, 400)
+        headers = {"X-Request-Id": result.request_id or request_id}
+        if not result.accepted and result.reason in ("queue_full", "unavailable"):
+            headers["Retry-After"] = "1"
+        self._reply(status, result.to_dict(), headers=headers)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _read_body(self, extra_headers: dict | None = None) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._reply(
+                400,
+                {"error": "missing or oversized request body"},
+                headers=extra_headers,
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._reply(
+                400,
+                {"error": "request body is not valid JSON"},
+                headers=extra_headers,
+            )
+            return None
+        if not isinstance(body, dict):
+            self._reply(
+                400,
+                {"error": "request body must be a JSON object"},
+                headers=extra_headers,
+            )
+            return None
+        return body
+
+    def _reply(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        data = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        import logging
+
+        self.router.obs.log(
+            logging.DEBUG,
+            "router http %s " + format,
+            self.client_address[0],
+            *args,
+        )
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`ShardRouter`.
+
+    ``port=0`` binds an ephemeral port; read it back from :attr:`url`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        *,
+        rebalancer: Rebalancer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.router = router
+        self.rebalancer = rebalancer
+        super().__init__((host, port), _RouterHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def serve_router_http(
+    router: ShardRouter,
+    *,
+    rebalancer: Rebalancer | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> RouterHTTPServer:
+    """Start the router frontend on a daemon thread; returns the server."""
+    server = RouterHTTPServer(
+        router, rebalancer=rebalancer, host=host, port=port
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-router-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,73 @@
+"""Capacity slicing: carve one cluster into N disjoint shard slices.
+
+Sharded serving (docs/SHARDING.md) runs N independent scheduler services,
+each owning a *slice* of the physical cluster.  Slices must partition the
+capacity exactly — the sum of the slices equals the original cluster in
+every slot, so the sharded deployment can never promise more capacity
+than the monolithic one had (the cross-shard conservation argument
+starts here).
+
+Integer division cannot always split evenly; the remainder goes to the
+low-indexed shards, one unit each, which keeps any two slices within one
+unit of each other per resource.
+"""
+
+from __future__ import annotations
+
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import ResourceVector
+
+__all__ = ["slice_capacity"]
+
+
+def _split_amount(amount: int, n: int) -> list[int]:
+    """Split *amount* into *n* integer shares differing by at most 1."""
+    share, remainder = divmod(amount, n)
+    return [share + (1 if i < remainder else 0) for i in range(n)]
+
+
+def _split_vector(vector: ResourceVector, n: int) -> list[dict[str, int]]:
+    shares: list[dict[str, int]] = [{} for _ in range(n)]
+    for resource in vector:
+        for i, amount in enumerate(_split_amount(vector[resource], n)):
+            shares[i][resource] = amount
+    return shares
+
+
+def slice_capacity(cluster: ClusterCapacity, n: int) -> list[ClusterCapacity]:
+    """Partition *cluster* into *n* slices that sum back to the original.
+
+    Every resource amount (base and per-slot overrides) is integer-split
+    with the remainder assigned to low shard indices.  Raises
+    ``ValueError`` when any shard would get zero of some resource the
+    cluster offers — such a shard could never place work needing that
+    resource, and hash routing would still send it a 1/n share of the
+    load.
+    """
+    if n < 1:
+        raise ValueError(f"shard count must be >= 1, got {n}")
+    if n == 1:
+        return [cluster]
+    for resource in cluster.base:
+        if cluster.base[resource] < n:
+            raise ValueError(
+                f"cannot slice {cluster.base[resource]} units of "
+                f"{resource!r} into {n} non-empty shards"
+            )
+    base_shares = _split_vector(cluster.base, n)
+    override_shares: dict[int, list[dict[str, int]]] = {
+        slot: _split_vector(capacity, n)
+        for slot, capacity in cluster.overrides.items()
+    }
+    slices = []
+    for i in range(n):
+        overrides = {
+            slot: ResourceVector(shares[i])
+            for slot, shares in override_shares.items()
+        }
+        slices.append(
+            ClusterCapacity(
+                base=ResourceVector(base_shares[i]), overrides=overrides
+            )
+        )
+    return slices

@@ -37,7 +37,6 @@ from repro.lp.unimodular import (
     IntervalStructure,
     detect_interval_structure,
     has_consecutive_ones_columns,
-    is_interval_matrix,
     is_totally_unimodular,
 )
 
@@ -56,7 +55,6 @@ __all__ = [
     "get_backend",
     "has_consecutive_ones_columns",
     "install_fault_injector",
-    "is_interval_matrix",
     "is_totally_unimodular",
     "presolve",
     "register_backend",

@@ -37,16 +37,15 @@ An injectable fault hook (:func:`install_fault_injector`) lets the chaos
 harness (:mod:`repro.chaos`) inject solver exceptions and slow solves
 deterministically; production code never installs one.
 
-Registering a bare ``Callable[[LinearProgram], LPSolution]`` still works
-for one release (it is wrapped in a :class:`FunctionBackend` with a
-``DeprecationWarning``); pass a backend object instead.
+Registration takes :class:`SolverBackend` objects only; wrap a plain
+``Callable[[LinearProgram], LPSolution]`` in a :class:`FunctionBackend`
+(the legacy bare-callable form was removed in 1.8.0).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, runtime_checkable
 
@@ -124,40 +123,27 @@ _ALTERNATE: dict[str, str] = {}
 
 
 def register_backend(
-    backend: SolverBackend | str,
-    solve_fn: Callable[[LinearProgram], LPSolution] | None = None,
+    backend: SolverBackend,
     *,
     alternate: str | None = None,
     overwrite: bool = False,
 ) -> SolverBackend:
     """Register a backend under its name; returns the registered object.
 
-    Preferred form: ``register_backend(backend_object)`` where the object
-    satisfies :class:`SolverBackend`.  The legacy form
-    ``register_backend(name, callable)`` is deprecated — it wraps the
-    callable in a :class:`FunctionBackend` that claims every instance.
+    *backend* must satisfy :class:`SolverBackend`; wrap a plain solve
+    function in a :class:`FunctionBackend`.  (The pre-1.8 bare-callable
+    form ``register_backend(name, fn)`` was removed.)
 
     ``alternate`` names the backend retried when this one fails or
     declines (defaults to :data:`DEFAULT_BACKEND`).  Re-registering an
     existing name raises ``ValueError`` unless ``overwrite`` is set.
     """
     if isinstance(backend, str):
-        if solve_fn is None:
-            raise TypeError(
-                "register_backend(name) needs a callable; prefer passing a "
-                "SolverBackend object"
-            )
-        warnings.warn(
-            "registering a bare callable is deprecated; pass a SolverBackend "
-            "(FunctionBackend wraps a plain solve function)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "register_backend(name, fn) was removed in 1.8.0; pass a "
+            "SolverBackend object (FunctionBackend wraps a plain solve "
+            "function)"
         )
-        backend = FunctionBackend(
-            name=backend, solve_fn=solve_fn, description="legacy callable backend"
-        )
-    elif solve_fn is not None:
-        raise TypeError("solve_fn is only valid with the legacy (name, fn) form")
     name = backend.name
     with _registry_lock:
         if name in _BACKENDS and not overwrite:

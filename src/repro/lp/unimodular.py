@@ -13,8 +13,8 @@ Three checks are provided:
 * :func:`has_consecutive_ones_columns` — the sufficient condition that
   actually applies to the paper's constraints (2)-(4): each *column* of the
   x-variable block has its ones consecutive within each job's (t, r) run.
-  Interval matrices are TU.  (Formerly ``is_interval_matrix``; the old name
-  is kept as a deprecated alias.)
+  Interval matrices are TU.  (The pre-1.8 ``is_interval_matrix`` alias was
+  removed.)
 * :func:`detect_interval_structure` — the production entry point: given a
   whole :class:`~repro.lp.problem.LinearProgram`, decide whether it is a
   *theta-form interval transportation LP* (the shape of every lexmin round
@@ -47,7 +47,6 @@ result is a proof that the flow lowering is equivalent to the LP.
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -60,7 +59,6 @@ __all__ = [
     "IntervalStructure",
     "detect_interval_structure",
     "has_consecutive_ones_columns",
-    "is_interval_matrix",
     "is_totally_unimodular",
     "max_fractionality",
 ]
@@ -119,17 +117,6 @@ def has_consecutive_ones_columns(matrix) -> bool:
         if nz.size and not np.array_equal(nz, np.arange(nz[0], nz[-1] + 1)):
             return False
     return True
-
-
-def is_interval_matrix(matrix) -> bool:
-    """Deprecated alias of :func:`has_consecutive_ones_columns`."""
-    warnings.warn(
-        "is_interval_matrix is deprecated; use has_consecutive_ones_columns "
-        "(or detect_interval_structure for whole LinearPrograms)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return has_consecutive_ones_columns(matrix)
 
 
 def max_fractionality(x: np.ndarray) -> float:

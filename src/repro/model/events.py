@@ -20,6 +20,7 @@ class EventKind(enum.Enum):
     JOB_COMPLETED = "job_completed"
     JOB_SETBACK = "job_setback"
     WORKFLOW_COMPLETED = "workflow_completed"
+    WORKFLOW_WITHDRAWN = "workflow_withdrawn"
 
 
 @dataclass(frozen=True)
@@ -95,3 +96,15 @@ class WorkflowCompleted(Event):
     @property
     def kind(self) -> EventKind:
         return EventKind.WORKFLOW_COMPLETED
+
+
+@dataclass(frozen=True)
+class WorkflowWithdrawn(Event):
+    """A not-yet-started workflow was withdrawn (shard migration): its jobs
+    left the cluster view and any plan capacity reserved for them is free."""
+
+    workflow_id: str
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.WORKFLOW_WITHDRAWN

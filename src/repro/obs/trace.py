@@ -58,6 +58,7 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "job_completed": ("slot", "job_id"),
     "job_setback": ("slot", "job_id", "lost_units"),
     "workflow_completed": ("slot", "workflow_id"),
+    "workflow_withdrawn": ("slot", "workflow_id"),
     "workflow_deadline_miss": ("slot", "workflow_id", "deadline_slot"),
     # admission control
     "admission_accept": ("workflow_id", "slot", "utilisation"),

@@ -103,6 +103,12 @@ class FlowTimeScheduler(Scheduler):
                 )
                 self._windows.update(result.windows)
                 self._needs_replan = True
+            elif kind is EventKind.WORKFLOW_WITHDRAWN:
+                # The withdrawn workflow's jobs are gone from the view; the
+                # stale plan may still reserve capacity for them, so force a
+                # re-plan (its stale windows are harmless — demands are
+                # rebuilt from the live view).
+                self._needs_replan = True
             elif kind in (
                 EventKind.JOB_READY,
                 EventKind.JOB_COMPLETED,

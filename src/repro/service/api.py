@@ -193,6 +193,10 @@ class SubmitResult:
     #: submission generates is stamped with it, so ``repro trace query
     #: RUN.jsonl --request <id>`` reconstructs the full timeline.
     request_id: str = ""
+    #: Name of the shard that decided this submission, filled in by the
+    #: shard router (empty for a monolithic service).  Lets clients and
+    #: the load generator attribute acceptance per shard.
+    shard: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -204,6 +208,7 @@ class SubmitResult:
             "shortfall_units": dict(self.shortfall_units),
             "queue_depth": self.queue_depth,
             "request_id": self.request_id,
+            "shard": self.shard,
         }
 
     @staticmethod
@@ -218,6 +223,7 @@ class SubmitResult:
             shortfall_units=dict(data.get("shortfall_units", {})),
             queue_depth=int(data.get("queue_depth", 0)),
             request_id=data.get("request_id", ""),
+            shard=data.get("shard", ""),
         )
 
 

@@ -190,6 +190,18 @@ class HttpServiceClient:
     def slo(self) -> dict:
         return self._request("GET", "/slo")
 
+    def request_json(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        """One JSON request against an arbitrary path, with the client's
+        usual retry/backoff treatment.
+
+        Public passthrough for surfaces beyond the core client methods —
+        the shard router drives the ``/shard/*`` migration endpoints
+        through this.
+        """
+        return self._request(method, path, payload)
+
     def metrics_prometheus(self) -> str:
         """GET /metrics?format=prometheus — raw text exposition 0.0.4."""
         request = urllib.request.Request(

@@ -188,6 +188,16 @@ class SchedulerService:
         # Decisions of accepted keyed submissions: a retried idempotency
         # key returns its original decision instead of double-admitting.
         self._idempotency: dict[str, SubmitResult] = {}
+        # Reverse map entity id -> idempotency key, so a migrating workflow
+        # carries its key to the destination shard (the key must keep
+        # deduplicating wherever the workflow now lives).
+        self._idempotency_by_id: dict[str, str] = {}
+        # Unsettled outbound migrations: workflow id -> handoff info.  An
+        # entry exists from migrate_out until confirm/restore (and is
+        # rebuilt from unconfirmed journal tombstones after a crash).
+        # Orphans are owned by nobody until the coordinator reconciles —
+        # held, never unilaterally re-admitted, so they cannot duplicate.
+        self._orphans: dict[str, dict] = {}
         self._journal: Optional[SubmissionJournal] = None
         if self.config.journal_path:
             with use_obs(self.obs):
@@ -250,33 +260,30 @@ class SchedulerService:
         progress was never journaled, so recovered jobs restart from zero
         executed units (conservative, never lossy).  Idempotency keys are
         restored so pre-crash client retries still deduplicate.
+
+        Migration records fold in journal order into a final per-workflow
+        disposition: a plain ``workflow`` record (re-)admits, a
+        ``migrate_out`` tombstone withdraws, and an *unconfirmed* tombstone
+        leaves the workflow an orphan — held for the router's reconcile,
+        never re-admitted here, so a destination that did journal it
+        cannot be duplicated.  A ``migrate_confirm`` settles the tombstone
+        (the workflow is simply gone from this shard).
         """
         records, skipped = SubmissionJournal.read(path)
-        recovered = 0
+        # Pass 1: final disposition per workflow id (ordered fold).
+        disposition: dict[str, Optional[object]] = {}
         for record in records:
-            if record.kind == "workflow":
-                workflow = record.entity
-                if workflow.workflow_id in self._core.workflows:
-                    continue  # older journal generation already replayed it
-                try:
-                    decomposition = decompose_deadline(
-                        workflow,
-                        self.cluster,
-                        cluster_aware=self.config.cluster_aware_decomposition,
-                    )
-                    self._core.add_workflow(self._perturb_workflow(workflow))
-                except ValueError:
-                    skipped += 1
-                    continue
-                self._windows.update(decomposition.windows)
-                self._accepted_workflows += 1
-                result = SubmitResult(
-                    accepted=True,
-                    kind="workflow",
-                    id=workflow.workflow_id,
-                    reason="admitted",
-                )
-            else:
+            if record.kind in ("workflow", "migrate_out"):
+                disposition[record.entity.workflow_id] = record
+            elif record.kind == "migrate_confirm":
+                disposition[record.workflow_id] = None
+        # Pass 2: replay.  Ad-hoc records stream as before; each workflow
+        # id replays once, from its *final* record.
+        recovered = 0
+        orphaned = 0
+        seen: set[str] = set()
+        for record in records:
+            if record.kind == "adhoc":
                 job = record.entity
                 if self._core.has_job(job.job_id):
                     continue
@@ -286,16 +293,63 @@ class SchedulerService:
                     skipped += 1
                     continue
                 self._accepted_adhoc += 1
-                result = SubmitResult(
-                    accepted=True, kind="adhoc", id=job.job_id, reason="queued"
+                recovered += 1
+                if record.key:
+                    self._idempotency[record.key] = SubmitResult(
+                        accepted=True,
+                        kind="adhoc",
+                        id=job.job_id,
+                        reason="queued",
+                    )
+                continue
+            if record.kind == "migrate_confirm":
+                continue
+            wid = record.entity.workflow_id
+            if wid in seen:
+                continue
+            seen.add(wid)
+            final = disposition.get(wid)
+            if final is None:
+                continue  # confirmed away: owned by another shard
+            if final.kind == "migrate_out":
+                self._orphans[wid] = {
+                    "workflow": final.entity,
+                    "key": final.key,
+                    "dest": final.dest,
+                    "epoch": final.epoch,
+                }
+                orphaned += 1
+                continue
+            workflow = final.entity
+            if workflow.workflow_id in self._core.workflows:
+                continue  # older journal generation already replayed it
+            try:
+                decomposition = decompose_deadline(
+                    workflow,
+                    self.cluster,
+                    cluster_aware=self.config.cluster_aware_decomposition,
                 )
+                self._core.add_workflow(self._perturb_workflow(workflow))
+            except ValueError:
+                skipped += 1
+                continue
+            self._windows.update(decomposition.windows)
+            self._accepted_workflows += 1
             recovered += 1
-            if record.key:
-                self._idempotency[record.key] = result
-        if recovered or skipped:
+            if final.key:
+                self._idempotency[final.key] = SubmitResult(
+                    accepted=True,
+                    kind="workflow",
+                    id=workflow.workflow_id,
+                    reason="admitted",
+                )
+                self._idempotency_by_id[workflow.workflow_id] = final.key
+        if recovered or skipped or orphaned:
             self.obs.counter("service.journal.recovered").inc(recovered)
             if skipped:
                 self.obs.counter("service.journal.skipped").inc(skipped)
+            if orphaned:
+                self.obs.counter("service.journal.orphaned").inc(orphaned)
             self.obs.event(
                 "service_recovered",
                 journal=str(path),
@@ -532,7 +586,10 @@ class SchedulerService:
                     drained_now = True
                     drain_command = command
                     break
-                self._handle_submission(command)
+                if command.kind == "call":
+                    self._handle_call(command)
+                else:
+                    self._handle_submission(command)
                 command = self._poll_command()
             if drained_now:
                 self._drain_out(drain_command)
@@ -631,6 +688,7 @@ class SchedulerService:
                 # Only accepted decisions are pinned: a rejection (full
                 # queue, infeasible now) may legitimately succeed on retry.
                 self._idempotency[key] = result
+                self._idempotency_by_id[result.id] = key
             # Publish the new counts before resolving the future, so a
             # client that saw its decision also sees it in /status.
             self._refresh_status()
@@ -816,6 +874,250 @@ class SchedulerService:
             reason=reason,
             queue_depth=depth,
         )
+
+    # -- migration API (docs/SHARDING.md) ---------------------------------------------
+    #
+    # All mutators run as closures on the event-loop thread (the same
+    # single-writer discipline as submissions), so a migration can never
+    # race an admission against the same headroom.  Reads that only touch
+    # a dict snapshot (owns_workflow, workflow_ids, orphan_info) go direct.
+
+    def _call(self, fn, timeout: float | None = None):
+        """Run *fn* on the event-loop thread; return (or raise) its result."""
+        if self._stopped.is_set():
+            raise RuntimeError("service is stopped")
+        command = _Command("call", fn)
+        self._commands.put(command)
+        return command.future.result(
+            timeout=timeout if timeout is not None else self.config.submit_timeout_s
+        )
+
+    def _handle_call(self, command: _Command) -> None:
+        try:
+            command.future.set_result(command.payload())
+        except Exception as error:  # surfaced to the calling thread
+            command.future.set_exception(error)
+
+    def migrate_out(
+        self, workflow_id: str, *, dest: str, epoch: int,
+        timeout: float | None = None,
+    ) -> dict:
+        """Withdraw a not-yet-started workflow for handoff to shard *dest*.
+
+        Journals a ``migrate_out`` tombstone (entity + idempotency key
+        embedded) before answering, and tracks the handoff as an orphan
+        until :meth:`confirm_migration` or :meth:`restore_workflow`
+        settles it.  Returns ``{"workflow", "key", "epoch"}``.  Raises
+        ``ValueError`` when the workflow is unknown or already started.
+        """
+        return self._call(
+            lambda: self._migrate_out(workflow_id, dest, epoch), timeout
+        )
+
+    def _migrate_out(self, workflow_id: str, dest: str, epoch: int) -> dict:
+        workflow = self._core.remove_workflow(workflow_id)
+        for job in workflow.jobs:
+            self._windows.pop(job.job_id, None)
+        key = self._idempotency_by_id.get(workflow_id)
+        if self._journal is not None:
+            self._journal.append_migrate_out(
+                workflow, dest=dest, epoch=epoch, key=key
+            )
+        self._orphans[workflow_id] = {
+            "workflow": workflow, "key": key, "dest": dest, "epoch": epoch,
+        }
+        self.obs.counter("service.migrate.out").inc()
+        self._refresh_status()
+        return {"workflow": workflow, "key": key, "epoch": epoch}
+
+    def migrate_in(
+        self, workflow: Workflow, *, key: str | None = None, epoch: int = 0,
+        timeout: float | None = None,
+    ) -> SubmitResult:
+        """Accept a workflow handed off by another shard.
+
+        Admission *is* re-run against this shard's capacity slice (the
+        move must not overload the destination); on accept the workflow is
+        journaled here like any submission and the idempotency key is
+        pinned, so the key keeps deduplicating on its new home shard.
+        Idempotent on an already-owned workflow id (a re-delivered handoff
+        answers accepted without a second admission).
+        """
+        return self._call(lambda: self._migrate_in(workflow, key, epoch), timeout)
+
+    def _migrate_in(
+        self, workflow: Workflow, key: str | None, epoch: int
+    ) -> SubmitResult:
+        if workflow.workflow_id in self._core.workflows:
+            result = SubmitResult(
+                accepted=True,
+                kind="workflow",
+                id=workflow.workflow_id,
+                reason="admitted",
+            )
+        else:
+            # Migration moves an already-counted submission between
+            # shards; the per-shard accept/reject submission counters must
+            # not drift (the router's aggregate would double-count), so
+            # they are restored around the admission call.
+            counts = (self._accepted_workflows, self._rejected_workflows)
+            result = self._admit_workflow(workflow, key)
+            self._accepted_workflows, self._rejected_workflows = counts
+        if result.accepted:
+            if key is not None:
+                self._idempotency[key] = result
+                self._idempotency_by_id[workflow.workflow_id] = key
+            self.obs.counter("service.migrate.in").inc()
+        self._refresh_status()
+        return result
+
+    def restore_workflow(
+        self, workflow: Workflow, *, key: str | None = None,
+        timeout: float | None = None,
+    ) -> SubmitResult:
+        """Re-admit a workflow whose outbound handoff failed.
+
+        Admission is *not* re-run: the workflow was accepted on this shard
+        before the attempted move — accepted stays accepted.  Journals a
+        plain ``workflow`` record (which supersedes the tombstone in the
+        ordered fold) and clears the orphan entry.
+        """
+        return self._call(lambda: self._restore_workflow(workflow, key), timeout)
+
+    def _restore_workflow(
+        self, workflow: Workflow, key: str | None
+    ) -> SubmitResult:
+        wid = workflow.workflow_id
+        if wid not in self._core.workflows:
+            decomposition = decompose_deadline(
+                workflow,
+                self.cluster,
+                cluster_aware=self.config.cluster_aware_decomposition,
+            )
+            self._core.add_workflow(self._perturb_workflow(workflow))
+            self._windows.update(decomposition.windows)
+            if self._journal is not None:
+                self._journal.append_workflow(workflow, key=key)
+            self._note_arrival()
+        self._orphans.pop(wid, None)
+        result = SubmitResult(
+            accepted=True, kind="workflow", id=wid, reason="admitted"
+        )
+        if key is not None:
+            self._idempotency[key] = result
+            self._idempotency_by_id[wid] = key
+        self.obs.counter("service.migrate.restored").inc()
+        self._refresh_status()
+        return result
+
+    def restore_orphan(
+        self, workflow_id: str, timeout: float | None = None
+    ) -> SubmitResult:
+        """Restore an orphaned handoff from its journaled tombstone."""
+        def run() -> SubmitResult:
+            orphan = self._orphans.get(workflow_id)
+            if orphan is None:
+                raise ValueError(f"no orphaned migration for {workflow_id}")
+            return self._restore_workflow(orphan["workflow"], orphan["key"])
+
+        return self._call(run, timeout)
+
+    def confirm_migration(
+        self, workflow_id: str, *, epoch: int, timeout: float | None = None
+    ) -> dict:
+        """Settle an outbound handoff: the destination durably owns it."""
+        return self._call(
+            lambda: self._confirm_migration(workflow_id, epoch), timeout
+        )
+
+    def _confirm_migration(self, workflow_id: str, epoch: int) -> dict:
+        was_orphan = self._orphans.pop(workflow_id, None) is not None
+        if self._journal is not None:
+            self._journal.append_migrate_confirm(workflow_id, epoch=epoch)
+        self.obs.counter("service.migrate.confirmed").inc()
+        return {
+            "workflow_id": workflow_id, "epoch": epoch, "was_orphan": was_orphan,
+        }
+
+    def owns_workflow(self, workflow_id: str) -> bool:
+        """True when this shard's engine currently owns the workflow."""
+        return workflow_id in self._core.workflows
+
+    def workflow_ids(self) -> list[str]:
+        """Ids of every workflow this shard currently owns (snapshot)."""
+        return self._core.workflow_ids()
+
+    def orphan_info(self) -> dict[str, dict]:
+        """Unsettled outbound handoffs: id -> {dest, epoch} (snapshot)."""
+        return {
+            wid: {"dest": info["dest"], "epoch": info["epoch"]}
+            for wid, info in dict(self._orphans).items()
+        }
+
+    def demand_skyline(self, timeout: float | None = None) -> dict:
+        """Committed-demand saturation summary (the rebalancer's signal).
+
+        The committed units of every admitted, unfinished deadline job are
+        compared against this shard's capacity over the remaining horizon
+        (now to the latest committed deadline); ``saturation`` is the worst
+        per-resource fraction.  Computed on the loop thread for a
+        consistent snapshot.
+        """
+        return self._call(self._demand_skyline, timeout)
+
+    def _demand_skyline(self) -> dict:
+        core = self._core
+        now = core.slot
+        demands = self._committed_demands()
+        horizon = max(
+            max((d.deadline_slot for d in demands), default=now + 1) - now, 1
+        )
+        base = self.cluster.base
+        per_resource: dict[str, float] = {}
+        for resource in self.cluster.resources:
+            cap = base[resource] * horizon
+            load = float(
+                sum(d.units * d.unit_demand[resource] for d in demands)
+            )
+            per_resource[resource] = load / cap if cap else 0.0
+        saturation = max(per_resource.values(), default=0.0)
+        return {
+            "slot": now,
+            "n_workflows": len(core.workflows),
+            "committed_units": int(sum(d.units for d in demands)),
+            "horizon_slots": horizon,
+            "queue_depth": core.live_adhoc_count(),
+            "per_resource": per_resource,
+            "saturation": saturation,
+        }
+
+    def migration_candidates(
+        self, max_n: int = 8, timeout: float | None = None
+    ) -> list[dict]:
+        """Not-yet-started workflows this shard could hand off.
+
+        Least-urgent first (latest deadline): those have the most slack to
+        survive a re-admission on the destination.  Each entry carries the
+        remaining units so the rebalancer can size its moves.
+        """
+        return self._call(lambda: self._migration_candidates(max_n), timeout)
+
+    def _migration_candidates(self, max_n: int) -> list[dict]:
+        core = self._core
+        candidates = []
+        for wid, workflow in core.workflows.items():
+            if core.workflow_started(wid):
+                continue
+            units = sum(job.tasks.total_task_slots for job in workflow.jobs)
+            candidates.append(
+                {
+                    "workflow_id": wid,
+                    "units": int(units),
+                    "deadline_slot": workflow.deadline_slot,
+                }
+            )
+        candidates.sort(key=lambda c: (-c["deadline_slot"], c["workflow_id"]))
+        return candidates[:max_n]
 
     # -- stepping -------------------------------------------------------------------
 

@@ -22,6 +22,15 @@ GET    /readyz      readiness: 200 only while the event loop is running
                     and admitting (503 when stopped or draining)
 ====== ============ =====================================================
 
+Shard-to-shard surface (docs/SHARDING.md) — consumed by the
+:class:`repro.cluster.router.ShardRouter` and rebalancer, not by end
+users: ``GET /shard/skyline`` (committed-demand saturation),
+``GET /shard/candidates`` (migratable workflows), ``GET /shard/orphans``
+(unsettled outbound handoffs), ``GET /shard/workflows`` (owned ids),
+``GET /shard/owns?workflow=ID``, and ``POST /shard/migrate-out``,
+``/shard/migrate-in``, ``/shard/restore``, ``/shard/confirm`` driving the
+two-phase migration protocol.
+
 Handler threads only enqueue commands and read snapshots — every
 scheduling decision still happens on the service's single event-loop
 thread, so concurrency is bounded by design, not by luck.  No third-party
@@ -54,7 +63,11 @@ from urllib.parse import parse_qs, urlsplit
 from repro.obs import PROMETHEUS_CONTENT_TYPE, new_request_id, render_prometheus
 from repro.service.api import ServiceSaturatedError, SubmitResult
 from repro.service.core import SchedulerService
-from repro.workloads.traces import job_from_dict, workflow_from_dict
+from repro.workloads.traces import (
+    job_from_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
 
 __all__ = ["ServiceHTTPServer", "serve_http"]
 
@@ -128,6 +141,34 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, self.service.metrics_snapshot())
         elif path == "/slo":
             self._reply(200, self.service.slo_snapshot())
+        elif path == "/shard/skyline":
+            self._reply(200, self.service.demand_skyline())
+        elif path == "/shard/candidates":
+            query = parse_qs(split.query)
+            try:
+                max_n = int(query.get("max", ["8"])[0])
+            except ValueError:
+                max_n = 8
+            self._reply(
+                200, {"candidates": self.service.migration_candidates(max_n)}
+            )
+        elif path == "/shard/orphans":
+            self._reply(200, {"orphans": self.service.orphan_info()})
+        elif path == "/shard/workflows":
+            self._reply(200, {"workflows": sorted(self.service.workflow_ids())})
+        elif path == "/shard/owns":
+            query = parse_qs(split.query)
+            workflow_id = query.get("workflow", [""])[0]
+            if not workflow_id:
+                self._reply(400, {"error": "missing ?workflow=<id>"})
+            else:
+                self._reply(
+                    200,
+                    {
+                        "workflow_id": workflow_id,
+                        "owns": self.service.owns_workflow(workflow_id),
+                    },
+                )
         elif path == "/healthz":
             # Liveness: answering at all is the signal.
             self._reply(200, {"ok": True})
@@ -150,8 +191,74 @@ class _Handler(BaseHTTPRequestHandler):
             self._submit(workflow_from_dict, self.service.submit_workflow)
         elif path == "/jobs":
             self._submit(job_from_dict, self.service.submit_adhoc)
+        elif path.startswith("/shard/"):
+            self._shard_post(path)
         else:
             self._reply(404, {"error": f"no such resource: {path}"})
+
+    def _shard_post(self, path: str) -> None:
+        """Shard-to-shard migration endpoints (router/rebalancer traffic)."""
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            if path == "/shard/migrate-out":
+                handoff = self.service.migrate_out(
+                    str(body["workflow_id"]),
+                    dest=str(body.get("dest", "")),
+                    epoch=int(body.get("epoch", 0)),
+                )
+                self._reply(
+                    200,
+                    {
+                        "workflow": workflow_to_dict(handoff["workflow"]),
+                        "key": handoff["key"],
+                        "epoch": handoff["epoch"],
+                    },
+                )
+            elif path == "/shard/migrate-in":
+                result = self.service.migrate_in(
+                    workflow_from_dict(body["workflow"]),
+                    key=body.get("key"),
+                    epoch=int(body.get("epoch", 0)),
+                )
+                status = (
+                    200
+                    if result.accepted
+                    else _REJECT_STATUS.get(result.reason, 400)
+                )
+                self._reply(status, result.to_dict())
+            elif path == "/shard/restore":
+                if "workflow" in body:
+                    result = self.service.restore_workflow(
+                        workflow_from_dict(body["workflow"]),
+                        key=body.get("key"),
+                    )
+                else:
+                    result = self.service.restore_orphan(
+                        str(body["workflow_id"])
+                    )
+                self._reply(200, result.to_dict())
+            elif path == "/shard/confirm":
+                self._reply(
+                    200,
+                    self.service.confirm_migration(
+                        str(body["workflow_id"]),
+                        epoch=int(body.get("epoch", 0)),
+                    ),
+                )
+            else:
+                self._reply(404, {"error": f"no such resource: {path}"})
+        except (KeyError, TypeError) as error:
+            self._reply(400, {"error": f"malformed shard request: {error}"})
+        except ValueError as error:
+            # Unknown workflow / already started / no such orphan: the
+            # coordinator treats 409 as "this move cannot happen".
+            self._reply(409, {"error": str(error)})
+        except TimeoutError:
+            self._reply(504, {"error": "scheduler did not answer in time"})
+        except RuntimeError as error:  # service stopped
+            self._reply(503, {"error": str(error)})
 
     def _request_id(self) -> str:
         """The submission's correlation id: client-supplied or minted."""

@@ -28,6 +28,16 @@ completion, not a second opinion.  Execution progress is not journaled
 (this is a submission log, not a state-machine checkpoint), so recovered
 jobs restart from zero executed units — conservative, never lossy.
 
+Shard migration (docs/SHARDING.md) adds two record kinds on top of the
+submission records: ``migrate_out`` — a tombstone embedding the full
+workflow entity, the receiving shard, and a migration epoch, written when
+a not-yet-started workflow is withdrawn for handoff — and
+``migrate_confirm``, written once the destination durably owns it.
+Recovery folds these in order: a confirmed handoff is simply gone, an
+*unconfirmed* one is held as an orphan (never unilaterally re-admitted,
+so the destination holding it too cannot produce a duplicate) until the
+router's reconcile step settles it.
+
 Records are versioned (``"v": 1``); unknown versions and trailing
 truncated lines (a crash mid-append) are skipped with a count, never a
 crash.
@@ -58,12 +68,26 @@ _VERSION = 1
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One recovered journal entry."""
+    """One recovered journal entry.
 
-    kind: str  # "workflow" | "adhoc"
+    ``kind`` is one of:
+
+    * ``workflow`` / ``adhoc`` — an accepted submission (``entity`` set);
+    * ``migrate_out`` — this shard handed ``entity`` (a workflow) to shard
+      ``dest`` under migration ``epoch``.  The full entity is embedded so
+      an unconfirmed handoff can be restored after a crash without asking
+      anyone;
+    * ``migrate_confirm`` — the destination durably owns ``workflow_id``;
+      the preceding ``migrate_out`` is settled.
+    """
+
+    kind: str  # "workflow" | "adhoc" | "migrate_out" | "migrate_confirm"
     key: Optional[str]  # idempotency key, if the client sent one
-    entity: "Workflow | Job"
+    entity: "Workflow | Job | None"
     ts: float
+    dest: Optional[str] = None  # migrate_out: receiving shard name
+    epoch: int = 0  # migrate_out / migrate_confirm: migration epoch
+    workflow_id: Optional[str] = None  # migrate_confirm: settled workflow
 
 
 class SubmissionJournal:
@@ -89,13 +113,49 @@ class SubmissionJournal:
     def append_adhoc(self, job: Job, key: str | None = None) -> None:
         self._append("adhoc", job_to_dict(job), key)
 
-    def _append(self, kind: str, entity: dict, key: str | None) -> None:
+    def append_migrate_out(
+        self,
+        workflow: Workflow,
+        *,
+        dest: str,
+        epoch: int,
+        key: str | None = None,
+    ) -> None:
+        """Tombstone: *workflow* left this shard for *dest*.
+
+        The full entity (and its idempotency key) is embedded, so an
+        unconfirmed handoff survives a crash on this side: recovery holds
+        it as an orphan until the coordinator either confirms the
+        destination owns it or restores it here.
+        """
+        self._append(
+            "migrate_out",
+            workflow_to_dict(workflow),
+            key,
+            dest=dest,
+            epoch=epoch,
+        )
+
+    def append_migrate_confirm(self, workflow_id: str, *, epoch: int) -> None:
+        """Settle the matching ``migrate_out``: the destination owns it."""
+        self._append(
+            "migrate_confirm", None, None, workflow_id=workflow_id, epoch=epoch
+        )
+
+    def _append(
+        self,
+        kind: str,
+        entity: dict | None,
+        key: str | None,
+        **extra,
+    ) -> None:
         record = {
             "v": _VERSION,
             "type": kind,
             "key": key,
             "ts": time.time(),
             "entity": entity,
+            **extra,
         }
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
         self._file.flush()
@@ -141,10 +201,12 @@ class SubmissionJournal:
                         skipped += 1
                         continue
                     kind = raw["type"]
-                    if kind == "workflow":
+                    if kind in ("workflow", "migrate_out"):
                         entity = workflow_from_dict(raw["entity"])
                     elif kind == "adhoc":
                         entity = job_from_dict(raw["entity"])
+                    elif kind == "migrate_confirm":
+                        entity = None
                     else:
                         skipped += 1
                         continue
@@ -154,6 +216,9 @@ class SubmissionJournal:
                             key=raw.get("key"),
                             entity=entity,
                             ts=float(raw.get("ts", 0.0)),
+                            dest=raw.get("dest"),
+                            epoch=int(raw.get("epoch", 0)),
+                            workflow_id=raw.get("workflow_id"),
                         )
                     )
                 except (KeyError, TypeError, ValueError):

@@ -44,6 +44,7 @@ from repro.model.events import (
     JobSetback,
     WorkflowArrived,
     WorkflowCompleted,
+    WorkflowWithdrawn,
 )
 from repro.model.job import Job, JobKind
 from repro.model.resources import ResourceVector
@@ -271,6 +272,56 @@ class EngineCore:
         self._remaining_jobs += 1
         if request_id is not None:
             self._request_ids[job.job_id] = request_id
+
+    def remove_workflow(self, workflow_id: str) -> Workflow:
+        """Withdraw a registered workflow that has not started executing.
+
+        Shard migration support: a workflow moves to another shard only
+        while it is still pure bookkeeping here — no job has executed a
+        single task-slot and none completed.  Raises ``ValueError`` when
+        the workflow is unknown or has started (a started workflow's
+        progress lives only in this engine and must not be abandoned).
+
+        A :class:`~repro.model.events.WorkflowWithdrawn` event is queued
+        for the next step, so the scheduler drops any plan capacity it was
+        still reserving for the withdrawn jobs.
+        """
+        workflow = self.workflows.get(workflow_id)
+        if workflow is None:
+            raise ValueError(f"unknown workflow {workflow_id}")
+        for job in workflow.jobs:
+            run = self._runs[job.job_id]
+            if run.executed_units > 0 or run.done:
+                raise ValueError(
+                    f"workflow {workflow_id} has started (job {job.job_id}); "
+                    "not withdrawable"
+                )
+        del self.workflows[workflow_id]
+        del self._workflow_arrival[workflow_id]
+        del self._workflow_completion[workflow_id]
+        del self._workflow_remaining[workflow_id]
+        self._request_ids.pop(workflow_id, None)
+        for job in workflow.jobs:
+            del self._runs[job.job_id]
+            self._request_ids.pop(job.job_id, None)
+        self._remaining_jobs -= len(workflow)
+        self._pending_events.append(
+            WorkflowWithdrawn(slot=self.slot, workflow_id=workflow_id)
+        )
+        return workflow
+
+    def workflow_ids(self) -> list[str]:
+        """Ids of every registered (not withdrawn) workflow."""
+        return list(self.workflows)
+
+    def workflow_started(self, workflow_id: str) -> bool:
+        """True when any job of the workflow executed or completed."""
+        workflow = self.workflows[workflow_id]
+        return any(
+            self._runs[job.job_id].executed_units > 0
+            or self._runs[job.job_id].done
+            for job in workflow.jobs
+        )
 
     def validate_job(self, job: Job) -> None:
         """Raise ``ValueError`` when one of *job*'s tasks cannot fit the

@@ -6,10 +6,12 @@ results, trace-only validation and metric recomputation over JSONL event
 streams, a brute-force differential oracle for tiny instances
 (:mod:`repro.verify.oracle`), a seeded fuzz harness driving the batch,
 re-planning, degraded, and journal-replay paths
-(:mod:`repro.verify.fuzz`), and the golden-trace corpus tooling
-(:mod:`repro.verify.golden`).
+(:mod:`repro.verify.fuzz`), the golden-trace corpus tooling
+(:mod:`repro.verify.golden`), and the cross-shard conservation check for
+sharded deployments (:mod:`repro.verify.cross_shard`).
 """
 
+from repro.verify.cross_shard import check_cross_shard_conservation
 from repro.verify.trace_check import (
     TraceIndex,
     recompute_trace_metrics,
@@ -30,6 +32,7 @@ __all__ = [
     "VerificationError",
     "VerificationReport",
     "Violation",
+    "check_cross_shard_conservation",
     "recompute_trace_metrics",
     "validate_trace",
 ]

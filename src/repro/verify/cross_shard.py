@@ -1,0 +1,114 @@
+"""Cross-shard conservation check for sharded deployments.
+
+The single-service validator (:class:`~repro.verify.validator
+.ScheduleValidator`) checks each shard's own schedule; this module
+checks the property only the *fleet* can violate: every accepted
+workflow lives on **exactly one** shard, no matter how many migrations,
+crashes, and journal replays happened in between (docs/SHARDING.md).
+
+Three invariants over a snapshot of (accepted ids, per-shard owned ids,
+per-shard unsettled orphans):
+
+* ``cross_shard.no_loss`` — every accepted workflow is owned by some
+  shard or held as an orphan (an orphan is *in limbo*, not lost — the
+  entity is journaled on its source);
+* ``cross_shard.no_duplicates`` — no workflow is owned by two shards at
+  once, and no *settled* state has a workflow both owned and orphaned;
+* ``cross_shard.orphans_settled`` — after a reconcile pass, no orphans
+  remain (checked only when orphan data is supplied).
+
+Run it after :meth:`~repro.cluster.router.ShardRouter.reconcile` — mid-
+migration snapshots legitimately show a workflow owned by the
+destination while still orphaned on the source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.verify.validator import VerificationReport
+
+__all__ = ["check_cross_shard_conservation"]
+
+
+def check_cross_shard_conservation(
+    accepted_ids: Iterable[str],
+    owned_by_shard: Mapping[str, Iterable[str]],
+    orphans_by_shard: Optional[Mapping[str, Iterable[str]]] = None,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Check that the fleet conserves every accepted workflow exactly once.
+
+    Args:
+        accepted_ids: workflow ids whose submission was answered
+            *accepted* (as seen by clients — the router's ledger).
+        owned_by_shard: shard name -> workflow ids that shard's engine
+            currently owns (:meth:`ShardRouter.owned_by_shard`).
+        orphans_by_shard: shard name -> workflow ids held as unsettled
+            outbound migrations; enables the orphans-settled check.
+        report: merge into an existing report instead of a fresh one.
+    """
+    report = report if report is not None else VerificationReport()
+    owners: dict[str, list[str]] = {}
+    for shard, ids in owned_by_shard.items():
+        for workflow_id in ids:
+            owners.setdefault(workflow_id, []).append(shard)
+    orphan_holders: dict[str, list[str]] = {}
+    for shard, ids in (orphans_by_shard or {}).items():
+        for workflow_id in ids:
+            orphan_holders.setdefault(workflow_id, []).append(shard)
+
+    accepted = sorted(set(accepted_ids))
+    lost = [
+        workflow_id
+        for workflow_id in accepted
+        if workflow_id not in owners and workflow_id not in orphan_holders
+    ]
+    for workflow_id in lost:
+        report.check(
+            "cross_shard.no_loss",
+            False,
+            "accepted workflow owned by no shard and orphaned nowhere",
+            subject=workflow_id,
+        )
+    if not lost:
+        report.check(
+            "cross_shard.no_loss",
+            True,
+            f"all {len(accepted)} accepted workflows accounted for",
+        )
+
+    duplicated = {
+        workflow_id: shards
+        for workflow_id, shards in sorted(owners.items())
+        if len(shards) > 1
+    }
+    for workflow_id, shards in duplicated.items():
+        report.check(
+            "cross_shard.no_duplicates",
+            False,
+            f"owned by {len(shards)} shards: {', '.join(sorted(shards))}",
+            subject=workflow_id,
+        )
+    if not duplicated:
+        report.check(
+            "cross_shard.no_duplicates",
+            True,
+            "no workflow owned by more than one shard",
+        )
+
+    if orphans_by_shard is not None:
+        unsettled = sorted(orphan_holders)
+        for workflow_id in unsettled:
+            report.check(
+                "cross_shard.orphans_settled",
+                False,
+                f"unsettled migration orphan on "
+                f"{', '.join(sorted(orphan_holders[workflow_id]))}",
+                subject=workflow_id,
+            )
+        if not unsettled:
+            report.check(
+                "cross_shard.orphans_settled", True, "no unsettled orphans"
+            )
+    return report

@@ -1,0 +1,302 @@
+"""Tests for capacity slicing and the shard router.
+
+Router behaviour (hashing, placement overrides, ad-hoc spill,
+aggregation, dead-shard handling) is tested against scripted stub shards
+— the router only needs the handle surface, and stubs make every failure
+mode deterministic.  Integration with real services is covered by
+tests/test_cluster_rebalance.py and tests/test_cluster_property.py.
+"""
+
+import pytest
+
+from repro.cluster import ShardRouter, slice_capacity
+from repro.model.cluster import ClusterCapacity
+from repro.model.resources import ResourceVector
+from repro.model.workflow import Workflow
+from repro.service.api import ServiceStatus, SubmitResult
+from tests.conftest import adhoc_job, deadline_job
+
+
+def chain(wid: str, deadline: int = 60) -> Workflow:
+    jobs = [deadline_job(f"{wid}-j{i}", wid) for i in range(2)]
+    return Workflow.from_jobs(
+        wid, jobs, [(f"{wid}-j0", f"{wid}-j1")], 0, deadline
+    )
+
+
+def accepted(kind: str, entity_id: str, reason: str) -> SubmitResult:
+    return SubmitResult(accepted=True, kind=kind, id=entity_id, reason=reason)
+
+
+def rejected(kind: str, entity_id: str, reason: str) -> SubmitResult:
+    return SubmitResult(accepted=False, kind=kind, id=entity_id, reason=reason)
+
+
+class StubShard:
+    """Scripted shard handle: answers what it is told, records calls."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        adhoc_reason: str = "queued",
+        workflow_reason: str = "admitted",
+        depth: int = 0,
+        up: bool = True,
+    ):
+        self.name = name
+        self.adhoc_reason = adhoc_reason
+        self.workflow_reason = workflow_reason
+        self.depth = depth
+        self.up = up
+        self.workflows: list[str] = []
+        self.adhocs: list[str] = []
+
+    def _check_up(self):
+        if not self.up:
+            raise RuntimeError(f"{self.name} is down")
+
+    def alive(self) -> bool:
+        return self.up
+
+    def queue_depth(self) -> int:
+        self._check_up()
+        return self.depth
+
+    def submit_workflow(self, workflow, *, idempotency_key=None, request_id=None):
+        self._check_up()
+        self.workflows.append(workflow.workflow_id)
+        if self.workflow_reason == "admitted":
+            return accepted("workflow", workflow.workflow_id, "admitted")
+        return rejected("workflow", workflow.workflow_id, self.workflow_reason)
+
+    def submit_adhoc(self, job, *, idempotency_key=None, request_id=None):
+        self._check_up()
+        self.adhocs.append(job.job_id)
+        if self.adhoc_reason == "queued":
+            return accepted("adhoc", job.job_id, "queued")
+        return rejected("adhoc", job.job_id, self.adhoc_reason)
+
+    def status(self) -> ServiceStatus:
+        self._check_up()
+        return ServiceStatus(
+            running=True,
+            draining=False,
+            slot=3,
+            scheduler="FlowTime",
+            n_workflows=len(self.workflows),
+            n_jobs=len(self.adhocs),
+            remaining_jobs=1,
+            queue_depth=self.depth,
+            accepted_workflows=len(self.workflows),
+            rejected_workflows=0,
+            accepted_adhoc=len(self.adhocs),
+            shed_adhoc=0,
+            replans=2,
+        )
+
+    def metrics(self) -> dict:
+        self._check_up()
+        return {"service.migrate.out": {"value": 1}, "other": {"stats": {}}}
+
+    def slo(self) -> dict:
+        self._check_up()
+        return {"healthy": True}
+
+    def workflow_ids(self) -> list[str]:
+        self._check_up()
+        return list(self.workflows)
+
+    def orphans(self) -> dict:
+        self._check_up()
+        return {}
+
+
+class TestSliceCapacity:
+    def test_slices_partition_exactly(self):
+        cluster = ClusterCapacity(
+            base=ResourceVector(cpu=10, mem=23),
+            overrides={5: ResourceVector(cpu=7, mem=23)},
+        )
+        slices = slice_capacity(cluster, 3)
+        assert len(slices) == 3
+        for slot in (0, 5):
+            for resource in cluster.resources:
+                assert sum(s.amount(slot, resource) for s in slices) == (
+                    cluster.amount(slot, resource)
+                )
+
+    def test_slices_within_one_unit(self):
+        slices = slice_capacity(ClusterCapacity.uniform(cpu=10, mem=11), 3)
+        for resource in ("cpu", "mem"):
+            amounts = [s.base[resource] for s in slices]
+            assert max(amounts) - min(amounts) <= 1
+
+    def test_single_shard_is_identity(self):
+        cluster = ClusterCapacity.uniform(cpu=4, mem=4)
+        assert slice_capacity(cluster, 1) == [cluster]
+
+    def test_zero_share_rejected(self):
+        with pytest.raises(ValueError, match="non-empty shards"):
+            slice_capacity(ClusterCapacity.uniform(cpu=2, mem=100), 3)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            slice_capacity(ClusterCapacity.uniform(cpu=4), 0)
+
+
+class TestRouting:
+    def make_router(self, n: int = 3) -> ShardRouter:
+        return ShardRouter([StubShard(f"s{i}") for i in range(n)])
+
+    def test_route_key_strips_tenant_suffix(self):
+        assert ShardRouter.route_key("tenant-a/wf-1") == "tenant-a"
+        assert ShardRouter.route_key("plain-id") == "plain-id"
+
+    def test_same_tenant_same_shard(self):
+        router = self.make_router()
+        homes = {
+            router.home_shard(f"tenant-x/wf-{i}").name for i in range(20)
+        }
+        assert len(homes) == 1
+
+    def test_routing_is_deterministic(self):
+        router = self.make_router()
+        again = self.make_router()
+        for i in range(20):
+            wid = f"w{i}"
+            assert router.home_shard(wid).name == again.home_shard(wid).name
+
+    def test_placement_override_wins_over_hash(self):
+        router = self.make_router()
+        home = router.home_shard("w1").name
+        other = next(n for n in router.shard_names if n != home)
+        router.record_placement("w1", other)
+        assert router.shard_for_workflow("w1").name == other
+
+    def test_placement_to_unknown_shard_rejected(self):
+        router = self.make_router()
+        with pytest.raises(ValueError, match="unknown shard"):
+            router.record_placement("w1", "nope")
+
+    def test_duplicate_shard_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ShardRouter([StubShard("s"), StubShard("s")])
+
+    def test_workflow_result_stamped_with_shard(self):
+        router = self.make_router()
+        result = router.submit_workflow(chain("w1"))
+        assert result.accepted
+        assert result.shard == router.home_shard("w1").name
+
+    def test_workflow_to_dead_shard_is_unavailable_not_spilled(self):
+        router = self.make_router()
+        home = router.home_shard("w1")
+        home.up = False
+        result = router.submit_workflow(chain("w1"))
+        assert not result.accepted
+        assert result.reason == "unavailable"
+        assert result.shard == home.name
+        for shard in router.shards:
+            assert shard.workflows == []
+
+
+class TestAdhocSpill:
+    def test_adhoc_spills_on_queue_full(self):
+        shards = [StubShard(f"s{i}") for i in range(3)]
+        router = ShardRouter(shards)
+        job = adhoc_job("spill-me", arrival=0)
+        home = router.home_shard(job.job_id)
+        home.adhoc_reason = "queue_full"
+        result = router.submit_adhoc(job)
+        assert result.accepted
+        assert result.shard != home.name
+        assert job.job_id in home.adhocs  # primary was tried first
+
+    def test_spill_prefers_least_loaded(self):
+        shards = [StubShard(f"s{i}") for i in range(3)]
+        router = ShardRouter(shards)
+        job = adhoc_job("spill-me", arrival=0)
+        home = router.home_shard(job.job_id)
+        home.adhoc_reason = "queue_full"
+        others = [s for s in shards if s is not home]
+        others[0].depth = 9
+        others[1].depth = 1
+        result = router.submit_adhoc(job)
+        assert result.shard == others[1].name
+
+    def test_adhoc_spills_off_dead_shard(self):
+        shards = [StubShard(f"s{i}") for i in range(2)]
+        router = ShardRouter(shards)
+        job = adhoc_job("a1", arrival=0)
+        router.home_shard(job.job_id).up = False
+        result = router.submit_adhoc(job)
+        assert result.accepted
+        assert result.shard == next(s for s in shards if s.up).name
+
+    def test_all_shards_shedding_returns_queue_full(self):
+        shards = [
+            StubShard(f"s{i}", adhoc_reason="queue_full") for i in range(3)
+        ]
+        router = ShardRouter(shards)
+        result = router.submit_adhoc(adhoc_job("a1", arrival=0))
+        assert not result.accepted
+        assert result.reason == "queue_full"
+
+    def test_all_shards_dead_returns_unavailable(self):
+        shards = [StubShard(f"s{i}", up=False) for i in range(2)]
+        router = ShardRouter(shards)
+        result = router.submit_adhoc(adhoc_job("a1", arrival=0))
+        assert not result.accepted
+        assert result.reason == "unavailable"
+
+    def test_definitive_rejection_does_not_spill(self):
+        shards = [StubShard(f"s{i}") for i in range(3)]
+        router = ShardRouter(shards)
+        job = adhoc_job("a1", arrival=0)
+        home = router.home_shard(job.job_id)
+        home.adhoc_reason = "invalid"
+        result = router.submit_adhoc(job)
+        assert not result.accepted and result.reason == "invalid"
+        for shard in shards:
+            if shard is not home:
+                assert shard.adhocs == []
+
+
+class TestAggregation:
+    def test_status_sums_counters_and_reports_per_shard(self):
+        shards = [StubShard(f"s{i}") for i in range(3)]
+        shards[0].workflows = ["a", "b"]
+        shards[1].workflows = ["c"]
+        router = ShardRouter(shards)
+        status = router.status()
+        assert status["n_shards"] == 3
+        assert status["running_shards"] == 3
+        assert status["aggregate"]["accepted_workflows"] == 3
+        assert status["shards"]["s0"]["accepted_workflows"] == 2
+        assert status["slot"] == 3
+
+    def test_status_marks_dead_shards(self):
+        shards = [StubShard("s0"), StubShard("s1", up=False)]
+        status = ShardRouter(shards).status()
+        assert status["running_shards"] == 1
+        assert status["shards"]["s1"]["alive"] is False
+        assert "error" in status["shards"]["s1"]
+
+    def test_metrics_aggregate_sums_counter_values(self):
+        router = ShardRouter([StubShard("s0"), StubShard("s1")])
+        metrics = router.metrics()
+        assert metrics["aggregate"]["service.migrate.out"] == 2
+        assert "other" not in metrics["aggregate"]  # non-scalar skipped
+
+    def test_slo_unhealthy_when_any_shard_unhealthy(self):
+        shards = [StubShard("s0"), StubShard("s1")]
+        router = ShardRouter(shards)
+        assert router.slo()["aggregate"]["healthy"] is True
+        shards[1].slo = lambda: {"healthy": False}
+        assert router.slo()["aggregate"]["healthy"] is False
+
+    def test_slo_counts_unreachable_shards(self):
+        shards = [StubShard("s0"), StubShard("s1", up=False)]
+        slo = ShardRouter(shards).slo()
+        assert slo["aggregate"]["unreachable_shards"] == 1

@@ -1,8 +1,8 @@
 """Tests for the pluggable SolverBackend registry (ISSUE 7 API redesign).
 
-Covers the public protocol, registration/unregistration, the deprecation
-shim for bare callables, capability routing with its counters, and the
-registry's fastsolve wiring.  Custom backends registered here are always
+Covers the public protocol, registration/unregistration, the removed
+bare-callable registration form, capability routing with its counters, and
+the registry's fastsolve wiring.  Custom backends registered here are always
 cleaned up so the process-wide registry stays pristine for other tests.
 """
 
@@ -152,17 +152,14 @@ class TestRegistry:
             register_backend(backend, scipy_backend.solve)
 
 
-class TestDeprecationShim:
-    def test_bare_callable_registration_warns_and_wraps(self, clean_registry):
-        clean_registry.add("legacy-test")
-        with pytest.warns(DeprecationWarning, match="bare callable"):
-            backend = register_backend("legacy-test", scipy_backend.solve)
-        assert isinstance(backend, FunctionBackend)
-        assert backend.supports(tiny_lp())  # the old implied contract
-        assert solve_lp(tiny_lp(), backend="legacy-test").is_optimal
+class TestRemovedLegacyForm:
+    def test_bare_callable_registration_is_an_error(self):
+        with pytest.raises(TypeError):
+            register_backend("legacy-test", scipy_backend.solve)
+        assert "legacy-test" not in available_backends()
 
     def test_name_without_callable_is_an_error(self):
-        with pytest.raises(TypeError, match="needs a callable"):
+        with pytest.raises(TypeError, match="removed in 1.8.0"):
             register_backend("just-a-name")
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.lp.unimodular import (
     has_consecutive_ones_columns,
-    is_interval_matrix,
     is_totally_unimodular,
     max_fractionality,
 )
@@ -64,11 +63,6 @@ class TestIntervalMatrix:
 
     def test_empty_columns_ok(self):
         assert has_consecutive_ones_columns(np.zeros((3, 2)))
-
-    def test_deprecated_alias_warns_and_agrees(self):
-        matrix = np.array([[1, 0], [1, 1], [0, 1], [0, 1]])
-        with pytest.warns(DeprecationWarning):
-            assert is_interval_matrix(matrix)
 
 
 class TestFractionality:

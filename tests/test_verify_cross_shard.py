@@ -1,0 +1,66 @@
+"""Unit tests for the cross-shard conservation check."""
+
+from repro.verify import VerificationReport, check_cross_shard_conservation
+
+
+class TestCrossShardConservation:
+    def test_clean_fleet_passes(self):
+        report = check_cross_shard_conservation(
+            ["w1", "w2", "w3"],
+            {"s0": ["w1", "w3"], "s1": ["w2"]},
+            {"s0": [], "s1": []},
+        )
+        assert report.ok
+        assert report.checks == 3
+
+    def test_lost_workflow_detected(self):
+        report = check_cross_shard_conservation(
+            ["w1", "w2"], {"s0": ["w1"], "s1": []}, {"s0": [], "s1": []}
+        )
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.check == "cross_shard.no_loss"
+        assert violation.subject == "w2"
+
+    def test_duplicated_workflow_detected(self):
+        report = check_cross_shard_conservation(
+            ["w1"], {"s0": ["w1"], "s1": ["w1"]}, {"s0": [], "s1": []}
+        )
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.check == "cross_shard.no_duplicates"
+        assert violation.subject == "w1"
+        assert "s0" in violation.message and "s1" in violation.message
+
+    def test_orphan_counts_as_held_not_lost(self):
+        report = check_cross_shard_conservation(
+            ["w1"], {"s0": [], "s1": []}, {"s0": ["w1"], "s1": []}
+        )
+        checks = {v.check for v in report.violations}
+        assert "cross_shard.no_loss" not in checks
+        assert "cross_shard.orphans_settled" in checks
+
+    def test_orphan_check_skipped_without_orphan_data(self):
+        report = check_cross_shard_conservation(
+            ["w1"], {"s0": ["w1"]}, orphans_by_shard=None
+        )
+        assert report.ok
+        assert report.checks == 2  # no orphans_settled check
+
+    def test_merges_into_existing_report(self):
+        existing = VerificationReport()
+        existing.check("unrelated", True)
+        report = check_cross_shard_conservation(
+            ["w1"], {"s0": ["w1"]}, {"s0": []}, report=existing
+        )
+        assert report is existing
+        assert report.checks == 4
+
+    def test_unaccepted_owned_workflow_tolerated(self):
+        # A shard may own workflows the caller's accepted ledger missed
+        # (e.g. replayed from a journal the client never heard about) —
+        # conservation is about the accepted set, not set equality.
+        report = check_cross_shard_conservation(
+            ["w1"], {"s0": ["w1", "w-extra"]}, {"s0": []}
+        )
+        assert report.ok
