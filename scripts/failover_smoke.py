@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""CI failover gate: SIGKILL a shard mid-burst; the fleet must re-home
+its work with zero loss.
+
+Boots three real ``repro serve`` processes (one journal each), fronts
+them with a router + failure detector + supervisor, and then:
+
+1. drives a loadgen burst through the router and **SIGKILLs one shard
+   mid-burst** — and, unlike ``shard_smoke.py``, does *not* restart it;
+2. asserts the failure detector declares the victim ``dead`` within the
+   configured detection window;
+3. asserts the supervisor re-homes every workflow the victim had
+   committed (read from its journal) into the survivors, and that the
+   cross-shard conservation check over the survivors is clean — zero
+   lost, zero duplicated, placement map consistent;
+4. restarts the victim on its journal (the *zombie* case): its replay
+   re-claims the moved workflows, and the supervisor must fence it —
+   withdraw every re-homed workflow it still claims — leaving exactly
+   one owner per workflow fleet-wide;
+5. gates on ``GET /shards`` exposing detector state and the supervisor
+   snapshot, and on a final conservation check over all three shards.
+
+Run:  python scripts/failover_smoke.py
+Exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, ROOT)
+
+from repro.cluster import (  # noqa: E402
+    DetectorConfig,
+    FailureDetector,
+    RemoteShard,
+    RouterHTTPServer,
+    ShardRouter,
+    Supervisor,
+    SupervisorConfig,
+)
+from repro.model.job import Job, TaskSpec  # noqa: E402
+from repro.model.resources import ResourceVector  # noqa: E402
+from repro.model.workflow import Workflow  # noqa: E402
+from repro.service.client import HttpServiceClient  # noqa: E402
+from repro.verify import check_cross_shard_conservation  # noqa: E402
+from scripts.loadgen import run_load  # noqa: E402
+
+N_SHARDS = 3
+TIMEOUT_S = 60
+LOAD_RATE = 25.0
+LOAD_DURATION_S = 6.0
+KILL_AFTER_S = 2.0
+VICTIM = 0
+PROBE_INTERVAL_S = 0.3
+DEAD_AFTER_S = 1.5
+FAILOVER_AFTER_S = 0.5
+#: Kill-to-dead budget the detector must meet: the failure streak must
+#: age past DEAD_AFTER_S, plus probe quantisation and HTTP timeouts.
+DETECTION_BUDGET_S = DEAD_AFTER_S + 4 * PROBE_INTERVAL_S + 5.0
+#: Workflows deterministically pinned to the victim before the kill, so
+#: the journal-driven failover path always has work to re-home (the
+#: loadgen tenant rotation can alias away from any one shard).
+N_PINNED = 4
+#: Far enough out that the racing virtual clock cannot start these
+#: workflows while the supervisor re-homes them.
+FUTURE_SLOT = 10**8
+
+_procs: list[subprocess.Popen | None] = []
+
+
+def fail(message: str) -> None:
+    print(f"FAILOVER SMOKE FAIL: {message}", file=sys.stderr)
+    for proc in _procs:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def start_shard(index: int, journal: str, port: int = 0) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--batch-window", "0.05",
+            "--no-admission", "--journal", journal,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + TIMEOUT_S
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            fail(f"shard {index} exited early (code {proc.returncode})")
+        match = re.search(r"on (http://\S+)", line)
+        if match:
+            return proc, match.group(1)
+    fail(f"shard {index} never printed its URL")
+    raise AssertionError  # unreachable
+
+
+def future_workflow(wid: str) -> Workflow:
+    spec = TaskSpec(
+        count=1, duration_slots=2, demand=ResourceVector(cpu=1, mem=1)
+    )
+    jobs = [Job(job_id=f"{wid}-j0", tasks=spec, workflow_id=wid)]
+    return Workflow.from_jobs(wid, jobs, [], FUTURE_SLOT, FUTURE_SLOT + 60)
+
+
+def wait_until(predicate, what: str, timeout_s: float = TIMEOUT_S) -> float:
+    """Poll until *predicate*; returns how long it took."""
+    started = time.monotonic()
+    deadline = started + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return time.monotonic() - started
+        time.sleep(0.1)
+    fail(f"timed out waiting for {what}")
+    raise AssertionError  # unreachable
+
+
+def survivors_conservation(router, detector, accepted) -> None:
+    owned = {
+        name: ids
+        for name, ids in router.owned_by_shard().items()
+        if detector.is_live(name)
+    }
+    orphans = {
+        name: list(entries)
+        for name, entries in router.orphans_by_shard().items()
+        if detector.is_live(name)
+    }
+    report = check_cross_shard_conservation(
+        accepted, owned, orphans, placement=router.placement_overrides
+    )
+    if not report.ok:
+        fail(f"conservation violated:\n{report.render()}")
+    print(f"conservation: {report.summary()} over {len(accepted)} accepted")
+
+
+def main() -> None:
+    tmp = tempfile.mkdtemp(prefix="failover-smoke-")
+    journals = [os.path.join(tmp, f"shard{i}.jsonl") for i in range(N_SHARDS)]
+    urls: list[str] = []
+    for i in range(N_SHARDS):
+        proc, url = start_shard(i, journals[i])
+        _procs.append(proc)
+        urls.append(url)
+        print(f"shard{i}: {url} journal={journals[i]}")
+
+    router = ShardRouter([
+        RemoteShard(f"shard{i}", urls[i], journal_path=journals[i])
+        for i in range(N_SHARDS)
+    ])
+    shards = router.shards
+    detector = FailureDetector(
+        shards,
+        DetectorConfig(
+            probe_interval_s=PROBE_INTERVAL_S,
+            suspect_after=2,
+            dead_after_s=DEAD_AFTER_S,
+        ),
+        obs=router.obs,
+    ).start()
+    router.attach_detector(detector)
+    supervisor = Supervisor(
+        router,
+        detector,
+        SupervisorConfig(failover_after_s=FAILOVER_AFTER_S),
+    ).start(PROBE_INTERVAL_S)
+    router.start_reconcile_loop(1.0)
+    server = RouterHTTPServer(router, supervisor=supervisor)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"router: {server.url}")
+
+    # -- 0: pin workflows onto the victim-to-be ----------------------------
+    victim = shards[VICTIM]
+    pinned: list[str] = []
+    tenant_index = 0
+    while len(pinned) < N_PINNED:
+        tenant = f"vt{tenant_index}"
+        tenant_index += 1
+        if router.home_shard(f"{tenant}/w") is not victim:
+            continue
+        wid = f"{tenant}/pin{len(pinned)}"
+        result = router.submit_workflow(
+            future_workflow(wid), idempotency_key=f"key-{wid}"
+        )
+        if not result.accepted or result.shard != victim.name:
+            fail(f"pinned workflow did not land on the victim: {result}")
+        pinned.append(wid)
+    print(f"pinned {len(pinned)} workflows on {victim.name}: {pinned}")
+
+    # -- 1: loadgen burst with a SIGKILL (no restart) mid-run --------------
+    killed_at = [0.0]
+
+    def kill_victim() -> None:
+        print(f"SIGKILL shard{VICTIM} (no restart — supervisor's problem)",
+              flush=True)
+        killed_at[0] = time.monotonic()
+        _procs[VICTIM].kill()
+        _procs[VICTIM].wait(timeout=TIMEOUT_S)
+
+    killer = threading.Timer(KILL_AFTER_S, kill_victim)
+    killer.start()
+    summary = run_load(
+        server.url,
+        rate=LOAD_RATE,
+        duration_s=LOAD_DURATION_S,
+        workflow_every=4,
+        tenants=6,
+    )
+    killer.join()
+    accepted = pinned + list(summary["accepted_workflow_ids"])
+    if len(accepted) <= len(pinned):
+        fail("loadgen got no workflow accepted through the router")
+    print(
+        f"loadgen: {summary['accepted']} accepted / "
+        f"{summary['submitted']} submitted across "
+        f"{sorted(set(summary['by_shard']) - {''})}"
+    )
+
+    # -- 2: detection window ----------------------------------------------
+    waited = wait_until(
+        lambda: detector.state(victim.name) == "dead",
+        f"{victim.name} declared dead",
+        timeout_s=DETECTION_BUDGET_S,
+    )
+    detection_s = time.monotonic() - killed_at[0]
+    if detection_s > DETECTION_BUDGET_S:
+        fail(
+            f"detection took {detection_s:.2f}s, "
+            f"budget {DETECTION_BUDGET_S:.2f}s"
+        )
+    print(f"detection: {victim.name} dead {detection_s:.2f}s after SIGKILL "
+          f"(waited {waited:.2f}s)")
+
+    # -- 3: journal-driven re-homing into the survivors --------------------
+    def all_rehomed() -> bool:
+        owned = set()
+        for shard in shards:
+            if shard is victim:
+                continue
+            try:
+                owned.update(shard.workflow_ids())
+            except (RuntimeError, TimeoutError, OSError):
+                return False
+        return owned >= set(accepted)
+
+    waited = wait_until(all_rehomed, "every accepted workflow re-homed")
+    failover_s = time.monotonic() - killed_at[0]
+    print(f"failover: all {len(accepted)} workflows on survivors "
+          f"{failover_s:.2f}s after SIGKILL")
+    survivors_conservation(router, detector, accepted)
+
+    rehomed = [
+        wid for wid, shard in router.placement_overrides.items()
+        if shard != victim.name
+    ]
+    snapshot = supervisor.snapshot()
+    moved = snapshot["failed_over"].get(victim.name, [])
+    if not set(moved) >= set(pinned):
+        fail(
+            f"supervisor did not re-home the pinned workflows: "
+            f"moved={moved} pinned={pinned}"
+        )
+    print(f"supervisor: {len(moved)} re-homed from {victim.name}, "
+          f"{len(rehomed)} placement pins")
+
+    # -- 4: zombie return is fenced ----------------------------------------
+    port = int(urls[VICTIM].rsplit(":", 1)[1])
+    proc, url = start_shard(VICTIM, journals[VICTIM], port)
+    _procs[VICTIM] = proc
+    print(f"zombie: shard{VICTIM} restarted on {url}")
+    wait_until(
+        lambda: detector.state(victim.name) == "live",
+        f"{victim.name} probed live again",
+    )
+    wait_until(
+        lambda: not any(victim.owns(wid) for wid in moved),
+        "zombie fenced off every re-homed workflow",
+    )
+    wait_until(
+        lambda: not supervisor.snapshot()["failed_over"],
+        "supervisor fencing ledger drained",
+    )
+    print(f"fence: {victim.name} no longer claims any re-homed workflow")
+
+    # Final conservation over the whole fleet, zombie included.
+    owned = router.owned_by_shard()
+    orphans = {
+        name: list(entries)
+        for name, entries in router.orphans_by_shard().items()
+    }
+    report = check_cross_shard_conservation(
+        accepted, owned, orphans, placement=router.placement_overrides
+    )
+    if not report.ok:
+        fail(f"post-zombie conservation violated:\n{report.render()}")
+    print(f"post-zombie conservation: {report.summary()}")
+
+    # -- 5: operator surface ------------------------------------------------
+    client = HttpServiceClient(server.url, max_retries=1)
+    shards_view = client.request_json("GET", "/shards")
+    states = {
+        entry["name"]: entry.get("state") for entry in shards_view["shards"]
+    }
+    if states.get(victim.name) != "live":
+        fail(f"/shards does not show the zombie live: {states}")
+    if "supervisor" not in shards_view:
+        fail(f"/shards missing supervisor snapshot: {shards_view}")
+    prom = client.request_text("GET", "/metrics?format=prometheus") if hasattr(
+        client, "request_text"
+    ) else None
+    if prom is not None and "cluster_shard_state" not in prom:
+        fail("prometheus export missing detector state gauges")
+    status = router.status()
+    if status["running_shards"] != N_SHARDS:
+        fail(f"expected {N_SHARDS} running shards: {status}")
+    print(f"/shards: {states}")
+
+    # -- graceful shutdown -------------------------------------------------
+    server.shutdown()
+    supervisor.stop()
+    detector.stop()
+    router.stop_reconcile_loop()
+    for proc in _procs:
+        proc.send_signal(signal.SIGTERM)
+    for i, proc in enumerate(_procs):
+        try:
+            proc.wait(timeout=TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            fail(f"shard {i} did not drain after SIGTERM")
+        if proc.returncode != 0:
+            print(proc.stdout.read(), file=sys.stderr)
+            fail(f"shard {i} drain exited {proc.returncode}")
+    print("FAILOVER SMOKE PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,17 @@ The kill/restart half of a chaos experiment lives on the service:
 :meth:`repro.service.core.SchedulerService.kill` plus a journal
 (``journal_path``) simulate SIGKILL + recovery; ``scripts/chaos_smoke.py``
 composes both into the CI chaos gate.
+
+**Transport chaos** (:class:`ChaosTransport`) extends the same seeded
+discipline to the cluster wire: wrap any shard handle (``LocalShard``,
+``RemoteShard``, or anything duck-typed like them) and every remote call
+rolls seeded drop / delay / duplicate faults, plus an explicit
+:meth:`~ChaosTransport.partition` switch for network splits.  Drops and
+partitions surface as :class:`OSError` — the same error class a real
+dead socket raises — so the router, failure detector, and supervisor
+exercise their production paths, not a test-only one.  The ``fault_log``
+records every injected fault in order, making an experiment
+byte-reproducible from its seed.
 """
 
 from __future__ import annotations
@@ -46,6 +57,8 @@ from repro.lp.solver import install_fault_injector
 __all__ = [
     "ChaosConfig",
     "ChaosInjector",
+    "ChaosTransport",
+    "ChaosTransportConfig",
     "InjectedSolverError",
     "chaos_solver",
 ]
@@ -124,6 +137,141 @@ class ChaosInjector:
             raise InjectedSolverError(
                 f"injected solver fault on backend {backend!r}"
             )
+
+
+@dataclass(frozen=True)
+class ChaosTransportConfig:
+    """One transport-chaos experiment's fault plan.
+
+    Attributes:
+        drop_prob: per-call probability the request is "lost" — an
+            :class:`OSError` is raised and the underlying shard is never
+            invoked (the caller cannot tell a dropped request from a
+            dropped response; idempotency keys are what make retrying
+            safe either way).
+        delay_prob: per-call probability of sleeping ``delay_s`` before
+            delivery (trips client timeouts / detector suspicion).
+        delay_s: the injected delay in seconds.
+        duplicate_prob: per-call probability the request is delivered
+            *twice* — the caller receives the second answer, modelling a
+            retransmission whose original also landed.  Exactly-once
+            admission then rests entirely on idempotency-key dedupe.
+        seed: RNG seed; same config + same call sequence, same faults.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.01
+    duplicate_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "delay_prob", "duplicate_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+class ChaosTransport:
+    """Seeded faulty wire around a shard handle.
+
+    Duck-types as the shard it wraps: every public method call first
+    rolls the configured faults, then (unless dropped) delegates.
+    Lifecycle methods (``start``/``kill``/``restart``/``drain``/``stop``)
+    pass through unfaulted — chaos models the *network*, and you can
+    always walk to the machine.  ``name`` and ``journal_path`` are
+    plain attributes for the same reason.
+
+    Faults are recorded in order in ``fault_log`` as
+    ``(kind, method)`` tuples; with a fixed seed and call sequence the
+    log (and hence the experiment) is exactly reproducible.
+    """
+
+    _PASSTHROUGH = frozenset({"start", "kill", "restart", "drain", "stop"})
+
+    def __init__(self, shard, config: ChaosTransportConfig):
+        self._shard = shard
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._partitioned = False
+        self.fault_log: list[tuple[str, str]] = []
+        self.n_calls = 0
+
+    # -- identity passthrough ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shard.name
+
+    @property
+    def journal_path(self):
+        return getattr(self._shard, "journal_path", None)
+
+    @property
+    def capacity(self):
+        return getattr(self._shard, "capacity", None)
+
+    @property
+    def wrapped(self):
+        """The underlying shard handle (for tests / teardown)."""
+        return self._shard
+
+    # -- the partition switch ----------------------------------------------------
+
+    def partition(self) -> None:
+        """Cut the wire: every call fails until :meth:`heal`."""
+        self._partitioned = True
+
+    def heal(self) -> None:
+        self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    # -- faulty delegation -------------------------------------------------------
+
+    def __getattr__(self, attr):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        target = getattr(self._shard, attr)
+        if not callable(target) or attr in self._PASSTHROUGH:
+            return target
+
+        def faulty(*args, **kwargs):
+            return self._call(attr, target, args, kwargs)
+
+        faulty.__name__ = attr
+        return faulty
+
+    def _call(self, method: str, target, args, kwargs):
+        self.n_calls += 1
+        if self._partitioned:
+            self.fault_log.append(("partition", method))
+            raise OSError(
+                f"chaos: partitioned from shard {self.name!r} ({method})"
+            )
+        # Fixed roll order (drop, delay, duplicate) keeps the RNG stream —
+        # and therefore the whole fault sequence — a pure function of the
+        # seed and the call sequence.
+        drop = self._rng.random() < self.config.drop_prob
+        delay = self._rng.random() < self.config.delay_prob
+        duplicate = self._rng.random() < self.config.duplicate_prob
+        if drop:
+            self.fault_log.append(("drop", method))
+            raise OSError(
+                f"chaos: dropped request to shard {self.name!r} ({method})"
+            )
+        if delay:
+            self.fault_log.append(("delay", method))
+            time.sleep(self.config.delay_s)
+        if duplicate:
+            self.fault_log.append(("duplicate", method))
+            target(*args, **kwargs)  # the original delivery...
+            return target(*args, **kwargs)  # ...and the retransmission
+        return target(*args, **kwargs)
 
 
 @contextmanager

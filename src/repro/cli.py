@@ -337,6 +337,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skyline rebalancer cycle period with --shards > 1 "
         "(0 disables periodic rebalancing; POST /rebalance still works)",
     )
+    serve.add_argument(
+        "--reconcile-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="periodic migration-orphan reconcile period with --shards > 1 "
+        "(0 disables the loop; POST /reconcile still works)",
+    )
+    serve.add_argument(
+        "--failover",
+        action="store_true",
+        help="with --shards > 1: run the supervisor daemon — restart dead "
+        "shards and, past the --dead-after grace, re-home their committed "
+        "workflows from their journals (docs/ROBUSTNESS.md)",
+    )
+    serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="failure-detector heartbeat period with --shards > 1",
+    )
+    serve.add_argument(
+        "--dead-after",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long a shard must fail probes before it is declared "
+        "dead (and, with --failover, eligible for workflow re-homing)",
+    )
     serve.add_argument("--slot-seconds", type=float, default=10.0)
     serve.add_argument(
         "--lp-backend",
@@ -910,10 +940,14 @@ def _serve_sharded(args: argparse.Namespace, cluster, config) -> int:
     from dataclasses import replace as dc_replace
 
     from repro.cluster import (
+        DetectorConfig,
+        FailureDetector,
         LocalShard,
         Rebalancer,
         RouterHTTPServer,
         ShardRouter,
+        Supervisor,
+        SupervisorConfig,
         slice_capacity,
     )
     from repro.verify import check_cross_shard_conservation
@@ -951,8 +985,31 @@ def _serve_sharded(args: argparse.Namespace, cluster, config) -> int:
     rebalancer = Rebalancer(router)
     if args.rebalance_interval > 0:
         rebalancer.start(args.rebalance_interval)
+    if args.reconcile_interval > 0:
+        router.start_reconcile_loop(args.reconcile_interval)
+    detector = FailureDetector(
+        shards,
+        DetectorConfig(
+            probe_interval_s=args.probe_interval,
+            dead_after_s=args.dead_after,
+        ),
+        obs=router.obs,
+    ).start()
+    router.attach_detector(detector)
+    supervisor = None
+    if args.failover:
+        supervisor = Supervisor(
+            router,
+            detector,
+            SupervisorConfig(failover_after_s=args.dead_after),
+            rebalancer=rebalancer,
+        ).start(args.probe_interval)
     server = RouterHTTPServer(
-        router, rebalancer=rebalancer, host=args.host, port=args.port
+        router,
+        rebalancer=rebalancer,
+        supervisor=supervisor,
+        host=args.host,
+        port=args.port,
     )
     server_thread = threading.Thread(
         target=server.serve_forever, name="repro-router-http", daemon=True
@@ -965,10 +1022,16 @@ def _serve_sharded(args: argparse.Namespace, cluster, config) -> int:
     )
     print(
         "endpoints: POST /workflows  POST /jobs  POST /rebalance  "
-        "GET /status  GET /metrics  GET /slo  GET /shards  GET /healthz  "
-        "GET /readyz",
+        "POST /reconcile  POST /failover  GET /status  GET /metrics  "
+        "GET /slo  GET /shards  GET /healthz  GET /readyz",
         flush=True,
     )
+    if supervisor is not None:
+        print(
+            f"failover:  supervisor on (probe {args.probe_interval}s, "
+            f"dead after {args.dead_after}s)",
+            flush=True,
+        )
     if args.journal:
         print(
             f"journals:  {args.journal}.shard0..shard{args.shards - 1}",
@@ -982,7 +1045,11 @@ def _serve_sharded(args: argparse.Namespace, cluster, config) -> int:
 
     print("draining...", file=sys.stderr, flush=True)
     server.shutdown()
+    if supervisor is not None:
+        supervisor.stop()
+    detector.stop()
     rebalancer.stop()
+    router.stop_reconcile_loop()
     router.reconcile()
     missed = 0
     for shard in shards:

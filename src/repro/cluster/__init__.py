@@ -13,8 +13,21 @@ not-yet-started workflows from saturated to slack shards via a
 journal-backed two-phase handoff that survives crashes on either side.
 :class:`RouterHTTPServer` serves the whole fleet behind the same HTTP
 dialect as a single ``repro serve`` (``repro serve --shards N``).
+
+Availability (docs/ROBUSTNESS.md): the :class:`FailureDetector` probes
+the fleet on a heartbeat and caches a ``live → suspect → dead`` verdict
+per shard; the :class:`Supervisor` restarts dead local shards and, once
+a shard stays dead past its grace period, re-homes its committed
+workflows from its journal into surviving shards (``repro serve
+--shards N --failover``).
 """
 
+from repro.cluster.failover import (
+    DetectorConfig,
+    FailureDetector,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.cluster.http import RouterHTTPServer, serve_router_http
 from repro.cluster.rebalance import RebalanceConfig, Rebalancer
 from repro.cluster.router import ShardRouter
@@ -22,12 +35,16 @@ from repro.cluster.shards import LocalShard, RemoteShard
 from repro.cluster.slicing import slice_capacity
 
 __all__ = [
+    "DetectorConfig",
+    "FailureDetector",
     "LocalShard",
     "RebalanceConfig",
     "Rebalancer",
     "RemoteShard",
     "RouterHTTPServer",
     "ShardRouter",
+    "Supervisor",
+    "SupervisorConfig",
     "serve_router_http",
     "slice_capacity",
 ]

@@ -10,13 +10,20 @@ the ``shard`` field.
 Fleet views replace the single-service ones: ``GET /status``,
 ``/metrics`` and ``/slo`` return ``{"aggregate": ..., "shards": {...}}``
 (summed counters plus the per-shard breakdown), ``GET /shards`` lists
-the fleet with liveness, and ``POST /rebalance`` triggers one rebalancer
-cycle on demand (the periodic loop still runs if configured).
-``/healthz`` answers while the router process lives; ``/readyz`` is
-ready while at least one shard is.
+the fleet with liveness — detector state, time-dead, and per-shard
+circuit-breaker state included when available — and ``POST /rebalance``
+triggers one rebalancer cycle on demand (the periodic loop still runs if
+configured).  ``POST /reconcile`` settles migration orphans; ``POST
+/failover`` is the operator's lever on the supervisor: ``{"shard": S}``
+forces an immediate journal-driven failover of shard S, ``{"shard": S,
+"veto": true}`` exempts S from automatic failover (and ``false`` lifts
+the veto).  ``/healthz`` answers while the router process lives;
+``/readyz`` is ready while at least one shard is.
 
-Prometheus exposition is per-shard (scrape each shard's own ``/metrics``
-endpoint, or label by shard yourself) — the router serves JSON only.
+Prometheus exposition: ``GET /metrics?format=prometheus`` renders the
+*router's own* registry (detector states, breaker opens, reroute/spill
+counters) in text exposition 0.0.4 — per-shard engine metrics are still
+scraped from each shard's own ``/metrics`` endpoint.
 """
 
 from __future__ import annotations
@@ -25,11 +32,11 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.cluster.rebalance import Rebalancer
 from repro.cluster.router import ShardRouter
-from repro.obs import new_request_id
+from repro.obs import PROMETHEUS_CONTENT_TYPE, new_request_id, render_prometheus
 from repro.service.api import SubmitResult
 from repro.service.http import _REJECT_STATUS
 from repro.workloads.traces import job_from_dict, workflow_from_dict
@@ -52,13 +59,24 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def rebalancer(self) -> Rebalancer | None:
         return self.server.rebalancer  # type: ignore[attr-defined]
 
+    @property
+    def supervisor(self):
+        return self.server.supervisor  # type: ignore[attr-defined]
+
     # -- routing -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
         if path == "/status":
             self._reply(200, self.router.status())
         elif path == "/metrics":
+            fmt = parse_qs(split.query).get("format", [""])[0]
+            if fmt == "prometheus":
+                self._reply_text(
+                    200, render_prometheus(self.router.obs.registry)
+                )
+                return
             self._reply(200, self.router.metrics())
         elif path == "/slo":
             self._reply(200, self.router.slo())
@@ -88,25 +106,64 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 self._reply(200, self.rebalancer.cycle())
         elif path == "/reconcile":
             self._reply(200, self.router.reconcile())
+        elif path == "/failover":
+            self._failover()
         else:
             self._reply(404, {"error": f"no such resource: {path}"})
 
+    def _failover(self) -> None:
+        """Operator lever: force a failover, or set/lift a veto."""
+        if self.supervisor is None:
+            self._reply(409, {"error": "no supervisor configured"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        name = body.get("shard")
+        if not name or name not in self.router.shard_names:
+            self._reply(400, {"error": f"unknown shard {name!r}"})
+            return
+        if "veto" in body:
+            self.supervisor.veto(name, bool(body["veto"]))
+            self._reply(
+                200, {"shard": name, "vetoed": sorted(self.supervisor.vetoes())}
+            )
+            return
+        self._reply(200, self.supervisor.force_failover(name))
+
     def _shards(self) -> dict:
+        detector = getattr(self.router, "detector", None)
         shards = []
         for shard in self.router.shards:
-            try:
-                alive = bool(shard.alive())
-            except (RuntimeError, TimeoutError, OSError):
-                alive = False
-            entry = {"name": shard.name, "alive": alive}
+            entry: dict = {"name": shard.name}
+            if detector is not None and detector.probed(shard.name):
+                state = detector.state(shard.name)
+                entry["state"] = state
+                entry["alive"] = state != "dead"
+                dead_for = detector.dead_for(shard.name)
+                if dead_for:
+                    entry["dead_for_s"] = round(dead_for, 3)
+            else:
+                try:
+                    entry["alive"] = bool(shard.alive())
+                except (RuntimeError, TimeoutError, OSError):
+                    entry["alive"] = False
+            breaker = getattr(
+                getattr(shard, "client", None), "breaker", None
+            )
+            if breaker is not None:
+                entry["breaker"] = breaker.snapshot()
             url = getattr(shard, "url", None)
             if url:
                 entry["url"] = url
             shards.append(entry)
-        return {
+        out = {
             "shards": shards,
             "placement_overrides": len(self.router.placement_overrides),
         }
+        if self.supervisor is not None:
+            out["supervisor"] = self.supervisor.snapshot()
+        return out
 
     def _submit(self, parse, submit) -> None:
         supplied = (self.headers.get("X-Request-Id") or "").strip()
@@ -191,6 +248,14 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _reply_text(self, status: int, text: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def log_message(self, format: str, *args) -> None:
         import logging
 
@@ -216,11 +281,13 @@ class RouterHTTPServer(ThreadingHTTPServer):
         router: ShardRouter,
         *,
         rebalancer: Rebalancer | None = None,
+        supervisor=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
         self.router = router
         self.rebalancer = rebalancer
+        self.supervisor = supervisor
         super().__init__((host, port), _RouterHandler)
 
     @property
@@ -233,12 +300,13 @@ def serve_router_http(
     router: ShardRouter,
     *,
     rebalancer: Rebalancer | None = None,
+    supervisor=None,
     host: str = "127.0.0.1",
     port: int = 0,
 ) -> RouterHTTPServer:
     """Start the router frontend on a daemon thread; returns the server."""
     server = RouterHTTPServer(
-        router, rebalancer=rebalancer, host=host, port=port
+        router, rebalancer=rebalancer, supervisor=supervisor, host=host, port=port
     )
     thread = threading.Thread(
         target=server.serve_forever, name="repro-router-http", daemon=True

@@ -168,7 +168,7 @@ class Rebalancer:
         except _SHARD_ERRORS:
             result = None
         if result is not None and result.accepted:
-            self.router.record_placement(workflow_id, dest.name)
+            self.router.record_placement(workflow_id, dest.name, epoch=epoch)
             self.obs.counter("rebalance.moved").inc()
             try:
                 source.confirm(workflow_id, epoch=epoch)
@@ -191,10 +191,9 @@ class Rebalancer:
         return False
 
     def _alive(self, shard) -> bool:
-        try:
-            return bool(shard.alive())
-        except _SHARD_ERRORS:
-            return False
+        # The router knows best: cached failure-detector verdict when one
+        # is attached, inline probe otherwise.
+        return self.router.shard_alive(shard)
 
     # -- background loop ---------------------------------------------------------
 

@@ -11,12 +11,25 @@ keeps resolving to the shard that actually owns it.
 Admission is *delegated*: the router never decides, it forwards to the
 owning shard and stamps the answering shard's name onto the
 :class:`~repro.service.api.SubmitResult`.  Deadline workflows have a
-fixed home — if that shard rejects or is down, that is the answer
-(spilling a workflow would break the placement map's determinism and
-double-hash its idempotency key).  Ad-hoc jobs are best-effort leftovers
-soakers, so they *spill*: on backpressure (``queue_full``), drain
-(``draining``), or a dead shard, the router retries the submission on
-the live shard with the shallowest ad-hoc queue.
+fixed home — if that shard rejects or is merely unreachable, that is the
+answer (spilling a workflow would break the placement map's determinism
+and double-hash its idempotency key).  The one exception is a home shard
+the failure detector has declared **dead**: then the workflow is
+*rerouted* to a deterministic fallback shard and its placement pinned
+there, so new deadline work keeps landing while the supervisor re-homes
+the dead shard's existing commitments (docs/ROBUSTNESS.md).  Ad-hoc jobs
+are best-effort leftovers soakers, so they *spill*: on backpressure
+(``queue_full``), drain (``draining``), or a dead shard, the router
+retries the submission on the live shard with the shallowest ad-hoc
+queue.
+
+Liveness: when a :class:`~repro.cluster.failover.FailureDetector` is
+attached, every liveness question the router asks — spill order, status,
+reconcile — consults the detector's *cached* verdict instead of probing
+the shard inline, so one hung remote cannot add a full client timeout to
+every submission.  Shards the detector has not probed yet fall back to
+the inline probe (cold-start behaves exactly like the detector-less
+router).
 
 The router also aggregates ``/status``, ``/metrics`` and ``/slo`` across
 shards (sum counters, max slot, per-shard breakdown attached), and owns
@@ -29,13 +42,14 @@ wins, so an interrupted migration never loses or duplicates a workflow
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.model.job import Job
 from repro.model.workflow import Workflow
-from repro.obs import Observability
+from repro.obs import Observability, json_safe
 from repro.service.api import SubmitResult
 
 __all__ = ["ShardRouter"]
@@ -62,7 +76,13 @@ def _unavailable(kind: str, entity_id: str, shard: str) -> SubmitResult:
 class ShardRouter:
     """Routes submissions to shard handles and aggregates their views."""
 
-    def __init__(self, shards: Sequence, *, obs: Observability | None = None):
+    def __init__(
+        self,
+        shards: Sequence,
+        *,
+        obs: Observability | None = None,
+        detector=None,
+    ):
         if not shards:
             raise ValueError("router needs at least one shard")
         names = [shard.name for shard in shards]
@@ -73,7 +93,18 @@ class ShardRouter:
         #: workflow id -> owning shard name; written by migrations and
         #: reconcile so routing follows the workflow to its new home.
         self._placement: dict[str, str] = {}
+        #: workflow id -> migration epoch of the placement write; a write
+        #: with a lower epoch than the recorded one is stale and ignored
+        #: (a zombie replaying an old handoff cannot move routing back).
+        self._placement_epochs: dict[str, int] = {}
         self.obs = obs if obs is not None else Observability()
+        self.detector = detector
+        self._reconcile_stop = threading.Event()
+        self._reconcile_thread: threading.Thread | None = None
+
+    def attach_detector(self, detector) -> None:
+        """Use *detector*'s cached verdicts for every liveness question."""
+        self.detector = detector
 
     # -- topology ----------------------------------------------------------------
 
@@ -92,11 +123,24 @@ class ShardRouter:
     def placement_overrides(self) -> dict[str, str]:
         return dict(self._placement)
 
-    def record_placement(self, workflow_id: str, shard_name: str) -> None:
-        """Pin *workflow_id*'s routing to *shard_name* (post-migration)."""
+    def record_placement(
+        self, workflow_id: str, shard_name: str, *, epoch: int = 0
+    ) -> None:
+        """Pin *workflow_id*'s routing to *shard_name* (post-migration).
+
+        ``epoch`` is the migration epoch of the write; a write older than
+        the recorded epoch for this workflow is ignored, so replays of
+        stale handoffs (zombie shards) cannot move routing backwards.
+        Epoch 0 writes (legacy callers) always apply.
+        """
         if shard_name not in self._by_name:
             raise ValueError(f"unknown shard {shard_name!r}")
+        if epoch and epoch < self._placement_epochs.get(workflow_id, 0):
+            self.obs.counter("router.placement.stale_writes").inc()
+            return
         self._placement[workflow_id] = shard_name
+        if epoch:
+            self._placement_epochs[workflow_id] = epoch
 
     @staticmethod
     def route_key(entity_id: str) -> str:
@@ -117,11 +161,26 @@ class ShardRouter:
             return self._by_name[name]
         return self.home_shard(workflow_id)
 
+    def shard_alive(self, shard) -> bool:
+        """Is this shard usable?  Cached detector verdict when available
+        (``live``/``suspect`` count as usable), inline probe otherwise."""
+        if self.detector is not None and self.detector.probed(shard.name):
+            return self.detector.is_live(shard.name)
+        return self._alive(shard)
+
     def _alive(self, shard) -> bool:
         try:
             return bool(shard.alive())
         except _SHARD_ERRORS:
             return False
+
+    def _detector_dead(self, shard) -> bool:
+        """Definitively dead per the detector (False without a verdict)."""
+        return (
+            self.detector is not None
+            and self.detector.probed(shard.name)
+            and not self.detector.is_live(shard.name)
+        )
 
     # -- submission --------------------------------------------------------------
 
@@ -134,6 +193,17 @@ class ShardRouter:
     ) -> SubmitResult:
         shard = self.shard_for_workflow(workflow.workflow_id)
         self.obs.counter("router.submit.workflow").inc()
+        if self._detector_dead(shard):
+            # The home is *confirmed* dead (not merely unreachable once):
+            # reroute to a deterministic live fallback and pin placement
+            # there so retries and later queries resolve the same way.
+            fallback = self._reroute_target(workflow.workflow_id, shard)
+            if fallback is None:
+                self.obs.counter("router.shard_unavailable").inc()
+                return _unavailable(
+                    "workflow", workflow.workflow_id, shard.name
+                )
+            shard = fallback
         try:
             result = shard.submit_workflow(
                 workflow,
@@ -143,7 +213,28 @@ class ShardRouter:
         except _SHARD_ERRORS:
             self.obs.counter("router.shard_unavailable").inc()
             return _unavailable("workflow", workflow.workflow_id, shard.name)
+        if result.accepted and shard is not self.shard_for_workflow(
+            workflow.workflow_id
+        ):
+            self.record_placement(workflow.workflow_id, shard.name)
+            self.obs.counter("router.failover.rerouted").inc()
         return replace(result, shard=shard.name)
+
+    def _reroute_target(self, workflow_id: str, dead_home):
+        """Deterministic live fallback for a workflow whose home is dead.
+
+        Hash-rotated over the shard list so independent routers pick the
+        same target; returns None when nothing is live.
+        """
+        candidates = [
+            shard
+            for shard in self._shards
+            if shard is not dead_home and self.shard_alive(shard)
+        ]
+        if not candidates:
+            return None
+        digest = zlib.crc32(workflow_id.encode("utf-8"))
+        return candidates[digest % len(candidates)]
 
     def submit_adhoc(
         self,
@@ -197,10 +288,26 @@ class ShardRouter:
         return replace(result, shard=shard.name)
 
     def _spill_order(self, primary) -> list:
-        """Live non-primary shards, shallowest ad-hoc queue first."""
+        """Live non-primary shards, shallowest ad-hoc queue first.
+
+        With a detector attached this is pure cache: state and last-known
+        queue depth both come from the most recent background probe, so
+        ranking the fleet costs zero wire calls per submission.  Without
+        one, fall back to inline probes (the pre-detector behaviour).
+        """
         ranked = []
         for shard in self._shards:
-            if shard is primary or not self._alive(shard):
+            if shard is primary:
+                continue
+            if self.detector is not None and self.detector.probed(shard.name):
+                if not self.detector.is_live(shard.name):
+                    continue
+                hint = self.detector.queue_depth_hint(shard.name)
+                ranked.append(
+                    (hint if hint is not None else 0, shard.name, shard)
+                )
+                continue
+            if not self._alive(shard):
                 continue
             try:
                 depth = shard.queue_depth()
@@ -229,12 +336,26 @@ class ShardRouter:
         slot = 0
         running = 0
         for shard in self._shards:
+            state = (
+                self.detector.state(shard.name)
+                if self.detector is not None
+                and self.detector.probed(shard.name)
+                else None
+            )
+            if state == "dead":
+                # No point burning a timeout on a confirmed-dead shard.
+                per_shard[shard.name] = {"alive": False, "state": state}
+                continue
             try:
                 snapshot = shard.status().to_dict()
             except _SHARD_ERRORS as error:
                 per_shard[shard.name] = {"alive": False, "error": str(error)}
+                if state is not None:
+                    per_shard[shard.name]["state"] = state
                 continue
             per_shard[shard.name] = {"alive": True, **snapshot}
+            if state is not None:
+                per_shard[shard.name]["state"] = state
             if snapshot.get("running"):
                 running += 1
             slot = max(slot, int(snapshot.get("slot", 0)))
@@ -267,7 +388,13 @@ class ShardRouter:
                 )
                 if isinstance(value, (int, float)):
                     aggregate[name] = aggregate.get(name, 0) + value
-        return {"aggregate": aggregate, "shards": per_shard}
+        return {
+            "aggregate": aggregate,
+            "shards": per_shard,
+            # The router's own registry: breaker/detector/reroute/spill
+            # counters that exist fleet-side, not on any one shard.
+            "router": json_safe(self.obs.registry.snapshot()),
+        }
 
     def slo(self) -> dict:
         """Fleet SLO: healthy only when every answering shard is healthy."""
@@ -325,7 +452,7 @@ class ShardRouter:
         """
         confirmed = restored = held = 0
         for shard in self._shards:
-            if not self._alive(shard):
+            if not self.shard_alive(shard):
                 continue
             try:
                 orphans = shard.orphans()
@@ -335,7 +462,7 @@ class ShardRouter:
                 dest = self._by_name.get(info.get("dest", ""))
                 if dest is None:
                     owns = False  # destination left the fleet: restore
-                elif not self._alive(dest):
+                elif not self.shard_alive(dest):
                     held += 1
                     continue
                 else:
@@ -349,14 +476,49 @@ class ShardRouter:
                         shard.confirm(
                             workflow_id, epoch=int(info.get("epoch", 0))
                         )
-                        self._placement[workflow_id] = dest.name
+                        self.record_placement(
+                            workflow_id,
+                            dest.name,
+                            epoch=int(info.get("epoch", 0)),
+                        )
                         confirmed += 1
                         self.obs.counter("router.reconcile.confirmed").inc()
                     else:
                         shard.restore_orphan(workflow_id)
-                        self._placement[workflow_id] = shard.name
+                        self.record_placement(workflow_id, shard.name)
                         restored += 1
                         self.obs.counter("router.reconcile.restored").inc()
                 except (*_SHARD_ERRORS, ValueError):
                     held += 1
         return {"confirmed": confirmed, "restored": restored, "held": held}
+
+    # -- periodic reconcile ------------------------------------------------------
+
+    def start_reconcile_loop(self, interval_s: float) -> None:
+        """Run :meth:`reconcile` every ``interval_s`` on a daemon thread,
+        so held orphans (unreachable source or destination) settle as
+        soon as the missing shard returns — no manual ``POST /reconcile``
+        required."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self._reconcile_thread is not None:
+            raise RuntimeError("reconcile loop already started")
+        self._reconcile_stop.clear()
+
+        def loop() -> None:
+            while not self._reconcile_stop.wait(interval_s):
+                try:
+                    self.reconcile()
+                except Exception:
+                    self.obs.counter("router.reconcile.loop_errors").inc()
+
+        self._reconcile_thread = threading.Thread(
+            target=loop, name="repro-reconcile", daemon=True
+        )
+        self._reconcile_thread.start()
+
+    def stop_reconcile_loop(self) -> None:
+        self._reconcile_stop.set()
+        if self._reconcile_thread is not None:
+            self._reconcile_thread.join(timeout=5.0)
+            self._reconcile_thread = None

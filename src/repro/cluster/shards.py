@@ -32,7 +32,7 @@ from repro.model.job import Job
 from repro.model.workflow import Workflow
 from repro.obs import Observability
 from repro.service.api import QueueFullError, ServiceConfig, ServiceStatus, SubmitResult
-from repro.service.client import HttpServiceClient
+from repro.service.client import CircuitBreaker, HttpServiceClient
 from repro.service.core import SchedulerService
 from repro.workloads.traces import workflow_from_dict, workflow_to_dict
 
@@ -72,6 +72,13 @@ class LocalShard:
         self.config = config or ServiceConfig()
         self._obs_factory = obs_factory
         self.service: Optional[SchedulerService] = None
+
+    @property
+    def journal_path(self) -> str | None:
+        """Where this shard's write-ahead journal lives (None when
+        unjournaled).  The supervisor reads it to fail over a shard that
+        stays dead."""
+        return self.config.journal_path
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -186,16 +193,41 @@ class RemoteShard:
     use the ``/shard/*`` surface.  ``alive()`` is the liveness probe — a
     SIGKILLed process answers nothing and simply reads as dead until its
     supervisor restarts it on the same journal.
+
+    Args:
+        name: shard name (stamped into results by the router).
+        url: the shard's server root.
+        client: custom :class:`HttpServiceClient`; when omitted, one is
+            built with a per-shard :class:`CircuitBreaker` (named after
+            the shard, wired to ``obs`` when given) so a hung process
+            costs one timeout, not one per call.
+        journal_path: where this shard's journal lives *as seen from the
+            supervisor's filesystem* — needed only for journal-driven
+            failover of shards on shared/local storage.
+        obs: observability registry for the default client's breaker
+            gauges/counters.
     """
 
     def __init__(
-        self, name: str, url: str, *, client: HttpServiceClient | None = None
+        self,
+        name: str,
+        url: str,
+        *,
+        client: HttpServiceClient | None = None,
+        journal_path: str | None = None,
+        obs: Observability | None = None,
     ):
         if not name:
             raise ValueError("shard name must be non-empty")
         self.name = name
         self.url = url.rstrip("/")
-        self.client = client or HttpServiceClient(self.url)
+        self.journal_path = journal_path
+        if client is None:
+            client = HttpServiceClient(
+                self.url,
+                breaker=CircuitBreaker(name=name, obs=obs),
+            )
+        self.client = client
 
     # -- lifecycle ---------------------------------------------------------------
 

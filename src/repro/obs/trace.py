@@ -71,6 +71,11 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "service_stop": ("slot", "killed"),
     "service_drain_start": ("slot",),
     "service_recovered": ("journal", "n_recovered", "n_skipped"),
+    # cluster supervision (failure detector + supervisor)
+    "shard_state_changed": ("shard", "was", "now"),
+    "shard_restarted": ("shard",),
+    "shard_failed_over": ("shard", "n_rehomed", "n_unplaced"),
+    "shard_fenced": ("shard", "n_fenced"),
     # opt-in per-phase span records (Observability(trace_spans=True))
     "span": ("name", "seconds"),
 }

@@ -18,12 +18,25 @@ Robustness semantics shared by both clients (docs/ROBUSTNESS.md):
   (auto-generated unless the caller supplies one), so a retry whose
   original attempt actually landed returns the original decision instead
   of double-admitting.
+* An optional :class:`CircuitBreaker` sits in front of the retry loop:
+  after ``failure_threshold`` consecutive transport failures the breaker
+  *opens* and every call fast-fails with :class:`CircuitOpenError`
+  instead of eating a full socket timeout; after ``reset_timeout_s`` one
+  *half-open* probe is let through, and its outcome decides between
+  closing the breaker and re-opening it.  Any answer from the server —
+  including a 4xx rejection — counts as success: the breaker tracks the
+  *transport*, not the decision.
+* An optional :class:`RetryBudget` (token bucket) caps how many retries
+  the client spends per unit time across all requests, so a down server
+  degrades to roughly one attempt per request instead of multiplying
+  every call by ``max_retries``.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -35,8 +48,11 @@ from repro.service.api import QueueFullError, ServiceStatus, SubmitResult
 from repro.workloads.traces import job_to_dict, workflow_to_dict
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "HttpServiceClient",
     "InProcessClient",
+    "RetryBudget",
     "ServiceError",
     "ServiceUnavailableError",
 ]
@@ -48,6 +64,176 @@ class ServiceError(RuntimeError):
 
 class ServiceUnavailableError(ServiceError):
     """Transient failure that outlived the client's retry budget."""
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """Fast-fail: the circuit breaker is open, no request was attempted.
+
+    Subclasses :class:`ServiceUnavailableError` so existing callers that
+    treat "service unavailable" as a unit (``healthy()``, the shard
+    router's ``_SHARD_ERRORS``) need no changes.
+    """
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      transport failures open the breaker.
+    * **open** — every :meth:`allow` is denied (the client fast-fails
+      with :class:`CircuitOpenError`) until ``reset_timeout_s`` has
+      elapsed since opening.
+    * **half-open** — exactly one probe request is let through; success
+      closes the breaker, failure re-opens it for another timeout.
+
+    Thread-safe; the clock is injectable for tests.  When ``obs`` is
+    given, state changes maintain a ``router.breaker.state.<name>``
+    gauge (0 closed / 1 half-open / 2 open) and a
+    ``router.breaker.opens.<name>`` counter.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    _STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 2.0,
+        *,
+        name: str = "",
+        obs=None,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.name = name
+        self.obs = obs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+
+    def _suffix(self) -> str:
+        return f".{self.name}" if self.name else ""
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        if self.obs is not None:
+            self.obs.gauge(f"router.breaker.state{self._suffix()}").set(
+                self._STATE_VALUES[state]
+            )
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request go out now?  (Claims the half-open probe slot.)"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                elapsed = self._clock() - (self._opened_at or 0.0)
+                if elapsed < self.reset_timeout_s:
+                    if self.obs is not None:
+                        self.obs.counter(
+                            f"router.breaker.fast_fails{self._suffix()}"
+                        ).inc()
+                    return False
+                self._set_state(self.HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            # half-open: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != self.CLOSED:
+                self._set_state(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._set_state(self.OPEN)
+                self._opened_at = self._clock()
+                if self.obs is not None:
+                    self.obs.counter(
+                        f"router.breaker.opens{self._suffix()}"
+                    ).inc()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+            }
+
+
+class RetryBudget:
+    """Token-bucket cap on retries (first attempts are always free).
+
+    Each *retry* spends one token; tokens refill at ``refill_per_s`` up
+    to ``capacity``.  When the bucket is empty the client gives up
+    instead of retrying — during an outage, total traffic degrades to
+    ~1x instead of ``max_retries + 1``x.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 10.0,
+        refill_per_s: float = 1.0,
+        *,
+        clock=time.monotonic,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if refill_per_s < 0:
+            raise ValueError("refill_per_s must be >= 0")
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._tokens = capacity
+        self._last_refill = clock()
+        self._lock = threading.Lock()
+
+    def spend(self, cost: float = 1.0) -> bool:
+        """Take *cost* tokens if available; False means don't retry."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._last_refill) * self.refill_per_s,
+            )
+            self._last_refill = now
+            if self._tokens < cost:
+                return False
+            self._tokens -= cost
+            return True
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
 
 
 def _raise_if_shed(result: SubmitResult) -> SubmitResult:
@@ -120,6 +306,12 @@ class HttpServiceClient:
         backoff_s: base of the exponential backoff.
         backoff_cap_s: ceiling on any single sleep (a ``Retry-After``
             above the cap is trusted over it — the server knows best).
+        breaker: optional :class:`CircuitBreaker`; when open, requests
+            fast-fail with :class:`CircuitOpenError` without touching
+            the wire.
+        retry_budget: optional :class:`RetryBudget`; an exhausted budget
+            turns a would-be retry into an immediate
+            :class:`ServiceUnavailableError`.
     """
 
     def __init__(
@@ -130,6 +322,8 @@ class HttpServiceClient:
         max_retries: int = 4,
         backoff_s: float = 0.2,
         backoff_cap_s: float = 10.0,
+        breaker: CircuitBreaker | None = None,
+        retry_budget: RetryBudget | None = None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -138,6 +332,8 @@ class HttpServiceClient:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
+        self.breaker = breaker
+        self.retry_budget = retry_budget
         self._rng = random.Random()
 
     # -- submissions ----------------------------------------------------------------
@@ -253,19 +449,42 @@ class HttpServiceClient:
         request_id: str | None = None,
     ) -> dict:
         last_error: Exception | None = None
+        attempts = 0
         for attempt in range(self.max_retries + 1):
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"{method} {path}: circuit breaker "
+                    f"{self.breaker.name or self.base_url!r} is open"
+                ) from last_error
+            attempts += 1
             try:
-                return self._request_once(
+                result = self._request_once(
                     method, path, payload, idempotency_key, request_id
                 )
             except _TransientFailure as failure:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 last_error = failure.cause
                 if attempt >= self.max_retries:
                     break
+                if self.retry_budget is not None and not (
+                    self.retry_budget.spend()
+                ):
+                    break  # retry budget exhausted: fail now, cheaply
                 time.sleep(self._backoff(attempt, failure.retry_after))
+                continue
+            except ServiceError:
+                # The server answered (even if with an error): the
+                # transport is fine, so the breaker counts it a success.
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
         raise ServiceUnavailableError(
-            f"{method} {path}: no answer after {self.max_retries + 1} "
-            f"attempts: {last_error}"
+            f"{method} {path}: no answer after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {last_error}"
         ) from last_error
 
     def _request_once(

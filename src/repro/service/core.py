@@ -198,6 +198,11 @@ class SchedulerService:
         # Orphans are owned by nobody until the coordinator reconciles —
         # held, never unilaterally re-admitted, so they cannot duplicate.
         self._orphans: dict[str, dict] = {}
+        # Highest migration epoch seen per workflow id (journal-rebuilt).
+        # ``migrate_in`` rejects handoffs below this watermark with
+        # ``stale_epoch``: a zombie shard replaying a pre-crash handoff
+        # cannot re-land a workflow a newer migration already moved on.
+        self._migration_epochs: dict[str, int] = {}
         self._journal: Optional[SubmissionJournal] = None
         if self.config.journal_path:
             with use_obs(self.obs):
@@ -270,13 +275,24 @@ class SchedulerService:
         (the workflow is simply gone from this shard).
         """
         records, skipped = SubmissionJournal.read(path)
-        # Pass 1: final disposition per workflow id (ordered fold).
+        # Pass 1: final disposition per workflow id (ordered fold), plus
+        # the per-workflow migration-epoch watermark (survives crashes so
+        # the stale-epoch fence does too).
         disposition: dict[str, Optional[object]] = {}
         for record in records:
             if record.kind in ("workflow", "migrate_out"):
                 disposition[record.entity.workflow_id] = record
             elif record.kind == "migrate_confirm":
                 disposition[record.workflow_id] = None
+            if record.kind in ("migrate_out", "migrate_confirm"):
+                wid = (
+                    record.workflow_id
+                    if record.kind == "migrate_confirm"
+                    else record.entity.workflow_id
+                )
+                epoch = int(record.epoch or 0)
+                if epoch > self._migration_epochs.get(wid, 0):
+                    self._migration_epochs[wid] = epoch
         # Pass 2: replay.  Ad-hoc records stream as before; each workflow
         # id replays once, from its *final* record.
         recovered = 0
@@ -926,6 +942,8 @@ class SchedulerService:
         self._orphans[workflow_id] = {
             "workflow": workflow, "key": key, "dest": dest, "epoch": epoch,
         }
+        if epoch > self._migration_epochs.get(workflow_id, 0):
+            self._migration_epochs[workflow_id] = epoch
         self.obs.counter("service.migrate.out").inc()
         self._refresh_status()
         return {"workflow": workflow, "key": key, "epoch": epoch}
@@ -941,7 +959,10 @@ class SchedulerService:
         journaled here like any submission and the idempotency key is
         pinned, so the key keeps deduplicating on its new home shard.
         Idempotent on an already-owned workflow id (a re-delivered handoff
-        answers accepted without a second admission).
+        answers accepted without a second admission).  A handoff whose
+        epoch is below this shard's recorded watermark for the workflow
+        is rejected with ``stale_epoch`` — it is a replay of a migration
+        that a newer one (rebalance or failover) has already superseded.
         """
         return self._call(lambda: self._migrate_in(workflow, key, epoch), timeout)
 
@@ -955,6 +976,16 @@ class SchedulerService:
                 id=workflow.workflow_id,
                 reason="admitted",
             )
+        elif epoch and epoch < self._migration_epochs.get(
+            workflow.workflow_id, 0
+        ):
+            self.obs.counter("service.migrate.stale_epoch").inc()
+            return SubmitResult(
+                accepted=False,
+                kind="workflow",
+                id=workflow.workflow_id,
+                reason="stale_epoch",
+            )
         else:
             # Migration moves an already-counted submission between
             # shards; the per-shard accept/reject submission counters must
@@ -967,6 +998,8 @@ class SchedulerService:
             if key is not None:
                 self._idempotency[key] = result
                 self._idempotency_by_id[workflow.workflow_id] = key
+            if epoch > self._migration_epochs.get(workflow.workflow_id, 0):
+                self._migration_epochs[workflow.workflow_id] = epoch
             self.obs.counter("service.migrate.in").inc()
         self._refresh_status()
         return result
@@ -1032,6 +1065,8 @@ class SchedulerService:
 
     def _confirm_migration(self, workflow_id: str, epoch: int) -> dict:
         was_orphan = self._orphans.pop(workflow_id, None) is not None
+        if epoch > self._migration_epochs.get(workflow_id, 0):
+            self._migration_epochs[workflow_id] = epoch
         if self._journal is not None:
             self._journal.append_migrate_confirm(workflow_id, epoch=epoch)
         self.obs.counter("service.migrate.confirmed").inc()

@@ -78,6 +78,7 @@ _REJECT_STATUS = {
     "queue_full": 429,  # backpressure: retry later
     "draining": 503,
     "unavailable": 503,  # admission solver failed; transient, retry
+    "stale_epoch": 409,  # handoff superseded by a newer migration epoch
 }
 #: Rejection reasons that are transient — the answer carries Retry-After.
 _RETRYABLE_REASONS = {"queue_full", "unavailable"}

@@ -4,6 +4,11 @@ Polls ``/status``, ``/metrics`` and ``/slo`` of one HTTP frontend and
 renders a compact terminal view: service state, throughput, rolling
 latencies, queue depth, and the SLO error budget with its burn rate.
 
+Pointed at a *shard router* (``repro serve --shards N``) it renders the
+fleet view instead: aggregate counters plus one line per shard with the
+failure detector's verdict (``live``/``suspect``/``dead``) and that
+shard's circuit-breaker state and open count.
+
 The rendering is a pure function (:func:`render_dashboard`: three JSON
 snapshots in, one string out) so tests can exercise the layout without a
 server or a terminal; :func:`run_top` owns only the loop — poll, clear,
@@ -59,6 +64,72 @@ def _health_tag(healthy, color: bool) -> str:
     return _paint("VIOLATED", _RED, color)
 
 
+_BREAKER_STATES = {0: "closed", 1: "half-open", 2: "open"}
+
+
+def _state_tag(state: str, color: bool) -> str:
+    code = {"live": _GREEN, "suspect": _YELLOW}.get(state, _RED)
+    return _paint(state, code, color)
+
+
+def _render_fleet(
+    status: dict, metrics: dict, slo: dict, *, color: bool, url: str
+) -> str:
+    """The router variant: aggregate counters + one line per shard with
+    detector verdict and breaker state."""
+    lines: list[str] = []
+    title = "repro top (fleet)"
+    if url:
+        title += f" — {url}"
+    lines.append(_paint(title, _BOLD, color))
+    aggregate = status.get("aggregate", {})
+    lines.append(
+        f"fleet     {status.get('running_shards', 0)}/"
+        f"{status.get('n_shards', 0)} shards running  "
+        f"slot {status.get('slot', '-')}  "
+        f"placements {status.get('placement_overrides', 0)}"
+    )
+    lines.append(
+        f"work      workflows acc {aggregate.get('accepted_workflows', 0)} / "
+        f"rej {aggregate.get('rejected_workflows', 0)}  "
+        f"adhoc acc {aggregate.get('accepted_adhoc', 0)} / "
+        f"shed {aggregate.get('shed_adhoc', 0)}  "
+        f"queue {aggregate.get('queue_depth', 0)}"
+    )
+    slo_aggregate = (slo or {}).get("aggregate", {})
+    lines.append(
+        f"slo       {_health_tag(slo_aggregate.get('healthy'), color)}  "
+        f"unreachable {slo_aggregate.get('unreachable_shards', 0)}"
+    )
+    registry = metrics.get("router", {}) if isinstance(metrics, dict) else {}
+
+    def _router_value(name: str):
+        entry = registry.get(name)
+        return entry.get("value") if isinstance(entry, dict) else None
+
+    for name, snapshot in sorted(status.get("shards", {}).items()):
+        if not isinstance(snapshot, dict):
+            continue
+        state = snapshot.get("state") or (
+            "live" if snapshot.get("alive") else "dead"
+        )
+        breaker_value = _router_value(f"router.breaker.state.{name}")
+        opens = _router_value(f"router.breaker.opens.{name}") or 0
+        breaker = (
+            f"  breaker {_BREAKER_STATES.get(int(breaker_value), '?')}"
+            f" (opens {_num(opens, '{:.0f}', '0')})"
+            if breaker_value is not None
+            else ""
+        )
+        lines.append(
+            f"  {name:<10} {_state_tag(state, color):<8}  "
+            f"q {snapshot.get('queue_depth', '-')}  "
+            f"wf {snapshot.get('accepted_workflows', 0)}  "
+            f"adhoc {snapshot.get('accepted_adhoc', 0)}{breaker}"
+        )
+    return "\n".join(lines)
+
+
 def render_dashboard(
     status: dict,
     metrics: dict,
@@ -68,6 +139,8 @@ def render_dashboard(
     url: str = "",
 ) -> str:
     """Render one dashboard frame from the three endpoint snapshots."""
+    if "aggregate" in status:
+        return _render_fleet(status, metrics, slo, color=color, url=url)
     lines: list[str] = []
     title = "repro top"
     if url:
@@ -149,7 +222,9 @@ def run_top(
         if frame > 0:
             time.sleep(interval_s)
         try:
-            status = client.status().to_dict()
+            # Raw JSON, not ServiceStatus: a router /status is a fleet
+            # document (aggregate + per-shard) the dataclass would strip.
+            status = client.request_json("GET", "/status")
             metrics = client.metrics()
             slo = client.slo()
         except (ServiceError, OSError) as error:

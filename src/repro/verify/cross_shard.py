@@ -15,7 +15,12 @@ per-shard unsettled orphans):
 * ``cross_shard.no_duplicates`` — no workflow is owned by two shards at
   once, and no *settled* state has a workflow both owned and orphaned;
 * ``cross_shard.orphans_settled`` — after a reconcile pass, no orphans
-  remain (checked only when orphan data is supplied).
+  remain (checked only when orphan data is supplied);
+* ``cross_shard.placement_consistent`` — the router's placement map
+  points every owned workflow at a shard that actually owns it (checked
+  only when a placement snapshot is supplied; a stale pin means routing
+  and ownership have diverged — e.g. a failover that moved work without
+  updating the map).
 
 Run it after :meth:`~repro.cluster.router.ShardRouter.reconcile` — mid-
 migration snapshots legitimately show a workflow owned by the
@@ -36,6 +41,8 @@ def check_cross_shard_conservation(
     owned_by_shard: Mapping[str, Iterable[str]],
     orphans_by_shard: Optional[Mapping[str, Iterable[str]]] = None,
     report: VerificationReport | None = None,
+    *,
+    placement: Optional[Mapping[str, str]] = None,
 ) -> VerificationReport:
     """Check that the fleet conserves every accepted workflow exactly once.
 
@@ -47,6 +54,10 @@ def check_cross_shard_conservation(
         orphans_by_shard: shard name -> workflow ids held as unsettled
             outbound migrations; enables the orphans-settled check.
         report: merge into an existing report instead of a fresh one.
+        placement: workflow id -> shard name, the router's placement
+            overrides (:attr:`ShardRouter.placement_overrides`); enables
+            the placement-consistency check for workflows that appear in
+            the owners map.
     """
     report = report if report is not None else VerificationReport()
     owners: dict[str, list[str]] = {}
@@ -110,5 +121,28 @@ def check_cross_shard_conservation(
         if not unsettled:
             report.check(
                 "cross_shard.orphans_settled", True, "no unsettled orphans"
+            )
+
+    if placement is not None:
+        # Only workflows the fleet currently owns can be judged: a pin
+        # for a finished/never-owned workflow is harmless routing residue.
+        stale = {
+            workflow_id: pinned
+            for workflow_id, pinned in sorted(placement.items())
+            if workflow_id in owners and pinned not in owners[workflow_id]
+        }
+        for workflow_id, pinned in stale.items():
+            report.check(
+                "cross_shard.placement_consistent",
+                False,
+                f"placement pins {pinned!r} but owned by "
+                f"{', '.join(sorted(owners[workflow_id]))}",
+                subject=workflow_id,
+            )
+        if not stale:
+            report.check(
+                "cross_shard.placement_consistent",
+                True,
+                "every placement pin points at an owning shard",
             )
     return report
