@@ -16,6 +16,13 @@ Run against a live server::
 or import :func:`run_load` (the CI obs-smoke and shard-smoke jobs do
 both).
 
+``--concurrency N`` spreads the target rate over N sender threads (each
+paced at rate/N with its own HTTP connection pool), which is how the
+throughput benchmark saturates the asyncio frontend — one thread tops out
+at the client's own request round-trip rate long before the server does.
+Submission indices stay globally unique across senders, so ids and
+request ids never collide.
+
 The generator is shard-router aware (docs/SHARDING.md): pointing
 ``--url`` at a ``repro serve --shards N`` frontend needs no flags — every
 answer carries the deciding shard's name, tallied into the summary's
@@ -27,8 +34,10 @@ tenant on one shard (0, the default, leaves ids unprefixed).
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
+import threading
 import time
 
 from repro.model.cluster import ClusterCapacity  # noqa: F401  (re-export for callers)
@@ -78,26 +87,36 @@ def run_load(
     duration_s: float = 5.0,
     workflow_every: int = 5,
     tenants: int = 0,
+    concurrency: int = 1,
     quiet: bool = False,
 ) -> dict:
     """Drive *url* at ``rate`` submissions/s for ``duration_s`` seconds.
 
     Every ``workflow_every``-th submission is a deadline workflow; the
-    rest are ad-hoc jobs (the paper's mixed regime).  Returns a summary
-    dict; ``request_ids`` maps every submission to the correlation id it
-    carried, and ``by_shard`` breaks acceptance down by the shard that
-    answered (single-service targets report under the ``""`` shard).
+    rest are ad-hoc jobs (the paper's mixed regime).  ``workflow_every=0``
+    sends ad-hoc jobs only — the overload regime the throughput benchmark
+    measures, where every submission is one queue decision with no
+    admission LP in the way.  ``concurrency`` spreads the rate over that
+    many sender threads (each paced at ``rate / concurrency``); tallies
+    and indices are shared, so the summary is identical in shape to a
+    single-threaded run.  Returns a summary dict; ``request_ids`` maps
+    every submission to the correlation id it carried, and ``by_shard``
+    breaks acceptance down by the shard that answered (single-service
+    targets report under the ``""`` shard).
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
-    client = HttpServiceClient(url, max_retries=1)
-    interval = 1.0 / rate
+    if workflow_every < 0:
+        raise ValueError(f"workflow_every must be >= 0, got {workflow_every}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     started = time.monotonic()
     deadline = started + duration_s
     summary = {
         "url": url,
         "rate": rate,
         "duration_s": duration_s,
+        "concurrency": concurrency,
         "submitted": 0,
         "accepted": 0,
         "rejected": 0,
@@ -109,6 +128,9 @@ def run_load(
         # client-side ledger a cross-shard conservation check runs against.
         "accepted_workflow_ids": [],
     }
+    lock = threading.Lock()
+    indices = itertools.count()
+    latencies: list[float] = []
 
     def tally_shard(shard: str, accepted: bool) -> None:
         entry = summary["by_shard"].setdefault(
@@ -116,45 +138,68 @@ def run_load(
         )
         entry["accepted" if accepted else "rejected"] += 1
 
-    latencies: list[float] = []
-    index = 0
-    next_send = started
-    while time.monotonic() < deadline:
-        now = time.monotonic()
-        if now < next_send:
-            time.sleep(min(next_send - now, interval))
-            continue
-        next_send += interval
-        request_id = f"loadgen-{index}"
-        is_workflow = index % workflow_every == 0
-        t0 = time.monotonic()
-        try:
-            if is_workflow:
-                workflow = _workflow(index, tenants=tenants)
-                result = client.submit_workflow(
-                    workflow, request_id=request_id
-                )
-                if result.accepted:
-                    summary["accepted_workflow_ids"].append(
-                        workflow.workflow_id
+    def sender() -> None:
+        client = HttpServiceClient(url, max_retries=1)
+        interval = concurrency / rate
+        next_send = time.monotonic()
+        while time.monotonic() < deadline:
+            now = time.monotonic()
+            if now < next_send:
+                time.sleep(min(next_send - now, interval))
+                continue
+            next_send += interval
+            index = next(indices)
+            request_id = f"loadgen-{index}"
+            is_workflow = workflow_every > 0 and index % workflow_every == 0
+            outcome = "ok"
+            result = None
+            workflow = None
+            t0 = time.monotonic()
+            try:
+                if is_workflow:
+                    workflow = _workflow(index, tenants=tenants)
+                    result = client.submit_workflow(
+                        workflow, request_id=request_id
                     )
-            else:
-                result = client.submit_adhoc(
-                    _adhoc(index), request_id=request_id
-                )
-            summary["accepted" if result.accepted else "rejected"] += 1
-            tally_shard(result.shard, result.accepted)
-        except QueueFullError:
-            summary["shed"] += 1
-        except (ServiceError, OSError):
-            summary["errors"] += 1
-        else:
-            summary["request_ids"][request_id] = (
-                "workflow" if is_workflow else "adhoc"
-            )
-        latencies.append(time.monotonic() - t0)
-        summary["submitted"] += 1
-        index += 1
+                else:
+                    result = client.submit_adhoc(
+                        _adhoc(index), request_id=request_id
+                    )
+            except QueueFullError:
+                outcome = "shed"
+            except (ServiceError, OSError):
+                outcome = "error"
+            elapsed = time.monotonic() - t0
+            with lock:
+                summary["submitted"] += 1
+                latencies.append(elapsed)
+                if outcome == "shed":
+                    summary["shed"] += 1
+                elif outcome == "error":
+                    summary["errors"] += 1
+                else:
+                    summary["accepted" if result.accepted else "rejected"] += 1
+                    tally_shard(result.shard, result.accepted)
+                    if result.accepted and workflow is not None:
+                        summary["accepted_workflow_ids"].append(
+                            workflow.workflow_id
+                        )
+                    summary["request_ids"][request_id] = (
+                        "workflow" if is_workflow else "adhoc"
+                    )
+
+    if concurrency == 1:
+        sender()
+    else:
+        threads = [
+            threading.Thread(target=sender, name=f"loadgen-{i}", daemon=True)
+            for i in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
     latencies.sort()
     summary["latency"] = {
         "p50_ms": round(_quantile(latencies, 0.50) * 1e3, 3),
@@ -199,12 +244,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workflow-every", type=int, default=5, metavar="N",
-        help="every Nth submission is a deadline workflow (rest ad-hoc)",
+        help="every Nth submission is a deadline workflow, rest ad-hoc "
+        "(0: ad-hoc only)",
     )
     parser.add_argument(
         "--tenants", type=int, default=0, metavar="K",
         help="spread workflows over K tenant id prefixes (tK/...) so a "
         "shard router co-locates each tenant; 0 leaves ids unprefixed",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=1, metavar="N",
+        help="spread the rate over N sender threads (saturation testing)",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -217,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         duration_s=args.duration,
         workflow_every=args.workflow_every,
         tenants=args.tenants,
+        concurrency=args.concurrency,
         quiet=args.json,
     )
     if args.json:

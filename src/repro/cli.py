@@ -252,6 +252,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "per-slot runtime assertions plus a full end-of-run validation and "
         "reported-metric recomputation; exits 1 on any violation",
     )
+    run.add_argument(
+        "--engine",
+        default="slots",
+        choices=["slots", "events"],
+        help="engine core: 'slots' steps every slot; 'events' jumps idle "
+        "virtual-time gaps via an event queue (outcome-identical; see "
+        "docs/PERFORMANCE.md)",
+    )
     _add_cluster_args(run)
     _add_fault_args(run)
 
@@ -368,6 +376,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "dead (and, with --failover, eligible for workflow re-homing)",
     )
     serve.add_argument("--slot-seconds", type=float, default=10.0)
+    serve.add_argument(
+        "--engine",
+        default="slots",
+        choices=["slots", "events"],
+        help="engine core for each service: 'events' makes idle virtual "
+        "time and drain cost proportional to actual work (outcome-"
+        "identical to 'slots'; jumping is disabled under --realtime)",
+    )
+    serve.add_argument(
+        "--async",
+        dest="async_http",
+        action="store_true",
+        help="serve over the asyncio HTTP frontend instead of the "
+        "thread-per-connection stdlib server (single service only; the "
+        "high-throughput path — see BENCH_throughput.json)",
+    )
     serve.add_argument(
         "--lp-backend",
         default=None,
@@ -664,6 +688,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     failures=failures,
                     verify=args.verify,
                     lp_backend=args.lp_backend,
+                    engine=args.engine,
                 ),
                 scheduler_kwargs=scheduler_kwargs,
                 obs=obs,
@@ -841,8 +866,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_deadline_objective=args.slo_objective,
         slo_decide_p99_s=args.slo_decide_p99,
         slo_window_s=args.slo_window,
+        engine=args.engine,
     )
     if args.shards > 1:
+        if args.async_http:
+            # Shards inherit --engine through ServiceConfig, but the
+            # router frontend is thread-based; keep the combination an
+            # explicit error rather than a silent fallback.
+            print(
+                "error: --async supports a single service only "
+                "(use --shards 1)",
+                file=sys.stderr,
+            )
+            return 2
         return _serve_sharded(args, cluster, config)
     sink = None
     if args.trace_out:
@@ -879,8 +915,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
         service = SchedulerService(cluster, config, obs=obs).start()
-        server = serve_http(service, host=args.host, port=args.port)
-        print(f"serving {args.scheduler} on {server.url}", flush=True)
+        if args.async_http:
+            from repro.service import serve_http_async
+
+            server = serve_http_async(service, host=args.host, port=args.port)
+        else:
+            server = serve_http(service, host=args.host, port=args.port)
+        frontend = "asyncio" if args.async_http else "threaded"
+        print(
+            f"serving {args.scheduler} on {server.url} "
+            f"({frontend} frontend, {args.engine} engine)",
+            flush=True,
+        )
         print(
             "endpoints: POST /workflows  POST /jobs  GET /plan  GET /status  "
             "GET /metrics[?format=prometheus]  GET /slo  GET /healthz  "

@@ -18,6 +18,7 @@ shedding surface as typed errors (:class:`~repro.service.api.
 ServiceSaturatedError`, :class:`~repro.service.api.QueueFullError`).
 """
 
+from repro.service.aio import AsyncServiceHTTPServer, serve_http_async
 from repro.service.api import (
     QueueFullError,
     ServiceConfig,
@@ -37,6 +38,7 @@ from repro.service.journal import JournalRecord, SubmissionJournal, read_journal
 from repro.service.top import render_dashboard, run_top
 
 __all__ = [
+    "AsyncServiceHTTPServer",
     "HttpServiceClient",
     "InProcessClient",
     "JournalRecord",
@@ -54,4 +56,5 @@ __all__ = [
     "render_dashboard",
     "run_top",
     "serve_http",
+    "serve_http_async",
 ]

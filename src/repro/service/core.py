@@ -84,7 +84,7 @@ from repro.service.api import (
 from repro.service.journal import SubmissionJournal
 from repro.simulator.engine import SimulationConfig
 from repro.simulator.result import SimulationResult
-from repro.simulator.runtime import EngineCore
+from repro.simulator.runtime import EngineCore, make_engine_core
 
 __all__ = ["SchedulerService"]
 
@@ -157,7 +157,7 @@ class SchedulerService:
             if scheduler is not None
             else make_scheduler(self.config.scheduler, **scheduler_kwargs)
         )
-        self._core = EngineCore(
+        self._core = make_engine_core(
             cluster,
             self.scheduler,
             SimulationConfig(
@@ -165,9 +165,14 @@ class SchedulerService:
                 strict=self.config.strict,
                 record_execution=self.config.record_execution,
                 failures=self.config.failures,
+                engine=self.config.engine,
             ),
             self.obs,
         )
+        if self.config.realtime and hasattr(self._core, "jump_enabled"):
+            # A wall-clock-paced loop owns the mapping of slots to
+            # seconds; the event core must not fast-forward past it.
+            self._core.jump_enabled = False
         self._commands: "queue.Queue[_Command]" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -1172,6 +1177,7 @@ class SchedulerService:
         self.obs.event("service_drain_start", slot=core.slot)
         self._refresh_status()
         deadline_slot = core.slot + self.config.drain_max_slots
+        core.schedule_drain(deadline_slot)
         while not core.finished and core.slot < deadline_slot:
             self._step()
         core.flush_pending_events()

@@ -16,8 +16,9 @@ experiments behave like the real system.
 """
 
 from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.events import EventEngineCore, EventQueue, SimEvent
 from repro.simulator.failures import FailureModel
-from repro.simulator.runtime import EngineCore, StepOutcome
+from repro.simulator.runtime import EngineCore, StepOutcome, make_engine_core
 from repro.simulator.nodes import NodeCluster, PackResult
 from repro.simulator.metrics import (
     adhoc_turnaround_seconds,
@@ -34,8 +35,11 @@ __all__ = [
     "ClusterView",
     "DeadlineJobView",
     "EngineCore",
+    "EventEngineCore",
+    "EventQueue",
     "FailureModel",
     "JobRecord",
+    "SimEvent",
     "NodeCluster",
     "PackResult",
     "Simulation",
@@ -44,6 +48,7 @@ __all__ = [
     "StepOutcome",
     "WorkflowRecord",
     "adhoc_turnaround_seconds",
+    "make_engine_core",
     "deadline_deltas_seconds",
     "missed_jobs",
     "missed_workflows",

@@ -36,7 +36,7 @@ from repro.obs import Observability, use_obs
 from repro.simulator.failures import FailureModel
 from repro.simulator.nodes import NodeCluster
 from repro.simulator.result import SimulationResult
-from repro.simulator.runtime import EngineCore
+from repro.simulator.runtime import EngineCore, make_engine_core
 
 if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.schedulers.base import Scheduler
@@ -72,6 +72,12 @@ class SimulationConfig:
             (:func:`repro.analysis.experiments.run_one`, the golden-trace
             corpus) read it and fold it into the FlowTime planner kwargs.
             ``None`` keeps each scheduler's own default.
+        engine: which engine core steps the clock — ``"slots"`` (the
+            historical slot-stepped :class:`~repro.simulator.runtime.
+            EngineCore`) or ``"events"`` (the event-queue
+            :class:`~repro.simulator.events.EventEngineCore`, which
+            jumps idle gaps; outcome-identical, see
+            ``tests/test_engine_equivalence.py``).
     """
 
     slot_seconds: float = 10.0
@@ -82,6 +88,7 @@ class SimulationConfig:
     node_cluster: NodeCluster | None = None
     verify: bool = False
     lp_backend: str | None = None
+    engine: str = "slots"
 
 
 class Simulation:
@@ -105,7 +112,7 @@ class Simulation:
         # only while ``run`` executes, so concurrent/sequential simulations
         # never share metric state.
         self.obs = obs if obs is not None else Observability()
-        self._core = EngineCore(cluster, scheduler, self.config, self.obs)
+        self._core = make_engine_core(cluster, scheduler, self.config, self.obs)
         self._core.validate_cluster()
         for workflow in workflows:
             self._core.add_workflow(workflow)

@@ -1,0 +1,349 @@
+"""Event-queue engine core: virtual time advances to the next event.
+
+The slot-stepped :class:`~repro.simulator.runtime.EngineCore` pays one
+full step — view construction, a scheduler decide, usage-row appends —
+for *every* slot, busy or not.  For sparse workloads (arrival gaps, idle
+drain tails, fine slot resolutions) that is O(slots) work while nothing
+happens.  :class:`EventEngineCore` keeps a heap of typed *due events* —
+
+* :class:`ArrivalDue` — a registered workflow or ad-hoc job reaches its
+  arrival slot;
+* :class:`CompletionDue` — completions from the previous executed slot
+  are deliverable (readiness releases, workflow completion);
+* :class:`ReplanDue` — non-completion pending work (setbacks from
+  failure injection, migration withdrawals) needs a scheduler pass;
+* :class:`DrainDue` — a graceful-drain deadline caps how far virtual
+  time may coast.
+
+— and **jumps** the clock straight to the next due slot whenever the
+current slot is provably idle, instead of stepping through the gap.
+
+Outcome equivalence with the slot engine is by construction, not by
+re-implementation: every *busy* slot is executed by the inherited
+:meth:`EngineCore.step`, so event delivery, decide, execution, failure
+injection and completion propagation are literally the same code.  A
+slot may be skipped only when
+
+1. no engine events are pending delivery (``_pending_events`` empty),
+   and
+2. no registered, incomplete job has arrived (``live == 0``).
+
+On such a slot the scheduler's decide is state-neutral (no runnable
+work, the empty-plan branch allocates nothing and counts no replan),
+execution is empty, the failure RNG is never consulted (it rolls per
+*executed* job only), and no trace events fire — so skipping it changes
+nothing observable except wall-clock cost.  Skipped slots still append
+all-zero usage/granted rows (and empty execution rows), keeping
+:meth:`~repro.simulator.runtime.EngineCore.result` arrays identical to
+a slot-stepped run.  ``tests/test_engine_equivalence.py`` pins this
+across 50+ seeded workloads and all production path families.
+
+Tie-break order (the documented contract, shared by both engines):
+within one slot, events are delivered to the scheduler as
+
+1. carry-over events from the previous executed slot — completions,
+   readiness releases, setbacks, withdrawals — in generation order;
+2. workflow arrivals in registration order, each immediately followed
+   by its root jobs' readiness events;
+3. ad-hoc job arrivals in registration order.
+
+The event heap mirrors that precedence in its ordering key
+``(slot, priority, sequence)`` with completion < replan < workflow
+arrival < ad-hoc arrival < drain, so two events due at the identical
+slot always resolve identically — there is no tie-break drift between
+cores (pinned by a Hypothesis property in the equivalence battery).
+
+Jumping is disabled (``jump_enabled = False``) when the caller paces
+the clock against wall time (``repro serve --realtime``): virtual time
+must not race ahead of the wall clock that maps slots to seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.model.job import Job
+from repro.model.workflow import Workflow
+from repro.simulator.runtime import EngineCore, StepOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.cluster import ClusterCapacity
+    from repro.schedulers.base import Scheduler
+    from repro.simulator.engine import SimulationConfig
+
+__all__ = [
+    "ArrivalDue",
+    "CompletionDue",
+    "DrainDue",
+    "EventEngineCore",
+    "EventQueue",
+    "ReplanDue",
+    "SimEvent",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One scheduled wakeup in virtual time.
+
+    ``priority`` is the within-slot precedence class (see the module
+    docstring); subclasses pin it.  ``entity_id``/``token`` identify the
+    registration an arrival belongs to — a withdrawn-and-re-registered
+    entity gets a fresh token, so stale heap entries are detectable.
+    """
+
+    slot: int
+    entity_id: str = ""
+    token: int = 0
+
+    priority = 99  # subclasses override; class attr keeps instances frozen
+
+
+class CompletionDue(SimEvent):
+    """Completions of the previous executed slot become deliverable."""
+
+    priority = 0
+
+
+class ReplanDue(SimEvent):
+    """Non-completion pending events (setback, withdrawal) need a pass."""
+
+    priority = 1
+
+
+class ArrivalDue(SimEvent):
+    """A registered workflow reaches its arrival slot."""
+
+    priority = 2
+
+
+class AdhocArrivalDue(ArrivalDue):
+    """A registered ad-hoc job reaches its arrival slot."""
+
+    priority = 3
+
+
+class DrainDue(SimEvent):
+    """Graceful-drain deadline: virtual time must not coast past it."""
+
+    priority = 4
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`SimEvent`.
+
+    Ordered by ``(slot, priority, sequence)``: events due at the same
+    slot resolve by precedence class, then strictly by push order — the
+    heap can never compare two events as equal, so ordering is total
+    and identical across interpreters/hash seeds.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, SimEvent]] = []
+        self._seq = 0
+
+    def push(self, event: SimEvent) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (event.slot, event.priority, self._seq, event))
+
+    def peek(self) -> Optional[SimEvent]:
+        return self._heap[0][3] if self._heap else None
+
+    def pop(self) -> SimEvent:
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        """Events in due order (non-destructive; sorted copy)."""
+        return (entry[3] for entry in sorted(self._heap))
+
+
+class EventEngineCore(EngineCore):
+    """Event-driven engine: identical busy slots, skipped idle ones.
+
+    Drop-in for :class:`~repro.simulator.runtime.EngineCore` — selected
+    with ``SimulationConfig(engine="events")`` / ``repro run --engine
+    events`` / ``ServiceConfig(engine="events")``.  See the module
+    docstring for the skip-safety argument and tie-break contract.
+    """
+
+    def __init__(
+        self,
+        cluster: "ClusterCapacity",
+        scheduler: "Scheduler",
+        config: "SimulationConfig",
+        obs,
+    ):
+        super().__init__(cluster, scheduler, config, obs)
+        self.events = EventQueue()
+        #: Jump permission: the service clears this under ``--realtime``
+        #: so virtual time never races the wall clock pacing it.
+        self.jump_enabled = True
+        #: Slots skipped by fast-forward over the whole run.
+        self.slots_skipped = 0
+        # Arrived-and-incomplete jobs (the "live" count): settled lazily
+        # from the arrival heap, decremented on completion/withdrawal.
+        self._live = 0
+        # Registration generation per entity id: an arrival heap entry
+        # is valid only while its token matches (withdraw + re-register
+        # mints a new token, invalidating the old entry in place).
+        self._reg_tokens: dict[str, int] = {}
+        self._token_seq = 0
+        self._drain_slot: Optional[int] = None
+        self._skipped_counter = obs.counter("sim.slots.skipped")
+
+    # -- registration (heap bookkeeping on top of the base class) -----------------
+
+    def _push_arrival(self, entity_id: str, slot: int, cls: type) -> None:
+        self._token_seq += 1
+        token = self._token_seq
+        self._reg_tokens[entity_id] = token
+        self.events.push(cls(slot=slot, entity_id=entity_id, token=token))
+
+    def add_workflow(self, workflow: Workflow, *, request_id: str | None = None) -> None:
+        super().add_workflow(workflow, request_id=request_id)
+        arrival = self._workflow_arrival[workflow.workflow_id]
+        self._push_arrival(workflow.workflow_id, arrival, ArrivalDue)
+
+    def add_adhoc(self, job: Job, *, request_id: str | None = None) -> None:
+        super().add_adhoc(job, request_id=request_id)
+        arrival = self._runs[job.job_id].arrival_slot
+        self._push_arrival(job.job_id, arrival, AdhocArrivalDue)
+
+    def remove_workflow(self, workflow_id: str) -> Workflow:
+        arrival = self._workflow_arrival.get(workflow_id)
+        workflow = super().remove_workflow(workflow_id)
+        # Invalidate the heap entry; un-count the jobs if already live.
+        # Mutations only ever happen between steps, where arrivals
+        # strictly before the current slot are settled into ``_live``
+        # and the current slot's own arrivals are not yet.
+        self._reg_tokens.pop(workflow_id, None)
+        if arrival is not None and arrival < self.slot:
+            self._live -= len(workflow)
+        # The withdrawal queued a pending event for the scheduler: make
+        # sure the next step is not skipped over it.
+        self.events.push(ReplanDue(slot=self.slot, entity_id=workflow_id))
+        return workflow
+
+    # -- live bookkeeping ---------------------------------------------------------
+
+    def _settle(self, slot: int) -> None:
+        """Fold every due heap event at or before *slot* into ``_live``."""
+        events = self.events
+        while True:
+            event = events.peek()
+            if event is None or event.slot > slot:
+                return
+            events.pop()
+            if not isinstance(event, ArrivalDue):
+                continue  # wakeups/drain markers carry no live delta
+            if self._reg_tokens.get(event.entity_id) != event.token:
+                continue  # superseded registration (withdrawn/re-added)
+            if isinstance(event, AdhocArrivalDue):
+                run = self._runs.get(event.entity_id)
+                if run is not None and not run.done:
+                    self._live += 1
+            else:
+                workflow = self.workflows.get(event.entity_id)
+                if workflow is not None:
+                    self._live += sum(
+                        1
+                        for job in workflow.jobs
+                        if not self._runs[job.job_id].done
+                    )
+
+    def _next_arrival_slot(self) -> Optional[int]:
+        """Earliest valid future arrival, discarding stale heap entries."""
+        events = self.events
+        while True:
+            event = events.peek()
+            if event is None:
+                return None
+            if isinstance(event, ArrivalDue):
+                if self._reg_tokens.get(event.entity_id) != event.token:
+                    events.pop()
+                    continue
+                return event.slot
+            # Completion/replan wakeups at future slots only exist while
+            # their pending events do — and pending events already veto
+            # jumping — so any entry reached here is a spent marker.
+            events.pop()
+
+    # -- drain --------------------------------------------------------------------
+
+    def schedule_drain(self, deadline_slot: int) -> None:
+        """Cap fast-forward at the graceful-drain deadline.
+
+        The drain loop stops at ``deadline_slot`` whether or not work
+        remains; a jump straight to a post-deadline arrival would
+        overshoot the cap and diverge from the slot engine.
+        """
+        self._drain_slot = deadline_slot
+        self.events.push(DrainDue(slot=deadline_slot))
+
+    # -- stepping -----------------------------------------------------------------
+
+    def _fast_forward(self, to_slot: int) -> None:
+        """Advance the clock over provably idle slots.
+
+        Appends the all-zero usage/granted (and empty execution) rows a
+        slot-stepped run would have recorded, so result arrays — and
+        the validator's per-slot conservation checks — are identical.
+        """
+        skipped = to_slot - self.slot
+        if skipped <= 0:
+            return
+        zero_row = [0.0] * len(self.cluster.resources)
+        self._usage_rows.extend([zero_row] * skipped)
+        self._granted_rows.extend([zero_row] * skipped)
+        if self._record_execution:
+            self._execution_rows.extend({} for _ in range(skipped))
+        self.slots_skipped += skipped
+        self._skipped_counter.inc(skipped)
+        self.slot = to_slot
+
+    def step(self) -> StepOutcome:
+        """Advance to the next event, then execute that slot normally.
+
+        When the current slot is idle (nothing pending, nothing live),
+        the clock jumps to the earliest future arrival — or coasts to
+        the ``max_slots``/drain cap when every remaining arrival lies
+        beyond it, returning an empty outcome without executing.
+        """
+        self._settle(self.slot)
+        if self.jump_enabled and self._live == 0 and not self._pending_events:
+            target = self._next_arrival_slot()
+            cap = self.config.max_slots
+            if self._drain_slot is not None:
+                cap = min(cap, self._drain_slot)
+            if target is not None and target > self.slot:
+                if target > cap:
+                    # Every remaining arrival is past the horizon: coast
+                    # to the cap and report an empty slot, exactly where
+                    # a slot-stepped loop would stop.
+                    self._fast_forward(max(cap, self.slot))
+                    return StepOutcome(slot=self.slot)
+                self._fast_forward(target)
+                self._settle(self.slot)
+        outcome = super().step()
+        self._live -= len(outcome.completions)
+        # Mirror next-slot obligations into the queue as typed wakeups:
+        # completions (readiness releases) and other carried-over events
+        # force the immediately following slot to execute.  Jumping is
+        # vetoed by ``_pending_events`` directly; these entries keep the
+        # heap a faithful record of every due event and are discarded by
+        # ``_settle`` once delivered.
+        if outcome.completions:
+            self.events.push(CompletionDue(slot=self.slot))
+        elif self._pending_events:
+            self.events.push(ReplanDue(slot=self.slot))
+        return outcome

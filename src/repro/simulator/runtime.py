@@ -56,7 +56,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.schedulers.base import Scheduler
     from repro.simulator.engine import SimulationConfig
 
-__all__ = ["EngineCore", "JobRun", "StepOutcome"]
+__all__ = ["EngineCore", "JobRun", "StepOutcome", "make_engine_core"]
 
 
 def _stamp(request_id: str | None) -> dict[str, str]:
@@ -134,6 +134,31 @@ class StepOutcome:
         return sum(1 for e in self.events if isinstance(e, JobArrived))
 
 
+def make_engine_core(
+    cluster: ClusterCapacity,
+    scheduler: "Scheduler",
+    config: "SimulationConfig",
+    obs,
+) -> "EngineCore":
+    """Build the engine core ``config.engine`` selects.
+
+    ``"slots"`` is the historical slot-stepped :class:`EngineCore`;
+    ``"events"`` the event-queue :class:`~repro.simulator.events.
+    EventEngineCore` that jumps idle gaps (imported lazily — the events
+    module subclasses this one).
+    """
+    engine = getattr(config, "engine", "slots") or "slots"
+    if engine == "slots":
+        return EngineCore(cluster, scheduler, config, obs)
+    if engine == "events":
+        from repro.simulator.events import EventEngineCore
+
+        return EventEngineCore(cluster, scheduler, config, obs)
+    raise ValueError(
+        f"unknown engine {engine!r} (choose 'slots' or 'events')"
+    )
+
+
 def _apply_lp_backend(scheduler: "Scheduler", backend: str) -> None:
     """Point a planner-based scheduler at the configured LP backend.
 
@@ -192,6 +217,7 @@ class EngineCore:
         self._slowest = (-1.0, -1, 0.0)  # (seconds, slot, decide_seconds)
         self._prev_running: set[str] = set()
         self._remaining_jobs = 0
+        self._live_adhoc = 0
         # Prefer the span-wrapped ``decide`` of repro schedulers; duck-typed
         # stand-ins (test doubles) only need ``assign``.
         self._decide = getattr(scheduler, "decide", scheduler.assign)
@@ -270,6 +296,7 @@ class EngineCore:
             job, arrival_slot=max(job.arrival_slot, self.slot), unmet_parents=0
         )
         self._remaining_jobs += 1
+        self._live_adhoc += 1
         if request_id is not None:
             self._request_ids[job.job_id] = request_id
 
@@ -367,12 +394,14 @@ class EngineCore:
         return self._remaining_jobs
 
     def live_adhoc_count(self) -> int:
-        """Ad-hoc jobs registered but not yet completed (queue depth)."""
-        return sum(
-            1
-            for run in self._runs.values()
-            if run.job.kind is JobKind.ADHOC and not run.done
-        )
+        """Ad-hoc jobs registered but not yet completed (queue depth).
+
+        O(1): the service reads this on every slot (queue-depth gauge,
+        shed decisions) and during drain — a full scan of ``_runs`` per
+        slot made an *empty* queue cost O(jobs) per step.  The counter
+        is maintained at registration and completion instead.
+        """
+        return self._live_adhoc
 
     def job_run(self, job_id: str) -> JobRun:
         return self._runs[job_id]
@@ -436,6 +465,14 @@ class EngineCore:
         )
 
     # -- stepping ------------------------------------------------------------------
+
+    def schedule_drain(self, deadline_slot: int) -> None:
+        """Advisory drain cap; a no-op on the slot-stepped core.
+
+        The event-driven core (:class:`repro.simulator.events.
+        EventEngineCore`) overrides this so fast-forward never coasts
+        past the graceful-drain deadline.
+        """
 
     def step(self) -> StepOutcome:
         """Execute one slot: events -> decide -> execute -> completions."""
@@ -544,6 +581,8 @@ class EngineCore:
         # delivered at the start of the next slot.
         for job_id in completions:
             run = self._runs[job_id]
+            if run.job.kind is JobKind.ADHOC:
+                self._live_adhoc -= 1
             workflow_id = run.job.workflow_id
             self._pending_events.append(
                 JobCompleted(slot=slot + 1, job_id=job_id, workflow_id=workflow_id)
